@@ -1,0 +1,54 @@
+"""Shared helpers for the per-figure/table benchmark suite.
+
+Every benchmark runs its experiment exactly once inside
+``benchmark.pedantic`` (the workloads are stateful), prints the rows the
+paper's figure or table reports, and attaches the simulated metrics to
+``benchmark.extra_info`` so they land in pytest-benchmark's JSON output.
+
+Wall-clock numbers measured by pytest-benchmark tell you how long the
+*simulation* took; the reproduced quantities (KOps/s, GB written,
+amplification) are simulated and printed/recorded explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.analysis import Table
+
+#: The paper's four key-value stores, in its usual presentation order.
+KV_STORES = ["pebblesdb", "hyperleveldb", "leveldb", "rocksdb"]
+
+
+def run_once(benchmark, fn: Callable[[], Dict]) -> Dict:
+    """Execute ``fn`` once under pytest-benchmark and return its result."""
+    holder: Dict = {}
+
+    def wrapper():
+        holder["result"] = fn()
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    result = holder["result"]
+    for key, value in result.items():
+        if isinstance(value, (int, float, str)):
+            benchmark.extra_info[key] = value
+    return result
+
+
+def print_paper_comparison(title: str, lines) -> None:
+    """Emit a 'paper vs measured' block under the result table."""
+    print()
+    print(f"--- {title}: paper vs measured ---")
+    for line in lines:
+        print(f"  {line}")
+    print()
+
+
+def relative_table(title: str, metric: str, values: Dict[str, float], baseline: str) -> Table:
+    """Table of absolute + relative-to-baseline values (paper bar style)."""
+    table = Table(title, ["store", metric, f"vs {baseline}"])
+    base = values[baseline]
+    for store, value in values.items():
+        rel = value / base if base else float("nan")
+        table.add_row(store, f"{value:.2f}", f"{rel:.2f}x")
+    return table

@@ -1,0 +1,93 @@
+"""Figure 5.1(b): single-threaded db_bench micro-benchmarks.
+
+Paper (50M writes / 10M reads / 10M seeks, 1 KB values): PebblesDB gets
+~2.7x HyperLevelDB on random writes, ~3x *worse* on sequential writes,
+slightly better reads, ~30% worse seeks on a compacted store, and the
+best delete throughput.
+"""
+
+from __future__ import annotations
+
+from repro.harness import fresh_run, standard_config
+from _helpers import KV_STORES, print_paper_comparison, run_once
+from repro.analysis import Table
+
+NUM_KEYS = 15000
+VALUE_SIZE = 1024
+READS = 4000
+SEEKS = 2000
+
+
+def test_db_bench_micro(benchmark):
+    def experiment():
+        rows = {}
+        for engine in KV_STORES:
+            cfg = standard_config(num_keys=NUM_KEYS, value_size=VALUE_SIZE, seed=3)
+            seq_run = fresh_run(engine, cfg)
+            fillseq = seq_run.bench.fill_seq()
+            seq_run.db.wait_idle()
+            fillseq_io = seq_run.db.stats().device_bytes_written / 1e6
+            run = fresh_run(engine, cfg)
+            bench = run.bench
+            fillrandom = bench.fill_random()
+            run.db.compact_all()  # paper seeks run on a compacted store
+            reads = bench.read_random(READS)
+            seeks = bench.seek_random(SEEKS)
+            deletes = bench.delete_random(NUM_KEYS // 2)
+            rows[engine] = {
+                "fillseq": fillseq.kops,
+                "fillseq_io_mb": fillseq_io,
+                "fillrandom": fillrandom.kops,
+                "readrandom": reads.kops,
+                "seekrandom": seeks.kops,
+                "deleterandom": deletes.kops,
+            }
+        return rows
+
+    rows = run_once(benchmark, lambda: {"rows": experiment()})["rows"]
+    table = Table(
+        "Figure 5.1(b) — db_bench micro-benchmarks (KOps/s; fillseq IO in MB)",
+        [
+            "store",
+            "fillseq",
+            "fillseq-IO",
+            "fillrandom",
+            "readrandom",
+            "seekrandom",
+            "deleterandom",
+        ],
+    )
+    for engine in KV_STORES:
+        r = rows[engine]
+        table.add_row(
+            engine,
+            f"{r['fillseq']:.1f}",
+            f"{r['fillseq_io_mb']:.1f}",
+            f"{r['fillrandom']:.1f}",
+            f"{r['readrandom']:.1f}",
+            f"{r['seekrandom']:.1f}",
+            f"{r['deleterandom']:.1f}",
+        )
+    table.print()
+
+    p, h = rows["pebblesdb"], rows["hyperleveldb"]
+    print_paper_comparison(
+        "Figure 5.1(b)",
+        [
+            f"random writes P/H: paper ~2.7x | measured {p['fillrandom'] / h['fillrandom']:.2f}x",
+            "sequential fill: the paper's 3x slowdown comes from FLSM "
+            "partitioning sstables that LSM moves by metadata alone "
+            "(section 4.5); at this scale the device absorbs the extra IO "
+            "so throughput ties, but the IO asymmetry reproduces:",
+            f"  fillseq IO P/H: paper >1x | measured "
+            f"{p['fillseq_io_mb'] / h['fillseq_io_mb']:.2f}x",
+            f"reads P/H: paper >=1x | measured {p['readrandom'] / h['readrandom']:.2f}x",
+            f"seeks P/H (compacted): paper ~0.7x | measured {p['seekrandom'] / h['seekrandom']:.2f}x",
+            f"deletes P/H: paper >1x | measured {p['deleterandom'] / h['deleterandom']:.2f}x",
+        ],
+    )
+    assert p["fillrandom"] > h["fillrandom"], "PebblesDB must win random writes"
+    assert p["fillseq_io_mb"] > 1.3 * h["fillseq_io_mb"], (
+        "FLSM must pay extra IO on sequential fill (no trivial moves)"
+    )
+    assert p["seekrandom"] < h["seekrandom"], "FLSM pays a seek penalty when compacted"

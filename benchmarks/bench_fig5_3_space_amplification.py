@@ -1,0 +1,71 @@
+"""Figure 5.3: space amplification.
+
+Paper: 50M unique inserts — PebblesDB, RocksDB, LevelDB within 2% of
+each other (~52 GB).  5M keys updated 10x each — PebblesDB 7.9 GB vs
+RocksDB 7.1 GB (slight overhead from delayed merging of shadowed
+versions).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Table
+from repro.harness import fresh_run, standard_config
+from _helpers import print_paper_comparison, run_once
+
+ENGINES = ("pebblesdb", "hyperleveldb", "leveldb", "rocksdb")
+VALUE_SIZE = 512
+
+
+def _live_bytes(run):
+    return run.env.storage.total_live_bytes(f"{run.engine}/")
+
+
+def test_space_amplification(benchmark):
+    def experiment():
+        unique = {}
+        duplicates = {}
+        logical_unique = 20000 * (16 + VALUE_SIZE)
+        logical_dup = 2000 * (16 + VALUE_SIZE)
+        for engine in ENGINES:
+            run = fresh_run(
+                engine, standard_config(num_keys=20000, value_size=VALUE_SIZE, seed=17)
+            )
+            run.bench.fill_random()
+            run.db.wait_idle()
+            unique[engine] = _live_bytes(run) / logical_unique
+
+            run = fresh_run(
+                engine, standard_config(num_keys=2000, value_size=VALUE_SIZE, seed=18)
+            )
+            run.bench.fill_random()
+            for _ in range(10):
+                run.bench.overwrite()
+            run.db.wait_idle()
+            duplicates[engine] = _live_bytes(run) / logical_dup
+        return {"unique": unique, "duplicates": duplicates}
+
+    result = run_once(benchmark, lambda: {"r": experiment()})["r"]
+    table = Table(
+        "Figure 5.3 — space amplification (live bytes / logical bytes)",
+        ["store", "unique inserts", "10x duplicate keys"],
+    )
+    for engine in ENGINES:
+        table.add_row(
+            engine, f"{result['unique'][engine]:.2f}", f"{result['duplicates'][engine]:.2f}"
+        )
+    table.print()
+
+    uniq, dup = result["unique"], result["duplicates"]
+    spread = max(uniq.values()) - min(uniq.values())
+    print_paper_comparison(
+        "Figure 5.3",
+        [
+            f"unique-insert space within a few % across stores: paper yes | "
+            f"measured spread {spread:.2f}",
+            f"duplicate-heavy P vs RocksDB: paper ~1.11x | measured "
+            f"{dup['pebblesdb'] / dup['rocksdb']:.2f}x",
+        ],
+    )
+    # No store should blow up space: paper's point is parity.
+    assert max(uniq.values()) < 2.0
+    assert dup["pebblesdb"] < 3.0 * dup["rocksdb"]

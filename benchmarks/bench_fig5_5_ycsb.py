@@ -1,0 +1,72 @@
+"""Figure 5.5: the YCSB suite (Table 5.3 workloads), four threads.
+
+Paper: PebblesDB beats RocksDB on the write-heavy phases (Load A,
+Load E, A) by 1.5-2x, is near parity on read-heavy workloads (B-D, F),
+within ~6% on the scan-heavy E, and writes ~2x less total IO than
+RocksDB over the whole suite.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Table
+from repro.harness import fresh_run, standard_config
+from repro.workloads import YCSB_WORKLOADS
+from _helpers import KV_STORES, print_paper_comparison, run_once
+
+RECORDS = 8000
+OPS = 2500
+THREADS = 4
+
+
+def _run_suite(engine):
+    cfg = standard_config(
+        num_keys=RECORDS, value_size=1024, threads=THREADS, seed=21
+    )
+    cfg.option_overrides = {
+        eng: {"level0_slowdown_trigger": 20, "level0_stop_trigger": 24}
+        for eng in KV_STORES
+    }
+    run = fresh_run(engine, cfg)
+    ycsb = run.ycsb()
+    results = {}
+    results["Load A"] = ycsb.load("Load A").kops
+    for name in ("A", "B", "C", "D", "F"):
+        results[name] = ycsb.run(YCSB_WORKLOADS[name], OPS).kops
+    # Load E then E, as Table 5.3 prescribes.
+    run_e = fresh_run(engine, cfg)
+    ycsb_e = run_e.ycsb()
+    results["Load E"] = ycsb_e.load("Load E").kops
+    results["E"] = ycsb_e.run(YCSB_WORKLOADS["E"], max(OPS // 5, 200)).kops
+    total_io = (
+        run.db.stats().device_bytes_written + run_e.db.stats().device_bytes_written
+    )
+    results["Total-IO-MB"] = total_io / 1e6
+    return results
+
+
+def test_ycsb_suite(benchmark):
+    def experiment():
+        return {"rows": {engine: _run_suite(engine) for engine in KV_STORES}}
+
+    rows = run_once(benchmark, experiment)["rows"]
+    phases = ["Load A", "A", "B", "C", "D", "F", "Load E", "E", "Total-IO-MB"]
+    table = Table("Figure 5.5 — YCSB (KOps/s; Total-IO in MB)", ["store"] + phases)
+    for engine in KV_STORES:
+        table.add_row(engine, *[f"{rows[engine][ph]:.1f}" for ph in phases])
+    table.print()
+
+    p, r = rows["pebblesdb"], rows["rocksdb"]
+    print_paper_comparison(
+        "Figure 5.5",
+        [
+            f"Load A P/RocksDB: paper ~1.5-2x | measured {p['Load A'] / r['Load A']:.2f}x",
+            f"Load E P/RocksDB: paper ~1.5-2x | measured {p['Load E'] / r['Load E']:.2f}x",
+            f"Workload C near parity: paper ~1x | measured {p['C'] / r['C']:.2f}x",
+            f"Workload E overhead small: paper ~6% | measured "
+            f"{p['E'] / max(kv['E'] for kv in rows.values()):.2f}x of best",
+            f"Total IO P/RocksDB: paper ~0.5x | measured "
+            f"{p['Total-IO-MB'] / r['Total-IO-MB']:.2f}x",
+        ],
+    )
+    assert p["Load A"] > r["Load A"], "PebblesDB must win the write-heavy load"
+    assert p["Total-IO-MB"] < r["Total-IO-MB"], "PebblesDB must write less IO"

@@ -1,0 +1,108 @@
+"""Figure 5.6: YCSB through HyperDex and MongoDB.
+
+Paper 5.6(a): HyperDex with PebblesDB beats HyperDex/HyperLevelDB on
+every workload (up to +59% on Load E) but the gain is diluted by
+HyperDex's own latency and its read-before-write behaviour.
+
+Paper 5.6(b): MongoDB on an LSM engine beats WiredTiger everywhere;
+PebblesDB matches RocksDB's throughput (MongoDB's latency dominates)
+while writing ~40% less IO.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.analysis import Table
+from repro.apps import HyperDexStore, MongoStore, YcsbAppAdapter
+from repro.engines.options import StoreOptions
+from repro.workloads import YCSB_WORKLOADS, YcsbRunner
+from _helpers import print_paper_comparison, run_once
+
+RECORDS = 4000
+OPS = 1200
+
+
+def _bench_options(preset: str) -> StoreOptions:
+    # HyperDex configures its engines with small memtables (16 MB paper
+    # scale); our presets are already scaled, use them as-is.
+    return StoreOptions.for_preset(preset)
+
+
+def _run_app(app_kind: str, engine: str):
+    env = repro.Environment(cache_bytes=RECORDS * (16 + 1024) // 3)
+    if engine in ("pebblesdb", "hyperleveldb", "rocksdb", "leveldb"):
+        kv = repro.open_store(engine, env.storage, options=_bench_options(engine))
+    else:
+        kv = repro.open_store(engine, env.storage)
+    app = HyperDexStore(kv) if app_kind == "hyperdex" else MongoStore(kv)
+    adapter = YcsbAppAdapter(app)
+    runner = YcsbRunner(adapter, env.storage, record_count=RECORDS, value_size=1024)
+    results = {"Load A": runner.load().kops}
+    for name in ("A", "B", "C", "F"):
+        results[name] = runner.run(YCSB_WORKLOADS[name], OPS).kops
+    results["E"] = runner.run(YCSB_WORKLOADS["E"], max(OPS // 6, 100)).kops
+    results["Total-IO-MB"] = kv.stats().device_bytes_written / 1e6
+    return results
+
+
+def test_hyperdex_storage_engines(benchmark):
+    def experiment():
+        return {
+            "rows": {
+                engine: _run_app("hyperdex", engine)
+                for engine in ("hyperleveldb", "pebblesdb")
+            }
+        }
+
+    rows = run_once(benchmark, experiment)["rows"]
+    phases = ["Load A", "A", "B", "C", "F", "E", "Total-IO-MB"]
+    table = Table("Figure 5.6(a) — HyperDex (KOps/s; IO in MB)", ["engine"] + phases)
+    for engine, r in rows.items():
+        table.add_row(engine, *[f"{r[ph]:.2f}" for ph in phases])
+    table.print()
+
+    p, h = rows["pebblesdb"], rows["hyperleveldb"]
+    print_paper_comparison(
+        "Figure 5.6(a)",
+        [
+            f"Load A P/H: paper ~1.15x (diluted by app) | measured "
+            f"{p['Load A'] / h['Load A']:.2f}x",
+            f"gain smaller than raw-KV 2.7x: paper yes | measured "
+            f"{p['Load A'] / h['Load A'] < 2.0}",
+            f"IO P/H: paper <1x | measured {p['Total-IO-MB'] / h['Total-IO-MB']:.2f}x",
+        ],
+    )
+    assert p["Load A"] >= 0.95 * h["Load A"]
+    assert p["Total-IO-MB"] < h["Total-IO-MB"]
+
+
+def test_mongodb_storage_engines(benchmark):
+    def experiment():
+        return {
+            "rows": {
+                engine: _run_app("mongo", engine)
+                for engine in ("wiredtiger", "rocksdb", "pebblesdb")
+            }
+        }
+
+    rows = run_once(benchmark, experiment)["rows"]
+    phases = ["Load A", "A", "B", "C", "F", "E", "Total-IO-MB"]
+    table = Table("Figure 5.6(b) — MongoDB (KOps/s; IO in MB)", ["engine"] + phases)
+    for engine, r in rows.items():
+        table.add_row(engine, *[f"{r[ph]:.2f}" for ph in phases])
+    table.print()
+
+    wt, rk, p = rows["wiredtiger"], rows["rocksdb"], rows["pebblesdb"]
+    print_paper_comparison(
+        "Figure 5.6(b)",
+        [
+            f"LSM engines beat WiredTiger on Load A: paper yes | measured "
+            f"{p['Load A'] > wt['Load A'] and rk['Load A'] > wt['Load A']}",
+            f"P ~= RocksDB throughput (app-bound): paper yes | measured "
+            f"{p['Load A'] / rk['Load A']:.2f}x",
+            f"IO P/RocksDB: paper ~0.6x | measured "
+            f"{p['Total-IO-MB'] / rk['Total-IO-MB']:.2f}x",
+        ],
+    )
+    assert p["Load A"] > wt["Load A"]
+    assert p["Total-IO-MB"] < rk["Total-IO-MB"]

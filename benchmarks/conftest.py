@@ -1,0 +1,6 @@
+"""Pytest wiring for the benchmark suite (helpers live in _helpers.py)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

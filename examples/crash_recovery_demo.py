@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Section 4.3.1: crash recovery, including guard metadata.
+
+Loads a store with synchronous WAL, pulls the (simulated) power cord,
+reopens, and verifies that every acknowledged write and every committed
+guard came back.
+
+Run with:  python examples/crash_recovery_demo.py
+"""
+
+import dataclasses
+import random
+
+import repro
+from repro.engines.options import StoreOptions
+
+
+def main() -> None:
+    env = repro.Environment()
+    options = dataclasses.replace(StoreOptions.pebblesdb(), sync_writes=True)
+    db = repro.open_store("pebblesdb", env.storage, options=options, prefix="db/")
+
+    rng = random.Random(7)
+    model = {}
+    for i in range(8000):
+        key = b"user%09d" % rng.randrange(10**8)
+        value = b"v%06d" % i
+        db.put(key, value)
+        model[key] = value
+    guards_before = db.guard_counts()
+    files_before = len(db.sstable_file_numbers())
+    print(f"loaded {len(model)} unique keys; guards per level: {guards_before}")
+
+    print("simulating power failure (unsynced data is discarded)...")
+    env.storage.crash()
+
+    db2 = repro.open_store("pebblesdb", env.storage, options=options, prefix="db/")
+    missing = sum(1 for k, v in model.items() if db2.get(k) != v)
+    print(f"recovered store: {len(model) - missing}/{len(model)} keys intact")
+    print(f"guards per level after recovery: {db2.guard_counts()}")
+    print(f"sstables before/after: {files_before}/{len(db2.sstable_file_numbers())}")
+    db2.check_invariants()
+    print("internal invariants hold after recovery")
+
+    assert missing == 0, "synchronous WAL must lose nothing"
+    assert db2.guard_counts() == guards_before
+
+    # The recovered store keeps working.
+    db2.put(b"post-crash", b"alive")
+    assert db2.get(b"post-crash") == b"alive"
+    print("post-recovery writes work; done.")
+    db2.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Figure 2.1: why classic LSM compaction rewrites the same data.
+
+Replays the paper's illustration: Level-1 sstables get rewritten every
+time a new Level-0 sstable with an overlapping range is compacted down.
+The compaction trace shows each pass's inputs, outputs, and bytes
+written; the write amplification of the leveled design falls out of the
+repeated rewrites.
+
+Run with:  python examples/lsm_compaction_trace.py
+"""
+
+import dataclasses
+import random
+
+import repro
+from repro.engines.options import StoreOptions
+
+
+def main() -> None:
+    env = repro.Environment()
+    options = dataclasses.replace(
+        StoreOptions.leveldb(),
+        memtable_bytes=4 * 1024,
+        level0_compaction_trigger=2,
+        level1_max_bytes=64 * 1024,
+    )
+    db = repro.open_store("leveldb", env.storage, options=options)
+    db.compaction_trace = []
+
+    # Keys spread over the whole range, so every Level-0 sstable overlaps
+    # every Level-1 sstable — the paper's worst case.
+    rng = random.Random(1)
+    for i in range(1500):
+        db.put(b"%08d" % rng.randrange(10**6), b"x" * 48)
+    db.wait_idle()
+
+    print("LSM compaction trace (cf. paper Figure 2.1)")
+    print("=" * 64)
+    rewritten = {}
+    for level, inputs, outputs, nbytes in db.compaction_trace:
+        print(
+            f"compact L{level}->L{level + 1}: "
+            f"{len(inputs)} inputs -> {len(outputs)} outputs, "
+            f"{nbytes / 1024:.1f} KB written"
+        )
+        for number in inputs:
+            rewritten[number] = rewritten.get(number, 0) + 1
+    print()
+    multi = sum(1 for n in rewritten.values() if n > 1)
+    stats = db.stats()
+    print(f"compaction passes         : {len(db.compaction_trace)}")
+    print(f"write amplification       : {stats.write_amplification:.2f}x")
+    print(f"user data                 : {stats.user_bytes_written / 1024:.0f} KB")
+    print(f"device writes             : {stats.device_bytes_written / 1024:.0f} KB")
+    print()
+    print(
+        "Every Level-1 file that intersected an incoming Level-0 range was\n"
+        "rewritten; FLSM avoids exactly this by appending fragments to\n"
+        "guards instead (see examples/flsm_layout.py)."
+    )
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Figure 1.1 in miniature: write IO across five storage engines.
+
+Inserts the same random workload into PebblesDB, the three LSM baselines,
+and the B+tree store, then prints total device writes and amplification.
+
+Run with:  python examples/write_amplification_demo.py
+"""
+
+from repro.analysis import Table
+from repro.harness import fresh_run, standard_config
+
+ENGINES = ["pebblesdb", "hyperleveldb", "leveldb", "rocksdb", "btree"]
+
+
+def main() -> None:
+    table = Table(
+        "Write amplification, 10K random inserts of 128 B values",
+        ["engine", "device writes (MB)", "amplification", "sim time (s)"],
+    )
+    for engine in ENGINES:
+        keys = 10000 if engine != "btree" else 2000
+        run = fresh_run(engine, standard_config(num_keys=keys, value_size=128))
+        run.bench.fill_random()
+        run.db.wait_idle()
+        stats = run.db.stats()
+        table.add_row(
+            engine,
+            f"{stats.device_bytes_written / 1e6:.1f}",
+            f"{stats.write_amplification:.2f}x",
+            f"{run.env.now:.3f}",
+        )
+        run.db.close()
+    table.print()
+    print(
+        "PebblesDB's FLSM writes each item roughly once per level;\n"
+        "leveled LSMs rewrite overlapping files, and the B+tree rewrites\n"
+        "a 4 KB page per small update (paper sections 2.2 and 3.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

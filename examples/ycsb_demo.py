@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Run the YCSB core workloads (Table 5.3) against two engines.
+
+Run with:  python examples/ycsb_demo.py
+"""
+
+from repro.analysis import Table
+from repro.harness import fresh_run, standard_config
+from repro.workloads import YCSB_WORKLOADS
+
+RECORDS = 4000
+OPS = 1000
+
+
+def main() -> None:
+    results = {}
+    for engine in ("pebblesdb", "hyperleveldb"):
+        run = fresh_run(
+            engine,
+            standard_config(num_keys=RECORDS, value_size=1024, threads=4),
+        )
+        ycsb = run.ycsb()
+        row = {"Load A": ycsb.load().kops}
+        for name in "ABCDEF":
+            row[name] = ycsb.run(YCSB_WORKLOADS[name], OPS).kops
+        row["IO MB"] = run.db.stats().device_bytes_written / 1e6
+        results[engine] = row
+        run.db.close()
+
+    phases = ["Load A", "A", "B", "C", "D", "E", "F", "IO MB"]
+    table = Table("YCSB (KOps/s, simulated)", ["engine"] + phases)
+    for engine, row in results.items():
+        table.add_row(engine, *[f"{row[ph]:.1f}" for ph in phases])
+    table.print()
+
+    for name, wl in sorted(YCSB_WORKLOADS.items()):
+        print(f"  Workload {name}: {wl.description}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""repro — PebblesDB / Fragmented Log-Structured Merge Trees, reproduced.
+
+A pure-Python, simulation-backed reproduction of *PebblesDB: Building
+Key-Value Stores using Fragmented Log-Structured Merge Trees* (SOSP 2017).
+
+Quickstart::
+
+    import repro
+
+    env = repro.Environment()                 # simulated device + clock
+    db = repro.open_store("pebblesdb", env.storage)
+    db.put(b"artist", b"pebbles")
+    assert db.get(b"artist") == b"pebbles"
+    for key, value in db.range_query(b"a", b"z"):
+        ...
+    print(db.stats().write_amplification)
+
+Engines: ``pebblesdb`` (the paper's store, over FLSM), ``leveldb`` /
+``hyperleveldb`` / ``rocksdb`` (leveled-LSM presets), ``btree``
+(KyotoCabinet-style), ``wiredtiger`` (checkpoint+journal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engines import (
+    ENGINES,
+    DBIterator,
+    KeyValueStore,
+    Snapshot,
+    StoreOptions,
+    StoreStats,
+)
+from repro.engines.registry import create_store
+from repro.sim import (
+    BackgroundExecutor,
+    CpuCosts,
+    DeviceModel,
+    PageCache,
+    SimClock,
+    SimulatedStorage,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Environment",
+    "open_store",
+    "ENGINES",
+    "KeyValueStore",
+    "DBIterator",
+    "Snapshot",
+    "StoreOptions",
+    "StoreStats",
+    "SimulatedStorage",
+    "SimClock",
+    "DeviceModel",
+    "PageCache",
+    "CpuCosts",
+    "BackgroundExecutor",
+]
+
+
+@dataclass
+class Environment:
+    """A simulated machine: clock, device, DRAM page cache.
+
+    Mirrors the paper's testbed shape (section 5.1): NVMe RAID0 and a
+    DRAM page cache sized so benchmark datasets can be ~3x memory.
+    """
+
+    device: DeviceModel = field(default_factory=DeviceModel.ssd_raid0)
+    cache_bytes: int = 64 * 1024 * 1024
+    clock: SimClock = field(default_factory=SimClock)
+
+    def __post_init__(self) -> None:
+        self.cpu = CpuCosts()
+        self.cache = PageCache(self.cache_bytes)
+        self.storage = SimulatedStorage(self.clock, self.device, self.cache, self.cpu)
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+
+def open_store(
+    engine: str = "pebblesdb",
+    storage: Optional[SimulatedStorage] = None,
+    options: Optional[StoreOptions] = None,
+    prefix: Optional[str] = None,
+    seed: int = 0,
+) -> KeyValueStore:
+    """Open (or recover) a key-value store.
+
+    ``storage`` defaults to a fresh :class:`Environment`'s storage; reuse
+    one storage across calls to host several stores on one device or to
+    reopen a store after a simulated crash.
+    """
+    if storage is None:
+        storage = Environment().storage
+    return create_store(engine, storage, options=options, prefix=prefix, seed=seed)

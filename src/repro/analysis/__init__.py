@@ -1,0 +1,21 @@
+"""Result analysis: amplification metrics and report tables."""
+
+from repro.analysis.amplification import (
+    space_amplification,
+    sstable_size_distribution,
+    write_amplification,
+)
+from repro.analysis.report import Table, fmt_bytes, fmt_ratio
+from repro.analysis.charts import grouped_bar_chart, hbar_chart, sparkline
+
+__all__ = [
+    "write_amplification",
+    "space_amplification",
+    "sstable_size_distribution",
+    "Table",
+    "fmt_bytes",
+    "fmt_ratio",
+    "hbar_chart",
+    "grouped_bar_chart",
+    "sparkline",
+]

@@ -1,0 +1,69 @@
+"""Plain-text charts for benchmark output.
+
+The paper presents most results as grouped bar charts normalized to
+HyperLevelDB; these helpers render the same shape in a terminal so the
+benchmark suite can *draw* each figure, not just tabulate it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def hbar_chart(
+    title: str,
+    values: Dict[str, float],
+    *,
+    width: int = 48,
+    unit: str = "",
+    baseline: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart; optionally annotate values relative to a
+    baseline entry (the paper's relative-to-HyperLevelDB style)."""
+    if not values:
+        return f"{title}\n(no data)"
+    label_width = max(len(k) for k in values)
+    peak = max(values.values()) or 1.0
+    base = values.get(baseline) if baseline else None
+    lines = [title, "-" * len(title)]
+    for name, value in values.items():
+        bar = "█" * max(1, int(round(width * value / peak)))
+        rel = f"  ({value / base:.2f}x)" if base else ""
+        lines.append(f"{name.ljust(label_width)} │{bar} {value:.2f}{unit}{rel}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 36,
+    unit: str = "",
+) -> str:
+    """One block per group, one bar per series (Figure 5.1/5.5 layout)."""
+    lines = [title, "=" * len(title)]
+    label_width = max(len(s) for s in series)
+    peak = max((max(v) for v in series.values()), default=1.0) or 1.0
+    for gi, group in enumerate(groups):
+        lines.append(f"\n{group}:")
+        for name, vals in series.items():
+            value = vals[gi]
+            bar = "█" * max(1, int(round(width * value / peak)))
+            lines.append(f"  {name.ljust(label_width)} │{bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend (the Figure 5.4 per-iteration series)."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[3] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / (hi - lo) * (len(blocks) - 1))
+        out.append(blocks[idx])
+    return "".join(out)

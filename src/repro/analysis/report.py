@@ -1,0 +1,57 @@
+"""Plain-text result tables, printed in the paper's row format."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count."""
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024 or unit == "TB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} TB"
+
+
+def fmt_ratio(value: float, baseline: float) -> str:
+    """'1.00x' style relative value (the paper plots bars this way)."""
+    if baseline == 0:
+        return "n/a"
+    return f"{value / baseline:.2f}x"
+
+
+class Table:
+    """A fixed-width text table builder."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self, min_width: int = 8) -> str:
+        widths = [
+            max(min_width, len(col), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else max(min_width, len(col))
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - matches file-like verb
+        print()
+        print(self.render())
+        print()

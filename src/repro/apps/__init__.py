@@ -1,0 +1,24 @@
+"""NoSQL applications layered on the key-value engines (paper section 5.4).
+
+* :mod:`repro.apps.hyperdex` — a HyperDex-style searchable document store:
+  secondary attribute indexes and the read-before-write behaviour the
+  paper identifies as the throughput limiter.
+* :mod:`repro.apps.mongo` — a MongoDB-style document store with pluggable
+  storage engines (WiredTiger-like, RocksDB preset, PebblesDB).
+* :mod:`repro.apps.adapter` — YCSB adapter so the benchmark suite can run
+  through either application.
+"""
+
+from repro.apps.docs import decode_document, encode_document
+from repro.apps.hyperdex import HyperDexStore
+from repro.apps.mongo import MongoCollection, MongoStore
+from repro.apps.adapter import YcsbAppAdapter
+
+__all__ = [
+    "encode_document",
+    "decode_document",
+    "HyperDexStore",
+    "MongoStore",
+    "MongoCollection",
+    "YcsbAppAdapter",
+]

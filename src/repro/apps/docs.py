@@ -1,0 +1,76 @@
+"""Compact document codec shared by the NoSQL application layers.
+
+Documents are flat mappings of string field names to bytes / str / int
+values — enough to model YCSB records and the stores' metadata without a
+real BSON implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from repro.errors import CorruptionError
+from repro.util.varint import decode_varint32, encode_varint32
+
+Value = Union[bytes, str, int]
+
+_T_BYTES = 0
+_T_STR = 1
+_T_INT = 2
+
+
+def encode_document(doc: Dict[str, Value]) -> bytes:
+    """Serialize a flat document deterministically (sorted field order)."""
+    out = bytearray()
+    out += encode_varint32(len(doc))
+    for name in sorted(doc):
+        raw_name = name.encode("utf-8")
+        out += encode_varint32(len(raw_name))
+        out += raw_name
+        value = doc[name]
+        if isinstance(value, bool):
+            raise TypeError("bool document values are ambiguous; use int")
+        if isinstance(value, bytes):
+            out.append(_T_BYTES)
+            out += encode_varint32(len(value))
+            out += value
+        elif isinstance(value, str):
+            raw = value.encode("utf-8")
+            out.append(_T_STR)
+            out += encode_varint32(len(raw))
+            out += raw
+        elif isinstance(value, int):
+            raw = value.to_bytes(8, "little", signed=True)
+            out.append(_T_INT)
+            out += raw
+        else:
+            raise TypeError(f"unsupported document value type: {type(value)!r}")
+    return bytes(out)
+
+
+def decode_document(data: bytes) -> Dict[str, Value]:
+    """Inverse of :func:`encode_document`."""
+    doc: Dict[str, Value] = {}
+    count, offset = decode_varint32(data, 0)
+    for _ in range(count):
+        nlen, offset = decode_varint32(data, offset)
+        name = data[offset : offset + nlen].decode("utf-8")
+        offset += nlen
+        if offset >= len(data):
+            raise CorruptionError("document truncated")
+        tag = data[offset]
+        offset += 1
+        if tag == _T_BYTES:
+            vlen, offset = decode_varint32(data, offset)
+            doc[name] = data[offset : offset + vlen]
+            offset += vlen
+        elif tag == _T_STR:
+            vlen, offset = decode_varint32(data, offset)
+            doc[name] = data[offset : offset + vlen].decode("utf-8")
+            offset += vlen
+        elif tag == _T_INT:
+            doc[name] = int.from_bytes(data[offset : offset + 8], "little", signed=True)
+            offset += 8
+        else:
+            raise CorruptionError(f"unknown document value tag: {tag}")
+    return doc

@@ -1,0 +1,5 @@
+"""Bloom filters (paper section 4.1)."""
+
+from repro.bloom.bloom import BloomFilter
+
+__all__ = ["BloomFilter"]

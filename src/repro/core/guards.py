@@ -1,0 +1,206 @@
+"""Guards: the skip-list-inspired partitioning of FLSM levels.
+
+A guard with key *K* at level *i* owns every sstable whose keys fall in
+``[K, K_next)`` where ``K_next`` is the next guard key of that level; keys
+below the first guard belong to the *sentinel* guard (paper section 3.1).
+Guards of level *i* are a subset of the guards of level *i+1* — the
+skip-list property — which follows automatically from the selection rule:
+
+    a key guards level *i* iff its MurmurHash has at least
+    ``top_level_bits - (i-1) * bit_decrement`` consecutive set
+    least-significant bits (paper section 4.4).
+
+Within a level, guard ranges are disjoint; the sstables *inside* one guard
+may overlap freely — that is what lets compaction append fragments instead
+of rewriting, and it is the invariant difference between FLSM and LSM.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.util.murmur import murmur3_32
+from repro.version.files import FileMetadata
+
+
+def trailing_set_bits(value: int) -> int:
+    """Number of consecutive set least-significant bits of ``value``."""
+    count = 0
+    while value & 1:
+        count += 1
+        value >>= 1
+    return count
+
+
+class GuardPicker:
+    """Decides, per inserted key, the shallowest level it guards (if any)."""
+
+    def __init__(self, top_level_bits: int, bit_decrement: int, num_levels: int) -> None:
+        if top_level_bits < 1 or bit_decrement < 0:
+            raise ValueError("bad guard picker parameters")
+        self.top_level_bits = top_level_bits
+        self.bit_decrement = bit_decrement
+        self.num_levels = num_levels
+
+    def required_bits(self, level: int) -> int:
+        """Set LSBs required to guard ``level`` (levels are 1-based)."""
+        return max(1, self.top_level_bits - (level - 1) * self.bit_decrement)
+
+    def guard_level(self, key: bytes) -> Optional[int]:
+        """Shallowest level ``key`` guards, or None.
+
+        By construction a guard at level *i* is a guard at every level
+        > *i*, because ``required_bits`` decreases with depth.
+        """
+        bits = trailing_set_bits(murmur3_32(key))
+        if bits >= self.required_bits(1):
+            return 1
+        # required_bits is monotonically decreasing: binary search not
+        # needed, the level count is small.
+        for level in range(2, self.num_levels):
+            if bits >= self.required_bits(level):
+                return level
+        return None
+
+
+@dataclass
+class Guard:
+    """One guard: its key and the sstables attached to it.
+
+    ``key`` is None for the sentinel guard.  ``files`` is kept in append
+    order: data only ever arrives by appending the output of a compaction
+    of a *whole* upper guard, so later files hold newer versions.
+    """
+
+    key: Optional[bytes]
+    files: List[FileMetadata] = field(default_factory=list)
+
+    @property
+    def is_sentinel(self) -> bool:
+        return self.key is None
+
+    @property
+    def num_files(self) -> int:
+        return len(self.files)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(f.file_size for f in self.files)
+
+    @property
+    def num_entries(self) -> int:
+        return sum(f.num_entries for f in self.files)
+
+    def remove_file(self, number: int) -> None:
+        self.files = [f for f in self.files if f.number != number]
+
+
+class GuardedLevel:
+    """The guards of one FLSM level, ordered by guard key."""
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+        self.sentinel = Guard(None)
+        self._keys: List[bytes] = []
+        self._guards: Dict[bytes, Guard] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def guard_keys(self) -> List[bytes]:
+        return list(self._keys)
+
+    def __len__(self) -> int:
+        """Number of non-sentinel guards."""
+        return len(self._keys)
+
+    def guards(self) -> Iterator[Guard]:
+        """All guards in key order, sentinel first."""
+        yield self.sentinel
+        for key in self._keys:
+            yield self._guards[key]
+
+    def non_empty_guards(self) -> Iterator[Guard]:
+        return (g for g in self.guards() if g.files)
+
+    # ------------------------------------------------------------------
+    def add_guard(self, key: bytes) -> bool:
+        """Commit a guard key; returns False if already present."""
+        if key in self._guards:
+            return False
+        insort(self._keys, key)
+        self._guards[key] = Guard(key)
+        return True
+
+    def has_guard(self, key: bytes) -> bool:
+        return key in self._guards
+
+    def remove_guard(self, key: bytes) -> Guard:
+        """Detach and return a guard (its files must be re-homed by the
+        caller — see guard deletion, paper section 3.3)."""
+        guard = self._guards.pop(key)
+        self._keys.remove(key)
+        return guard
+
+    # ------------------------------------------------------------------
+    def find_guard(self, user_key: bytes) -> Guard:
+        """The unique guard whose range covers ``user_key``."""
+        idx = bisect_right(self._keys, user_key)
+        if idx == 0:
+            return self.sentinel
+        return self._guards[self._keys[idx - 1]]
+
+    def guard_index(self, user_key: bytes) -> int:
+        """Index into :meth:`guards` order (0 = sentinel)."""
+        return bisect_right(self._keys, user_key)
+
+    def guards_from(self, user_key: bytes) -> Iterator[Guard]:
+        """Guards covering ``user_key`` onward, in key order."""
+        idx = bisect_right(self._keys, user_key)
+        if idx == 0:
+            yield self.sentinel
+            start = 0
+        else:
+            start = idx - 1
+        for key in self._keys[start:]:
+            yield self._guards[key]
+
+    def guard_range(self, guard: Guard) -> "tuple[Optional[bytes], Optional[bytes]]":
+        """Key range ``[lo, hi)`` owned by ``guard`` (None = open end)."""
+        if guard.is_sentinel:
+            hi = self._keys[0] if self._keys else None
+            return (None, hi)
+        idx = self._keys.index(guard.key)  # type: ignore[arg-type]
+        hi = self._keys[idx + 1] if idx + 1 < len(self._keys) else None
+        return (guard.key, hi)
+
+    # ------------------------------------------------------------------
+    def add_file(self, meta: FileMetadata) -> None:
+        """Attach a file to the guard covering its smallest key."""
+        self.find_guard(meta.smallest.user_key).files.append(meta)
+
+    def all_files(self) -> Iterator[FileMetadata]:
+        for guard in self.guards():
+            yield from guard.files
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(g.size_bytes for g in self.guards())
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        assert self._keys == sorted(self._keys), "guard keys out of order"
+        assert len(set(self._keys)) == len(self._keys), "duplicate guard keys"
+        for guard in self.guards():
+            lo, hi = self.guard_range(guard)
+            for meta in guard.files:
+                if lo is not None:
+                    assert meta.smallest.user_key >= lo, (
+                        f"file {meta.number} below guard {lo!r} at level {self.level}"
+                    )
+                if hi is not None:
+                    assert meta.largest.user_key < hi, (
+                        f"file {meta.number} beyond guard range {hi!r} "
+                        f"at level {self.level}"
+                    )

@@ -1,0 +1,1275 @@
+"""PebblesDB: a key-value store over Fragmented Log-Structured Merge trees.
+
+The FLSM rules implemented here (paper chapter 3):
+
+* Levels 1..N-1 are partitioned by **guards**; sstables inside a guard may
+  overlap, guards never do.
+* Guard keys are selected probabilistically from inserted keys by the
+  MurmurHash trailing-bits rule and collected in an in-memory
+  *uncommitted* set per level; they take effect — and are persisted — only
+  at the next compaction into that level (section 3.3).
+* Compaction of a guard merge-sorts its sstables and *partitions* the
+  stream by the next level's guards, appending one fragment per child
+  guard.  Data is rewritten only (a) in the last level, where fragments
+  must merge with a full guard, and (b) in the second-to-last level when
+  merging into the last level would cost more than
+  ``last_level_merge_io_ratio`` times the input (section 3.4).
+* An sstable that an uncommitted guard would split is not rewritten in its
+  own level: it is compacted down to the next level (section 3.3).
+* Guard deletion is asynchronous and metadata-only: the deleted guard's
+  range is absorbed by its left neighbour (section 3.3).
+
+On top of FLSM, the PebblesDB optimizations (chapter 4): per-sstable bloom
+filters, seek-based compaction after a run of consecutive seeks,
+aggressive level compaction (level *i* within 25% of the size of level
+*i+1*), and parallel seeks in the last level, each independently
+switchable for the ablation study.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import chain
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.guards import Guard, GuardedLevel, GuardPicker
+from repro.engines.base import Entry, LSMStoreBase
+from repro.engines.options import StoreOptions
+from repro.memtable.memtable import GetResult
+from repro.sim.storage import IoAccount, SimulatedStorage
+from repro.sstable import SSTableBuilder, compaction_iterator, merging_iterator
+from repro.util.keys import InternalKey, KIND_DELETE, KIND_PUT, MAX_SEQUENCE
+from repro.version import VersionEdit
+from repro.version.files import FileMetadata
+from repro.version.manifest import GUARD_KEY, GUARD_NONE, GUARD_SENTINEL
+
+
+class _SwitchAccount:
+    """An account that accumulates until attached to a real account.
+
+    Used to *measure* the positioning cost of each sstable during a
+    parallel seek: the per-table costs are collected separately, the
+    foreground is charged ``max`` of them (the tables are probed by
+    concurrent threads, paper section 4.2), and subsequent iteration
+    charges flow through to the foreground account.
+    """
+
+    __slots__ = ("name", "measured", "_target")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.measured = 0.0
+        self._target: Optional[IoAccount] = None
+
+    def charge(self, seconds: float) -> None:
+        if self._target is None:
+            self.measured += seconds
+        else:
+            self._target.charge(seconds)
+
+    def attach(self, target: IoAccount) -> None:
+        self._target = target
+
+
+class _Peekable:
+    """Iterator wrapper with one-entry lookahead (partitioning helper)."""
+
+    __slots__ = ("_it", "_head", "_has")
+
+    def __init__(self, it: Iterator[Entry]) -> None:
+        self._it = it
+        self._head: Optional[Entry] = None
+        self._has = False
+        self._advance()
+
+    def _advance(self) -> None:
+        try:
+            self._head = next(self._it)
+            self._has = True
+        except StopIteration:
+            self._head = None
+            self._has = False
+
+    @property
+    def has_next(self) -> bool:
+        return self._has
+
+    def peek(self) -> Entry:
+        assert self._head is not None
+        return self._head
+
+    def take(self) -> Entry:
+        entry = self._head
+        assert entry is not None
+        self._advance()
+        return entry
+
+    def take_until(self, hi: Optional[bytes]) -> Iterator[Entry]:
+        """Yield entries with user_key < hi (all remaining if hi is None)."""
+        while self._has and (hi is None or self._head[0].user_key < hi):  # type: ignore[index]
+            yield self.take()
+
+
+class PebblesDBStore(LSMStoreBase):
+    """The paper's key-value store, built on FLSM."""
+
+    def __init__(
+        self,
+        storage: SimulatedStorage,
+        options: Optional[StoreOptions] = None,
+        prefix: str = "db/",
+        seed: int = 0,
+    ) -> None:
+        opts = options if options is not None else StoreOptions.pebblesdb()
+        self._level0: List[FileMetadata] = []
+        self._guarded: List[Optional[GuardedLevel]] = [None]
+        for level in range(1, opts.num_levels):
+            self._guarded.append(GuardedLevel(level))
+        self._uncommitted: List[Set[bytes]] = [set() for _ in range(opts.num_levels)]
+        #: Guard keys removed from the uncommitted set at job submission
+        #: but not yet applied to the level (the job is in flight).
+        self._committing: Set[Tuple[int, bytes]] = set()
+        self._pending_guard_deletions: Set[bytes] = set()
+        self._busy: Set[int] = set()
+        self._picker = GuardPicker(
+            opts.top_level_bits, opts.bit_decrement, opts.num_levels
+        )
+        self._consecutive_seeks = 0
+        self._seek_compaction_due = False
+        self._touched_guards: List[Tuple[int, Optional[bytes]]] = []
+        self.guards_selected = 0
+        # Levels with an in-flight compaction.  Jobs reading or moving a
+        # level's guard boundaries are serialized per level: guard commits
+        # apply at job completion, so a concurrent job partitioning by the
+        # same level's boundaries could fragment across a guard key that
+        # is about to exist.  (The paper's artifact likewise runs
+        # level-granularity compaction; guard-parallel compaction is
+        # listed as future work.)
+        self._inflight_levels: Set[int] = set()
+        super().__init__(storage, opts, prefix=prefix, seed=seed)
+
+    # ==================================================================
+    # Guard selection (paper section 4.4)
+    # ==================================================================
+    def _on_insert_key(self, key: bytes) -> None:
+        self._consecutive_seeks = 0
+        self._user_acct.charge(self.cpu.charge("guard_hash", 0.3e-6))
+        level = self._picker.guard_level(key)
+        if level is None:
+            return
+        self.guards_selected += 1
+        for lvl in range(level, self.options.num_levels):
+            guarded = self._guarded[lvl]
+            assert guarded is not None
+            if not guarded.has_guard(key):
+                self._uncommitted[lvl].add(key)
+
+    # ==================================================================
+    # State installation
+    # ==================================================================
+    def _install_flush(self, metas: List[FileMetadata], edit: VersionEdit) -> None:
+        for meta in metas:
+            self._level0.insert(0, meta)
+            edit.add_file(0, meta, GUARD_NONE)
+
+    def _level0_file_count(self) -> int:
+        return len(self._level0)
+
+    def level_sizes(self) -> List[int]:
+        sizes = [sum(f.file_size for f in self._level0)]
+        for guarded in self._guarded[1:]:
+            assert guarded is not None
+            sizes.append(guarded.size_bytes)
+        return sizes
+
+    def sstable_file_numbers(self) -> List[int]:
+        numbers = [f.number for f in self._level0]
+        for guarded in self._guarded[1:]:
+            assert guarded is not None
+            numbers.extend(f.number for f in guarded.all_files())
+        return numbers
+
+    def sstable_sizes(self) -> List[int]:
+        sizes = [f.file_size for f in self._level0]
+        for guarded in self._guarded[1:]:
+            assert guarded is not None
+            sizes.extend(f.file_size for f in guarded.all_files())
+        return sizes
+
+    def files_per_level(self) -> List[int]:
+        counts = [len(self._level0)]
+        for guarded in self._guarded[1:]:
+            assert guarded is not None
+            counts.append(sum(1 for _ in guarded.all_files()))
+        return counts
+
+    def live_files(self) -> List[FileMetadata]:
+        files = list(self._level0)
+        for guarded in self._guarded[1:]:
+            assert guarded is not None
+            files.extend(guarded.all_files())
+        return files
+
+    def compact_range(self, lo: bytes, hi: bytes) -> None:
+        """Compact every guard whose data overlaps ``[lo, hi]`` downward.
+
+        The FLSM equivalent of LevelDB's CompactRange: Level 0 drains
+        first (its files may span any range), then overlapping guards are
+        compacted level by level.
+        """
+        self.flush_memtable()
+        self.executor.wait_all()
+        if any(f.overlaps(lo, hi) for f in self._level0):
+            if self._levels_free(0, 1):
+                self._submit_level0_compaction()
+                self.executor.wait_all()
+        for level in range(1, self.options.num_levels):
+            guarded = self._guarded[level]
+            assert guarded is not None
+            for guard in list(guarded.guards()):
+                if not guard.files or self._guard_busy(guard):
+                    continue
+                if not any(f.overlaps(lo, hi) for f in guard.files):
+                    continue
+                if self._levels_free(level, min(level + 1, self.options.num_levels - 1)):
+                    self._submit_guard_compaction(level, guard)
+                    self.executor.wait_all()
+            self.executor.wait_all()
+
+    def _extra_property(self, name: str) -> Optional[str]:
+        if name == "repro.guards":
+            return " ".join(str(n) for n in self.guard_counts())
+        if name == "repro.empty-guards":
+            return " ".join(str(n) for n in self.empty_guard_counts())
+        if name == "repro.uncommitted-guards":
+            return " ".join(str(len(s)) for s in self._uncommitted)
+        return None
+
+    def guard_counts(self) -> List[int]:
+        """Committed guards per level (diagnostics, Figure 3.1/5.4)."""
+        return [0] + [len(g) for g in self._guarded[1:] if g is not None]
+
+    def empty_guard_counts(self) -> List[int]:
+        counts = [0]
+        for guarded in self._guarded[1:]:
+            assert guarded is not None
+            counts.append(sum(1 for g in guarded.guards() if not g.files and not g.is_sentinel))
+        return counts
+
+    # ==================================================================
+    # Reads (paper sections 3.4 and 4.3)
+    # ==================================================================
+    def _get_from_tables(self, key: bytes, snapshot: int, account: IoAccount) -> GetResult:
+        # Level 0 first; files may overlap arbitrarily, newest sequence wins.
+        best0: Optional[GetResult] = None
+        for meta in self._level0:
+            if not meta.overlaps(key, key):
+                continue
+            reader = self._get_reader(meta.number, account)
+            if not reader.may_contain(key, account):
+                continue
+            result = reader.get(key, snapshot, account)
+            if result.found and (best0 is None or result.sequence > best0.sequence):
+                best0 = result
+        if best0 is not None:
+            return best0
+        # Guarded levels: one guard per level, every sstable in the guard.
+        for guarded in self._guarded[1:]:
+            assert guarded is not None
+            if not len(guarded) and not guarded.sentinel.files:
+                continue
+            account.charge(
+                self.cpu.charge("level_binary_search", self.cpu.level_binary_search)
+            )
+            guard = guarded.find_guard(key)
+            best: Optional[GetResult] = None
+            best_seq = -1
+            for meta in reversed(guard.files):
+                if not meta.overlaps(key, key):
+                    continue
+                reader = self._get_reader(meta.number, account)
+                if not reader.may_contain(key, account):
+                    continue
+                result = reader.get(key, snapshot, account)
+                if result.found and result.sequence > best_seq:
+                    best, best_seq = result, result.sequence
+            if best is not None:
+                return best
+        return GetResult(False, False, None)
+
+    # ------------------------------------------------------------------
+    def _table_iterators(
+        self, start: Optional[bytes], account: IoAccount
+    ) -> List[Iterator[Entry]]:
+        start_key = start if start is not None else b""
+        probe = InternalKey(start_key, MAX_SEQUENCE, KIND_PUT)
+        iters: List[Iterator[Entry]] = []
+        positioned_tables = 0
+        for meta in list(self._level0):
+            if meta.largest.user_key < start_key:
+                continue
+            iters.append(self._file_iter(meta, probe, account))
+            positioned_tables += 1
+        parallel_level = self._parallel_seek_level()
+        for level in range(1, self.options.num_levels):
+            guarded = self._guarded[level]
+            assert guarded is not None
+            if guarded.size_bytes == 0:
+                continue
+            parallel = (
+                self.options.enable_parallel_seeks and level == parallel_level
+            )
+            iters.append(self._guarded_level_iter(level, start_key, probe, account, parallel))
+            first_guard = guarded.find_guard(start_key)
+            positioned_tables += len(first_guard.files)
+            self._touched_guards.append((level, first_guard.key))
+            if len(self._touched_guards) > 128:
+                del self._touched_guards[:-64]
+        if positioned_tables:
+            account.charge(
+                self.cpu.charge(
+                    "iterator_seek",
+                    self.cpu.iterator_seek_per_table * positioned_tables,
+                )
+            )
+        return iters
+
+    def _file_iter(
+        self, meta: FileMetadata, probe: InternalKey, account: IoAccount
+    ) -> Iterator[Entry]:
+        self._ref_file(meta.number)
+        try:
+            reader = self._get_reader(meta.number, account)
+            yield from reader.seek(probe, account)
+        finally:
+            self._unref_file(meta.number)
+
+    def _guarded_level_iter(
+        self,
+        level: int,
+        start_key: bytes,
+        probe: InternalKey,
+        account: IoAccount,
+        parallel: bool,
+    ) -> Iterator[Entry]:
+        guarded = self._guarded[level]
+        assert guarded is not None
+        guard_snapshots = [list(g.files) for g in guarded.guards_from(start_key)]
+        first = True
+        for files in guard_snapshots:
+            if not files:
+                first = False
+                continue
+            for meta in files:
+                self._ref_file(meta.number)
+            try:
+                if first and parallel and len(files) > 1:
+                    file_iters = self._parallel_position(files, probe, account)
+                elif first:
+                    file_iters = [
+                        self._get_reader(f.number, account).seek(probe, account)
+                        for f in files
+                    ]
+                else:
+                    file_iters = [
+                        self._get_reader(f.number, account).iter_all(account)
+                        for f in files
+                    ]
+                yield from heapq.merge(*file_iters, key=lambda e: e[0])
+            finally:
+                for meta in files:
+                    self._unref_file(meta.number)
+            first = False
+
+    def _parallel_position(
+        self, files: Sequence[FileMetadata], probe: InternalKey, account: IoAccount
+    ) -> List[Iterator[Entry]]:
+        """Position iterators on every file of a guard "in parallel".
+
+        Each table's positioning cost is measured on a private account;
+        the foreground pays the maximum plus a per-thread dispatch cost
+        instead of the sum (paper section 4.2).
+        """
+        out: List[Iterator[Entry]] = []
+        switches: List[_SwitchAccount] = []
+        costs: List[float] = []
+        for meta in files:
+            switch = _SwitchAccount(account.name)
+            reader = self._get_reader(meta.number, account)
+            gen = reader.seek(probe, switch)  # type: ignore[arg-type]
+            head = next(gen, None)
+            costs.append(switch.measured)
+            switches.append(switch)
+            if head is not None:
+                out.append(chain([head], gen))
+        dispatch = self.cpu.parallel_seek_dispatch * len(files)
+        account.charge(max(costs) + self.cpu.charge("parallel_seek", dispatch))
+        for switch in switches:
+            switch.attach(account)
+        return out
+
+    def _table_iterators_reverse(
+        self, start: Optional[bytes], account: IoAccount
+    ) -> List[Iterator[Entry]]:
+        bound = start
+        iters: List[Iterator[Entry]] = []
+        for meta in list(self._level0):
+            if bound is not None and meta.smallest.user_key > bound:
+                continue
+            iters.append(self._file_iter_reverse(meta, bound, account))
+        for level in range(1, self.options.num_levels):
+            guarded = self._guarded[level]
+            assert guarded is not None
+            if guarded.size_bytes == 0:
+                continue
+            iters.append(self._guarded_level_iter_reverse(guarded, bound, account))
+        return iters
+
+    def _file_iter_reverse(
+        self, meta: FileMetadata, bound: Optional[bytes], account: IoAccount
+    ) -> Iterator[Entry]:
+        self._ref_file(meta.number)
+        try:
+            reader = self._get_reader(meta.number, account)
+            yield from reader.iter_reverse(account, max_user_key=bound)
+        finally:
+            self._unref_file(meta.number)
+
+    def _guarded_level_iter_reverse(
+        self, guarded: GuardedLevel, bound: Optional[bytes], account: IoAccount
+    ) -> Iterator[Entry]:
+        """Walk guards in descending key order, merging each guard's
+        (mutually overlapping) sstables backward."""
+        guards = list(guarded.guards())
+        if bound is not None:
+            idx = guarded.guard_index(bound)  # 0 = sentinel
+            guards = guards[: idx + 1]
+        for guard in reversed(guards):
+            files = list(guard.files)
+            if not files:
+                continue
+            for meta in files:
+                self._ref_file(meta.number)
+            try:
+                file_iters = [
+                    self._get_reader(f.number, account).iter_reverse(
+                        account, max_user_key=bound
+                    )
+                    for f in files
+                ]
+                yield from heapq.merge(
+                    *file_iters, key=lambda e: e[0], reverse=True
+                )
+            finally:
+                for meta in files:
+                    self._unref_file(meta.number)
+
+    def _last_populated_level(self) -> int:
+        for level in range(self.options.num_levels - 1, 0, -1):
+            guarded = self._guarded[level]
+            if guarded is not None and guarded.size_bytes > 0:
+                return level
+        return 0
+
+    def _parallel_seek_level(self) -> int:
+        """The level parallel seeks apply to (paper section 4.2).
+
+        The paper's heuristic is "the last level": it holds the most
+        data, which is cold and therefore actually pays storage IO when
+        probed.  In a partially compacted store the bulk of the data can
+        sit one level above the deepest one, so we pick the deepest level
+        holding the largest share of bytes — the same intent.
+        """
+        best_level, best_bytes = 0, 0
+        for level in range(1, self.options.num_levels):
+            guarded = self._guarded[level]
+            assert guarded is not None
+            if guarded.size_bytes >= best_bytes and guarded.size_bytes > 0:
+                best_level, best_bytes = level, guarded.size_bytes
+        return best_level
+
+    # ------------------------------------------------------------------
+    def _note_seek(self) -> None:
+        self._consecutive_seeks += 1
+        opts = self.options
+        if (
+            opts.enable_seek_based_compaction
+            and self._consecutive_seeks % opts.seek_compaction_threshold == 0
+        ):
+            self._seek_compaction_due = True
+            self._schedule_compactions()
+
+    # ==================================================================
+    # Compaction (paper sections 3.4, 4.2)
+    # ==================================================================
+    def _schedule_compactions(self) -> None:
+        for _ in range(64):
+            if not self._pick_and_submit():
+                break
+
+    def _pick_and_submit(self) -> bool:
+        opts = self.options
+        # Guard deletions are metadata-only; process them first.
+        if self._pending_guard_deletions:
+            self._apply_guard_deletions()
+        # Priority 1: Level 0 file count.
+        if (
+            len(self._level0) >= opts.level0_compaction_trigger
+            and not any(f.number in self._busy for f in self._level0)
+            and self._levels_free(0, 1)
+        ):
+            self._submit_level0_compaction()
+            return True
+        # Priority 2: over-full guards (max_sstables_per_guard, section 3.5).
+        trigger = max(2, opts.max_sstables_per_guard)
+        for level in range(1, opts.num_levels):
+            if not self._levels_free(level, min(level + 1, opts.num_levels - 1)):
+                continue
+            guarded = self._guarded[level]
+            assert guarded is not None
+            for guard in guarded.guards():
+                if guard.num_files >= trigger and not self._guard_busy(guard):
+                    self._submit_guard_compaction(level, guard)
+                    return True
+        # Priority 3: level size targets.
+        sizes = self.level_sizes()
+        for level in range(1, opts.num_levels - 1):
+            if not self._levels_free(level, level + 1):
+                continue
+            if sizes[level] >= opts.level_target_bytes(level) * opts.compaction_eagerness:
+                guard = self._largest_idle_guard(level)
+                if guard is not None:
+                    self._submit_guard_compaction(level, guard)
+                    return True
+        # Priority 4: seek-triggered work.
+        if self._seek_compaction_due:
+            self._seek_compaction_due = False
+            if self._submit_seek_compactions(sizes):
+                return True
+        return False
+
+    def _guard_busy(self, guard: Guard) -> bool:
+        return any(f.number in self._busy for f in guard.files)
+
+    def _levels_free(self, *levels: int) -> bool:
+        return not any(level in self._inflight_levels for level in levels)
+
+    def _largest_idle_guard(self, level: int) -> Optional[Guard]:
+        guarded = self._guarded[level]
+        assert guarded is not None
+        candidates = [
+            g for g in guarded.guards() if g.files and not self._guard_busy(g)
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda g: g.size_bytes)
+
+    def _submit_seek_compactions(self, sizes: List[int]) -> bool:
+        """Seek-based + aggressive compaction (paper section 4.2)."""
+        opts = self.options
+        submitted = False
+        # Merge multi-sstable guards recently touched by seeks.
+        touched, self._touched_guards = self._touched_guards, []
+        seen = set()
+        for level, key in touched:
+            if (level, key) in seen:
+                continue
+            seen.add((level, key))
+            guarded = self._guarded[level]
+            if guarded is None:
+                continue
+            guard = guarded.find_guard(key if key is not None else b"")
+            if (
+                guard.num_files > 1
+                and not self._guard_busy(guard)
+                and self._levels_free(level, min(level + 1, self.options.num_levels - 1))
+            ):
+                self._submit_guard_compaction(level, guard)
+                submitted = True
+        # Aggressive level compaction: push small levels down.
+        if opts.enable_aggressive_seek_compaction:
+            for level in range(1, opts.num_levels - 1):
+                if not sizes[level] or not sizes[level + 1]:
+                    continue
+                if sizes[level] >= opts.aggressive_compaction_ratio * sizes[level + 1]:
+                    if not self._levels_free(level, level + 1):
+                        continue
+                    guarded = self._guarded[level]
+                    assert guarded is not None
+                    for guard in list(guarded.non_empty_guards()):
+                        if not self._guard_busy(guard) and self._levels_free(level, level + 1):
+                            self._submit_guard_compaction(level, guard)
+                            submitted = True
+                    break
+        return submitted
+
+    # ------------------------------------------------------------------
+    # Level 0 -> Level 1
+    # ------------------------------------------------------------------
+    def _submit_level0_compaction(self) -> None:
+        inputs = list(self._level0)
+        for meta in inputs:
+            self._busy.add(meta.number)
+        locked = {0, 1}
+        self._inflight_levels.update(locked)
+        acct = self.storage.background_account(self.prefix + "compaction")
+        edit = VersionEdit()
+        new_keys, straddlers = self._commit_target_guards(1, None, None, edit)
+        placements, merged_away = self._compact_stream_into(
+            inputs, 1, acct, edit, extra_inputs=straddlers, new_keys=new_keys
+        )
+        self._finalize_compaction_job(
+            0, inputs + straddlers + merged_away, placements, edit, acct, new_keys, locked
+        )
+
+    # ------------------------------------------------------------------
+    # Guard at level i -> level i+1
+    # ------------------------------------------------------------------
+    def _submit_guard_compaction(self, level: int, guard: Guard) -> None:
+        opts = self.options
+        inputs = list(guard.files)
+        if not inputs:
+            return
+        for meta in inputs:
+            self._busy.add(meta.number)
+        locked = {level, min(level + 1, opts.num_levels - 1)}
+        self._inflight_levels.update(locked)
+        acct = self.storage.background_account(self.prefix + "compaction")
+        edit = VersionEdit()
+        last = opts.num_levels - 1
+
+        if level == last:
+            # Last level: rewrite the guard in place as one sstable.
+            placements = self._rewrite_guard_in_place(level, inputs, acct)
+            self._finalize_compaction_job(level, inputs, placements, edit, acct, [], locked)
+            return
+
+        target = level + 1
+        guarded = self._guarded[level]
+        assert guarded is not None
+        lo, hi = guarded.guard_range(guard)
+        new_keys, straddlers = self._commit_target_guards(target, lo, hi, edit)
+
+        if target == last:
+            # Second-to-last level heuristic (paper section 3.4): estimate
+            # the merge IO forced by full last-level guards; if it exceeds
+            # the threshold, rewrite in place instead of pushing down.
+            input_bytes = sum(f.file_size for f in inputs)
+            merge_bytes = self._estimate_last_level_merge_io(target, lo, hi, input_bytes)
+            if input_bytes and merge_bytes >= opts.last_level_merge_io_ratio * input_bytes:
+                self._rollback_guard_commit(target, new_keys, straddlers, edit)
+                placements = self._rewrite_guard_in_place(level, inputs, acct)
+                self._finalize_compaction_job(
+                    level, inputs, placements, edit, acct, [], locked
+                )
+                return
+
+        placements, merged_away = self._compact_stream_into(
+            inputs, target, acct, edit, extra_inputs=straddlers, new_keys=new_keys
+        )
+        self._finalize_compaction_job(
+            level, inputs + straddlers + merged_away, placements, edit, acct, new_keys, locked
+        )
+
+    def _rollback_guard_commit(
+        self,
+        target: int,
+        new_keys: List[bytes],
+        straddlers: List[FileMetadata],
+        edit: VersionEdit,
+    ) -> None:
+        """Undo a tentative guard commit when the heuristic rejects the job."""
+        for key in new_keys:
+            self._uncommitted[target].add(key)
+            self._committing.discard((target, key))
+        edit.new_guards = [
+            (lvl, k) for (lvl, k) in edit.new_guards if not (lvl == target and k in new_keys)
+        ]
+        for meta in straddlers:
+            self._busy.discard(meta.number)
+
+    # ------------------------------------------------------------------
+    # Compaction building blocks
+    # ------------------------------------------------------------------
+    def _commit_target_guards(
+        self,
+        target: int,
+        lo: Optional[bytes],
+        hi: Optional[bytes],
+        edit: VersionEdit,
+    ) -> Tuple[List[bytes], List[FileMetadata]]:
+        """Commit uncommitted guards of ``target`` within ``[lo, hi)``.
+
+        Returns the newly committed keys and the *straddler* sstables —
+        files an uncommitted guard would split, which the paper compacts
+        into the next level instead of rewriting in place (section 3.3).
+        """
+        keys = sorted(
+            k
+            for k in self._uncommitted[target]
+            if (lo is None or k >= lo) and (hi is None or k < hi)
+        )
+        if not keys:
+            return ([], [])
+        guarded = self._guarded[target]
+        assert guarded is not None
+        straddlers: List[FileMetadata] = []
+        for key in keys:
+            guard = guarded.find_guard(key)
+            for meta in guard.files:
+                if (
+                    meta.smallest.user_key < key <= meta.largest.user_key
+                    and meta.number not in self._busy
+                    and meta not in straddlers
+                ):
+                    straddlers.append(meta)
+        for meta in straddlers:
+            self._busy.add(meta.number)
+        for key in keys:
+            self._uncommitted[target].discard(key)
+            self._committing.add((target, key))
+            edit.new_guards.append((target, key))
+        return (keys, straddlers)
+
+    def _estimate_last_level_merge_io(
+        self, last: int, lo: Optional[bytes], hi: Optional[bytes], input_bytes: int
+    ) -> int:
+        guarded = self._guarded[last]
+        assert guarded is not None
+        opts = self.options
+        total = 0
+        for guard in guarded.guards():
+            gl, gh = guarded.guard_range(guard)
+            if lo is not None and gh is not None and gh <= lo:
+                continue
+            if hi is not None and gl is not None and gl >= hi:
+                continue
+            if guard.num_files + 1 > opts.max_sstables_per_guard:
+                total += guard.size_bytes + input_bytes
+        return total
+
+    def _compact_stream_into(
+        self,
+        inputs: List[FileMetadata],
+        target: int,
+        acct: IoAccount,
+        edit: VersionEdit,
+        extra_inputs: Optional[List[FileMetadata]] = None,
+        new_keys: Optional[List[bytes]] = None,
+    ) -> Tuple[List[Tuple[int, Optional[bytes], FileMetadata]], List[FileMetadata]]:
+        """Merge ``inputs`` and partition the stream by ``target``'s guards.
+
+        Partitioning uses the committed guards *plus* the guards this job
+        is committing (``new_keys``) — the paper's "old guards and
+        uncommitted guards" rule (section 3.3).  Returns ``(placements,
+        merged_away)``: placements are ``(level, guard_key_or_None, meta)``
+        and ``merged_away`` lists pre-existing files consumed by a forced
+        merge with a full guard.
+
+        ``extra_inputs`` (straddler sstables from the target level) are
+        merged into the same stream, so their data re-lands partitioned by
+        the new boundaries.
+        """
+        opts = self.options
+        all_inputs = list(inputs) + list(extra_inputs or [])
+        input_entries = sum(f.num_entries for f in all_inputs)
+        iters = [
+            self._get_reader(f.number, acct).iter_all(acct, cache_insert=False)
+            for f in all_inputs
+        ]
+        # Tombstones cannot be dropped for the stream as a whole: a
+        # fragment *appended* to a guard leaves that guard's existing
+        # sstables in place, and one of them may hold an older version of
+        # the deleted key.  Dropping is decided per segment below — only
+        # when the output replaces every sstable of the target guard
+        # (forced merge) or the guard is empty, with nothing below.
+        is_bottom = self._is_bottom_level(target)
+        snapshots = self._active_snapshots()
+        stream = _Peekable(
+            compaction_iterator(
+                merging_iterator(iters), drop_tombstones=False, snapshots=snapshots
+            )
+        )
+        guarded = self._guarded[target]
+        assert guarded is not None
+        committed = set(guarded.guard_keys)
+        boundaries = sorted(committed | set(new_keys or []))
+        placements: List[Tuple[int, Optional[bytes], FileMetadata]] = []
+        merged_away: List[FileMetadata] = []
+        out_entries = 0
+
+        # Segment i covers [lo_i, hi_i): lo of segment 0 is the open
+        # sentinel start; hi of the last segment is open-ended.
+        segment_lows: List[Optional[bytes]] = [None] + list(boundaries)
+        for idx, lo in enumerate(segment_lows):
+            hi = boundaries[idx] if idx < len(boundaries) else None
+            if not stream.has_next:
+                break
+            if hi is not None and stream.peek()[0].user_key >= hi:
+                continue
+            chunk = stream.take_until(hi)
+            guard = self._existing_guard_for_segment(guarded, lo, hi, committed)
+            if (
+                guard is not None
+                and guard.files
+                and guard.num_files + 1 > opts.max_sstables_per_guard
+                and not self._guard_busy(guard)
+            ):
+                # The guard cannot take another sstable: forced merge with
+                # its existing data.  With ``max_sstables_per_guard=1``
+                # every append merges, which is how FLSM degrades to LSM
+                # behaviour (section 3.5); with the default it mainly
+                # happens in the last level (section 3.4).
+                existing = list(guard.files)
+                for meta in existing:
+                    self._busy.add(meta.number)
+                ex_iters = [
+                    self._get_reader(f.number, acct).iter_all(acct, cache_insert=False)
+                    for f in existing
+                ]
+                merged = compaction_iterator(
+                    merging_iterator(ex_iters + [chunk]),
+                    drop_tombstones=is_bottom,
+                    snapshots=snapshots,
+                )
+                metas = self._emit_fragment(merged, acct)
+                merged_away.extend(existing)
+                input_entries += sum(f.num_entries for f in existing)
+            else:
+                if is_bottom and guard is not None and not guard.files:
+                    oldest_snapshot = snapshots[0] if snapshots else None
+                    chunk = (
+                        entry
+                        for entry in chunk
+                        if entry[0].kind != KIND_DELETE
+                        or (oldest_snapshot is not None
+                            and oldest_snapshot < entry[0].sequence)
+                    )
+                metas = self._emit_fragment(chunk, acct)
+            for meta in metas:
+                placements.append((target, lo, meta))
+                out_entries += meta.num_entries
+        acct.charge(
+            self.cpu.charge(
+                "compaction_merge",
+                self.cpu.merge_entry * input_entries
+                + self.cpu.bloom_build_per_key * out_entries,
+            )
+        )
+        return placements, merged_away
+
+    def _existing_guard_for_segment(
+        self,
+        guarded: GuardedLevel,
+        lo: Optional[bytes],
+        hi: Optional[bytes],
+        committed: "set[bytes]",
+    ) -> Optional[Guard]:
+        """The existing guard exactly matching segment ``[lo, hi)``.
+
+        Returns None when a new (not yet applied) guard key bounds the
+        segment — the files of the covering guard are being re-homed by
+        the same job, so a forced merge cannot safely use them.
+        """
+        if lo is not None and lo not in committed:
+            return None
+        guard = guarded.find_guard(lo) if lo is not None else guarded.sentinel
+        current_lo, current_hi = guarded.guard_range(guard)
+        if current_lo != lo or current_hi != hi:
+            return None
+        return guard
+
+    def _rewrite_guard_in_place(
+        self, level: int, inputs: List[FileMetadata], acct: IoAccount
+    ) -> List[Tuple[int, Optional[bytes], FileMetadata]]:
+        """Merge a guard's sstables into one table at the same level."""
+        iters = [
+            self._get_reader(f.number, acct).iter_all(acct, cache_insert=False)
+            for f in inputs
+        ]
+        drop = self._is_bottom_level(level)
+        merged = compaction_iterator(
+            merging_iterator(iters),
+            drop_tombstones=drop,
+            snapshots=self._active_snapshots(),
+        )
+        metas = self._emit_fragment(merged, acct)
+        entries = sum(f.num_entries for f in inputs)
+        acct.charge(
+            self.cpu.charge(
+                "compaction_merge",
+                self.cpu.merge_entry * entries
+                + self.cpu.bloom_build_per_key * sum(m.num_entries for m in metas),
+            )
+        )
+        guarded = self._guarded[level]
+        assert guarded is not None
+        placements = []
+        for meta in metas:
+            guard = guarded.find_guard(meta.smallest.user_key)
+            placements.append((level, guard.key, meta))
+        return placements
+
+    def _emit_fragment(self, entries: Iterator[Entry], acct: IoAccount) -> List[FileMetadata]:
+        """Write one guard fragment (a single sstable) from a stream."""
+        opts = self.options
+        builder = SSTableBuilder(opts.block_bytes, opts.bloom_bits_per_key)
+        for key, value in entries:
+            builder.add(key, value)
+        if builder.num_entries == 0:
+            return []
+        blob, props, _ = builder.finish()
+        number = self._alloc_file_number()
+        name = self._sst_name(number)
+        self.storage.create(name, charge_factor=opts.compression_ratio)
+        if opts.compression_ratio < 1.0:
+            acct.charge(
+                self.cpu.charge("compress", self.cpu.compress_per_kb * len(blob) / 1024)
+            )
+        self.storage.append(name, blob, acct)
+        self.storage.sync(name, acct)
+        return [
+            FileMetadata(
+                number=number,
+                smallest=props.smallest,
+                largest=props.largest,
+                file_size=props.file_size,
+                num_entries=props.num_entries,
+            )
+        ]
+
+    def _is_bottom_level(self, level: int) -> bool:
+        """No live data strictly below ``level`` (tombstones can be GC'd)."""
+        for lvl in range(level + 1, self.options.num_levels):
+            guarded = self._guarded[lvl]
+            assert guarded is not None
+            if guarded.size_bytes > 0:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _finalize_compaction_job(
+        self,
+        source_level: int,
+        consumed: List[FileMetadata],
+        placements: List[Tuple[int, Optional[bytes], FileMetadata]],
+        edit: VersionEdit,
+        acct: IoAccount,
+        new_keys: List[bytes],
+        locked_levels: Optional[Set[int]] = None,
+    ) -> None:
+        """Record the edit and submit the job for deferred application."""
+        consumed_levels = {
+            meta.number: self._level_of_file(meta.number) for meta in consumed
+        }
+        for meta in consumed:
+            level = consumed_levels[meta.number]
+            edit.delete_file(level if level is not None else source_level, meta.number)
+        for level, guard_key, meta in placements:
+            if guard_key is None:
+                edit.add_file(level, meta, GUARD_SENTINEL)
+            else:
+                edit.add_file(level, meta, GUARD_KEY, guard_key)
+        edit.next_file_number = self._next_file_number
+        bytes_written = sum(m.file_size for _, _, m in placements)
+
+        def apply() -> None:
+            for key in new_keys:
+                level = [lvl for lvl, k in edit.new_guards if k == key][0]
+                self._add_guard_live(level, key)
+                self._committing.discard((level, key))
+            for meta in consumed:
+                self._detach_file(meta)
+                self._busy.discard(meta.number)
+                self._retire_file(meta.number)
+            for level, guard_key, meta in placements:
+                guarded = self._guarded[level]
+                assert guarded is not None
+                guarded.add_file(meta)
+            manifest_acct = self.storage.background_account(self.prefix + "manifest")
+            assert self._manifest is not None
+            self._manifest.append(edit, manifest_acct)
+            if locked_levels:
+                self._inflight_levels.difference_update(locked_levels)
+            self._stats.compactions += 1
+            self._stats.compaction_bytes_written += bytes_written
+            self._schedule_compactions()
+
+        self.executor.submit("compaction", acct.seconds, apply)
+
+    def _add_guard_live(self, level: int, key: bytes) -> None:
+        guarded = self._guarded[level]
+        assert guarded is not None
+        if guarded.has_guard(key):
+            return
+        covering = guarded.find_guard(key)
+        moved = [f for f in covering.files if f.smallest.user_key >= key]
+        guarded.add_guard(key)
+        new_guard = guarded.find_guard(key)
+        for meta in moved:
+            covering.remove_file(meta.number)
+            new_guard.files.append(meta)
+
+    def _detach_file(self, meta: FileMetadata) -> None:
+        if meta in self._level0:
+            self._level0.remove(meta)
+            return
+        for guarded in self._guarded[1:]:
+            assert guarded is not None
+            for guard in guarded.guards():
+                if any(f.number == meta.number for f in guard.files):
+                    guard.remove_file(meta.number)
+                    return
+
+    def _level_of_file(self, number: int) -> Optional[int]:
+        if any(f.number == number for f in self._level0):
+            return 0
+        for level in range(1, self.options.num_levels):
+            guarded = self._guarded[level]
+            assert guarded is not None
+            if any(f.number == number for f in guarded.all_files()):
+                return level
+        return None
+
+    # ==================================================================
+    # Guard deletion (paper section 3.3)
+    # ==================================================================
+    def request_guard_deletion(self, key: bytes) -> None:
+        """Asynchronously delete guard ``key`` at every level holding it."""
+        self._pending_guard_deletions.add(key)
+
+    def _apply_guard_deletions(self) -> None:
+        keys, self._pending_guard_deletions = self._pending_guard_deletions, set()
+        edit = VersionEdit()
+        changed = False
+        for key in keys:
+            for level in range(1, self.options.num_levels):
+                guarded = self._guarded[level]
+                assert guarded is not None
+                if not guarded.has_guard(key):
+                    continue
+                guard = guarded.remove_guard(key)
+                for meta in guard.files:
+                    guarded.add_file(meta)  # absorbed by the left neighbour
+                edit.deleted_guards.append((level, key))
+                changed = True
+            self._uncommitted_discard(key)
+        if changed:
+            acct = self.storage.background_account(self.prefix + "manifest")
+            assert self._manifest is not None
+            self._manifest.append(edit, acct)
+
+    def _uncommitted_discard(self, key: bytes) -> None:
+        for pending in self._uncommitted:
+            pending.discard(key)
+
+    # ==================================================================
+    # Chapter 7 extensions: adaptive guards and empty-guard cleanup.
+    # The paper lists both as future work; they are implemented here as
+    # explicit maintenance operations.
+    # ==================================================================
+    def force_full_compaction(self) -> None:
+        """Push every byte to the deepest populated position.
+
+        The equivalent of LevelDB's ``CompactRange``: flush, drain Level
+        0, then compact every non-empty guard level by level; bottom-level
+        rewrites garbage-collect tombstones, so a fully deleted range
+        leaves only empty guards behind.
+        """
+        self.flush_memtable()
+        self.executor.wait_all()
+        if self._level0:
+            self._schedule_compactions()
+            self.executor.wait_all()
+        for level in range(1, self.options.num_levels):
+            guarded = self._guarded[level]
+            assert guarded is not None
+            for guard in list(guarded.guards()):
+                if guard.files and not self._guard_busy(guard):
+                    if self._levels_free(
+                        level, min(level + 1, self.options.num_levels - 1)
+                    ):
+                        self._submit_guard_compaction(level, guard)
+                        self.executor.wait_all()
+            self.executor.wait_all()
+
+    def rebalance_guards(self, max_guard_bytes: Optional[int] = None) -> int:
+        """Split skewed guards by inserting synthetic guard keys.
+
+        Static probabilistic selection can leave one guard holding far
+        more data than its peers (paper section 7, "Making Guards dynamic
+        and adaptive").  For every guard larger than ``max_guard_bytes``
+        (default: 4x the level's fair share), a midpoint key is selected
+        as a new uncommitted guard for that level and all deeper levels —
+        FLSM explicitly allows guard keys that were never inserted
+        (section 3.2).  Takes effect at the next compaction, like any
+        guard.  Returns the number of new guard keys selected.
+        """
+        added = 0
+        for level in range(1, self.options.num_levels):
+            guarded = self._guarded[level]
+            assert guarded is not None
+            level_bytes = guarded.size_bytes
+            if not level_bytes:
+                continue
+            if max_guard_bytes is not None:
+                threshold = max_guard_bytes
+            else:
+                # Skewed = one guard holding several compactions' worth
+                # of data, which makes its reads and seeks slow.
+                threshold = 4 * self.options.target_file_bytes
+            for guard in list(guarded.guards()):
+                if guard.size_bytes <= threshold or guard.num_files < 2:
+                    continue
+                midpoint = self._guard_midpoint(guard)
+                if midpoint is None:
+                    continue
+                for lvl in range(level, self.options.num_levels):
+                    lvl_guarded = self._guarded[lvl]
+                    assert lvl_guarded is not None
+                    if not lvl_guarded.has_guard(midpoint):
+                        self._uncommitted[lvl].add(midpoint)
+                added += 1
+        return added
+
+    def _guard_midpoint(self, guard: Guard) -> Optional[bytes]:
+        """A key splitting the guard's data roughly in half.
+
+        Uses the median data-block boundary of the guard's largest
+        sstable — its index is already resident in the table cache, so
+        this costs no data IO.
+        """
+        largest = max(guard.files, key=lambda f: f.file_size)
+        acct = self.storage.foreground_account(self.prefix + "maintenance")
+        reader = self._get_reader(largest.number, acct)
+        boundaries = reader._index_keys
+        if len(boundaries) < 2:
+            return None
+        mid = boundaries[len(boundaries) // 2].user_key
+        if mid <= largest.smallest.user_key:
+            return None
+        return mid
+
+    def collect_empty_guards(self) -> int:
+        """Request deletion of guards that are empty at every level.
+
+        Empty guards are harmless for performance (Figure 5.4) but
+        accumulate metadata under time-series workloads; this trims them
+        via the ordinary asynchronous guard-deletion path (section 3.3),
+        which is metadata-only.  Returns the number of guards scheduled.
+        """
+        all_keys: Set[bytes] = set()
+        occupied: Set[bytes] = set()
+        for level in range(1, self.options.num_levels):
+            guarded = self._guarded[level]
+            assert guarded is not None
+            all_keys.update(guarded.guard_keys)
+            occupied.update(
+                g.key for g in guarded.guards() if g.key is not None and g.files
+            )
+        doomed = all_keys - occupied
+        for key in doomed:
+            self.request_guard_deletion(key)
+        return len(doomed)
+
+    # ==================================================================
+    # Recovery plumbing
+    # ==================================================================
+    def _recover_file(
+        self, level: int, meta: FileMetadata, marker: int, guard_key: bytes
+    ) -> None:
+        if level == 0:
+            self._level0.insert(0, meta)
+            return
+        guarded = self._guarded[level]
+        assert guarded is not None
+        guarded.add_file(meta)
+
+    def _recover_drop_file(self, level: int, number: int) -> None:
+        self._level0 = [f for f in self._level0 if f.number != number]
+        for guarded in self._guarded[1:]:
+            assert guarded is not None
+            for guard in guarded.guards():
+                guard.remove_file(number)
+
+    def _recover_guard(self, level: int, key: bytes) -> None:
+        self._add_guard_live(level, key)
+        self._uncommitted[level].discard(key)
+
+    def _recover_guard_deletion(self, level: int, key: bytes) -> None:
+        guarded = self._guarded[level]
+        assert guarded is not None
+        if guarded.has_guard(key):
+            guard = guarded.remove_guard(key)
+            for meta in guard.files:
+                guarded.add_file(meta)
+
+    def _post_recover(self) -> None:
+        """Repair the skip-list property after a restart.
+
+        Uncommitted guards live only in memory (paper section 3.3), so a
+        crash can leave a guard committed at level *i* with its deeper
+        counterparts lost.  Guard keys qualify for every deeper level by
+        construction, so re-seeding them into the uncommitted sets
+        restores the invariant without any IO.
+        """
+        for level in range(1, self.options.num_levels):
+            guarded = self._guarded[level]
+            assert guarded is not None
+            for key in guarded.guard_keys:
+                for deeper in range(level + 1, self.options.num_levels):
+                    deeper_guarded = self._guarded[deeper]
+                    assert deeper_guarded is not None
+                    if not deeper_guarded.has_guard(key):
+                        self._uncommitted[deeper].add(key)
+
+    # ==================================================================
+    # Diagnostics
+    # ==================================================================
+    def layout(self) -> str:
+        """Figure 3.1 style dump of guards and sstables per level."""
+        lines = [
+            "Level 0 (no guards): "
+            + " ".join(
+                f"[{f.smallest.user_key!r}..{f.largest.user_key!r}]" for f in self._level0
+            )
+        ]
+        for level in range(1, self.options.num_levels):
+            guarded = self._guarded[level]
+            assert guarded is not None
+            if guarded.size_bytes == 0 and not len(guarded):
+                continue
+            parts = []
+            for guard in guarded.guards():
+                label = "sentinel" if guard.is_sentinel else repr(guard.key)
+                tables = " ".join(
+                    f"[{f.smallest.user_key!r}..{f.largest.user_key!r}]"
+                    for f in guard.files
+                )
+                parts.append(f"Guard {label}: {tables or '(empty)'}")
+            lines.append(f"Level {level}: " + " | ".join(parts))
+        return "\n".join(lines)
+
+    def check_invariants(self) -> None:
+        numbers = self.sstable_file_numbers()
+        assert len(numbers) == len(set(numbers)), "duplicate file numbers"
+        for level in range(1, self.options.num_levels):
+            guarded = self._guarded[level]
+            assert guarded is not None
+            guarded.check_invariants()
+            # Skip-list property: a committed guard at level i must be
+            # present (committed or pending) at every deeper level.
+            for key in guarded.guard_keys:
+                for deeper in range(level + 1, self.options.num_levels):
+                    deeper_guarded = self._guarded[deeper]
+                    assert deeper_guarded is not None
+                    assert (
+                        deeper_guarded.has_guard(key)
+                        or key in self._uncommitted[deeper]
+                        or (deeper, key) in self._committing
+                    ), f"guard {key!r} at level {level} missing from level {deeper}"
+        for number in numbers:
+            if number not in self._busy:
+                assert self.storage.exists(self._sst_name(number)), (
+                    f"live sstable missing on storage: {number}"
+                )

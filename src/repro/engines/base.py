@@ -1,0 +1,958 @@
+"""Store interface and the machinery shared by all LSM-family engines.
+
+:class:`KeyValueStore` is the public interface (paper section 2.1: put,
+get, delete, iterators, range query).  :class:`LSMStoreBase` implements
+everything LSM and FLSM engines have in common — write-ahead logging,
+memtable rotation, background flush scheduling, Level-0 write stalls, the
+table cache, recovery from MANIFEST + WAL — and leaves the shape of
+persistent state (levels of disjoint files vs. levels of guards) to
+subclasses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_left, insort
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidArgumentError, StoreClosedError
+from repro.memtable import Memtable
+from repro.sim.executor import BackgroundExecutor, Job
+from repro.sim.storage import IoAccount, SimulatedStorage
+from repro.sstable import SSTableBuilder, SSTableReader, merging_iterator
+from repro.util.keys import KIND_DELETE, KIND_PUT, InternalKey
+from repro.version import (
+    ManifestReader,
+    ManifestWriter,
+    VersionEdit,
+    read_current,
+    set_current,
+)
+from repro.version.files import FileMetadata
+from repro.wal import LogReader, LogWriter, decode_batch, encode_batch
+from repro.engines.options import StoreOptions
+
+Entry = Tuple[InternalKey, bytes]
+
+
+@dataclass
+class StoreStats:
+    """Operational counters for one store instance."""
+
+    preset: str = ""
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    seeks: int = 0
+    next_calls: int = 0
+    user_bytes_written: int = 0
+    device_bytes_written: int = 0
+    device_bytes_read: int = 0
+    stall_seconds: float = 0.0
+    flushes: int = 0
+    compactions: int = 0
+    compaction_bytes_written: int = 0
+    memory_bytes: int = 0
+    sstable_count: int = 0
+    level_sizes: List[int] = field(default_factory=list)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def write_amplification(self) -> float:
+        if self.user_bytes_written == 0:
+            return 0.0
+        return self.device_bytes_written / self.user_bytes_written
+
+
+class Snapshot:
+    """A consistent read view: all writes with sequence <= ``sequence``.
+
+    Obtained from :meth:`LSMStoreBase.get_snapshot`; release it so
+    compaction may reclaim the versions it pins.
+    """
+
+    __slots__ = ("sequence", "_released")
+
+    def __init__(self, sequence: int) -> None:
+        self.sequence = sequence
+        self._released = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Snapshot(seq={self.sequence})"
+
+
+class DBIterator:
+    """A positioned iterator over visible ``(user_key, value)`` pairs."""
+
+    def __init__(self, gen: Iterator[Tuple[bytes, bytes]], on_next=None) -> None:
+        self._gen = gen
+        self._on_next = on_next
+        self._current: Optional[Tuple[bytes, bytes]] = next(gen, None)
+
+    @property
+    def valid(self) -> bool:
+        return self._current is not None
+
+    def key(self) -> bytes:
+        if self._current is None:
+            raise InvalidArgumentError("iterator exhausted")
+        return self._current[0]
+
+    def value(self) -> bytes:
+        if self._current is None:
+            raise InvalidArgumentError("iterator exhausted")
+        return self._current[1]
+
+    def next(self) -> bool:
+        """Advance; returns True while positioned on an entry."""
+        if self._on_next is not None:
+            self._on_next()
+        self._current = next(self._gen, None)
+        return self._current is not None
+
+    def close(self) -> None:
+        self._gen.close()
+
+    def __enter__(self) -> "DBIterator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class KeyValueStore(ABC):
+    """The operations every engine provides (paper section 2.1)."""
+
+    @abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Store ``key -> value`` (overwriting any previous value)."""
+
+    @abstractmethod
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Latest value of ``key``, or None if absent/deleted."""
+
+    @abstractmethod
+    def delete(self, key: bytes) -> None:
+        """Remove ``key`` (a no-op if absent)."""
+
+    @abstractmethod
+    def seek(self, key: bytes) -> DBIterator:
+        """Iterator positioned at the smallest key >= ``key``."""
+
+    def seek_reverse(self, key: bytes) -> DBIterator:
+        """Iterator over keys <= ``key`` in descending order.
+
+        Optional: engines without backward iteration raise
+        NotImplementedError.
+        """
+        raise NotImplementedError(f"{type(self).__name__} cannot iterate backward")
+
+    @abstractmethod
+    def stats(self) -> StoreStats:
+        """Snapshot of operational counters."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Finish background work and release the store."""
+
+    # Optional lifecycle hooks (engines without background work inherit
+    # these no-ops, keeping the harness engine-agnostic) -----------------
+    def wait_idle(self) -> None:
+        """Let background work finish; no-op for synchronous engines."""
+
+    def flush_memtable(self) -> None:
+        """Force buffered writes to storage; no-op where inapplicable."""
+
+    def compact_all(self) -> None:
+        """Drive compaction to a steady state; no-op where inapplicable."""
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError on internal inconsistency."""
+
+    # Convenience built on the primitives -------------------------------
+    def write_batch(self, ops: List[Tuple[int, bytes, bytes]]) -> None:
+        """Apply ``(kind, key, value)`` ops atomically where supported."""
+        for kind, key, value in ops:
+            if kind == KIND_PUT:
+                self.put(key, value)
+            else:
+                self.delete(key)
+
+    def range_query(self, lo: bytes, hi: bytes, limit: Optional[int] = None):
+        """All pairs with lo <= key <= hi (paper section 2.1)."""
+        out = []
+        it = self.seek(lo)
+        while it.valid and it.key() <= hi:
+            out.append((it.key(), it.value()))
+            if limit is not None and len(out) >= limit:
+                break
+            it.next()
+        it.close()
+        return out
+
+
+def _validate_key(key: bytes) -> None:
+    if not isinstance(key, (bytes, bytearray)) or len(key) == 0:
+        raise InvalidArgumentError(f"keys must be non-empty bytes, got {key!r}")
+
+
+class LSMStoreBase(KeyValueStore):
+    """Common write path, stalls, table cache, and recovery."""
+
+    def __init__(
+        self,
+        storage: SimulatedStorage,
+        options: Optional[StoreOptions] = None,
+        prefix: str = "db/",
+        seed: int = 0,
+    ) -> None:
+        self.storage = storage
+        self.options = options if options is not None else StoreOptions()
+        self.prefix = prefix
+        self.seed = seed
+        self.clock = storage.clock
+        self.cpu = storage.cpu
+        self.executor = BackgroundExecutor(self.clock, self.options.background_workers)
+
+        self._user_acct = storage.foreground_account(prefix + "user")
+        self._wal_acct = storage.foreground_account(prefix + "wal")
+
+        self._mem = Memtable(seed)
+        self._imm: List[Tuple[Memtable, int]] = []
+        self._flush_job: Optional[Job] = None
+        self._last_sequence = 0
+        self._next_file_number = 1
+        self._wal_number = 0
+        self._wal: Optional[LogWriter] = None
+        self._manifest: Optional[ManifestWriter] = None
+        self._table_cache: "OrderedDict[int, SSTableReader]" = OrderedDict()
+        self._file_refs: Dict[int, int] = {}
+        self._doomed_files: set = set()
+        self._snapshots: List[int] = []
+        self._closed = False
+
+        self._stats = StoreStats(preset=self.options.preset)
+        self._open_or_recover()
+
+    # ==================================================================
+    # Subclass interface
+    # ==================================================================
+    @abstractmethod
+    def _install_flush(self, metas: List[FileMetadata], edit: VersionEdit) -> None:
+        """Add freshly flushed Level-0 files to persistent state."""
+
+    @abstractmethod
+    def _level0_file_count(self) -> int:
+        """Files currently in Level 0 (write stall input)."""
+
+    @abstractmethod
+    def _schedule_compactions(self) -> None:
+        """Inspect state and submit any needed compaction jobs."""
+
+    @abstractmethod
+    def _get_from_tables(self, key: bytes, snapshot: int, account: IoAccount):
+        """Search persistent state; returns a memtable-style GetResult."""
+
+    @abstractmethod
+    def _table_iterators(
+        self, start: Optional[bytes], account: IoAccount
+    ) -> List[Iterator[Entry]]:
+        """Positioned entry iterators over persistent state."""
+
+    @abstractmethod
+    def _recover_file(self, level: int, meta: FileMetadata, marker: int, guard_key: bytes) -> None:
+        """Re-install one file while replaying the MANIFEST."""
+
+    @abstractmethod
+    def _recover_drop_file(self, level: int, number: int) -> None:
+        """Remove one file while replaying the MANIFEST."""
+
+    def _recover_guard(self, level: int, key: bytes) -> None:
+        """Re-install a committed guard (FLSM only)."""
+
+    def _recover_guard_deletion(self, level: int, key: bytes) -> None:
+        """Apply a guard deletion (FLSM only)."""
+
+    @abstractmethod
+    def level_sizes(self) -> List[int]:
+        """Bytes per level (diagnostics and aggressive compaction)."""
+
+    @abstractmethod
+    def sstable_file_numbers(self) -> List[int]:
+        """Numbers of every live sstable."""
+
+    def live_files(self) -> List[FileMetadata]:
+        """Metadata of every live sstable (for size estimation)."""
+        raise NotImplementedError
+
+    @abstractmethod
+    def check_invariants(self) -> None:
+        """Raise AssertionError if internal invariants are violated."""
+
+    # ==================================================================
+    # Public operations
+    # ==================================================================
+    def put(self, key: bytes, value: bytes) -> None:
+        self._write([(KIND_PUT, bytes(key), bytes(value))])
+        self._stats.puts += 1
+
+    def delete(self, key: bytes) -> None:
+        self._write([(KIND_DELETE, bytes(key), b"")])
+        self._stats.deletes += 1
+
+    def write_batch(self, ops: List[Tuple[int, bytes, bytes]]) -> None:
+        self._write([(kind, bytes(k), bytes(v)) for kind, k, v in ops])
+        for kind, _, _ in ops:
+            if kind == KIND_PUT:
+                self._stats.puts += 1
+            else:
+                self._stats.deletes += 1
+
+    def get(self, key: bytes, snapshot: Optional[Snapshot] = None) -> Optional[bytes]:
+        self._check_open()
+        _validate_key(key)
+        self.executor.drain()
+        self._stats.gets += 1
+        acct = self._user_acct
+        acct.charge(self.cpu.charge("memtable_lookup", self.cpu.memtable_lookup))
+        seq = snapshot.sequence if snapshot is not None else self._last_sequence
+        result = self._mem.get(key, seq)
+        if result.found:
+            return None if result.is_deleted else result.value
+        for imm, _ in reversed(self._imm):
+            acct.charge(self.cpu.charge("memtable_lookup", self.cpu.memtable_lookup))
+            result = imm.get(key, seq)
+            if result.found:
+                return None if result.is_deleted else result.value
+        result = self._get_from_tables(key, seq, acct)
+        if result.found and not result.is_deleted:
+            return result.value
+        return None
+
+    def seek(self, key: bytes, snapshot: Optional[Snapshot] = None) -> DBIterator:
+        self._check_open()
+        _validate_key(key)
+        self.executor.drain()
+        self._stats.seeks += 1
+        self._note_seek()
+        gen = self._visible_entries(key, snapshot)
+
+        def on_next() -> None:
+            self._stats.next_calls += 1
+
+        return DBIterator(gen, on_next=on_next)
+
+    def scan(
+        self, start: Optional[bytes] = None, snapshot: Optional[Snapshot] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Generator over all visible pairs from ``start`` onward."""
+        self._check_open()
+        self.executor.drain()
+        return self._visible_entries(start if start is not None else b"", snapshot)
+
+    def seek_reverse(self, key: bytes, snapshot: Optional[Snapshot] = None) -> DBIterator:
+        """Iterator over keys <= ``key``, walking backward."""
+        self._check_open()
+        _validate_key(key)
+        self.executor.drain()
+        self._stats.seeks += 1
+        gen = self._visible_entries_reverse(key, snapshot)
+
+        def on_next() -> None:
+            self._stats.next_calls += 1
+
+        return DBIterator(gen, on_next=on_next)
+
+    def scan_reverse(
+        self, start: Optional[bytes] = None, snapshot: Optional[Snapshot] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """All visible pairs with key <= ``start``, descending."""
+        self._check_open()
+        self.executor.drain()
+        return self._visible_entries_reverse(start, snapshot)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def get_snapshot(self) -> Snapshot:
+        """Pin the current state; reads through it never see later writes."""
+        self._check_open()
+        snap = Snapshot(self._last_sequence)
+        insort(self._snapshots, snap.sequence)
+        return snap
+
+    def release_snapshot(self, snapshot: Snapshot) -> None:
+        """Unpin; versions kept only for this snapshot become collectable."""
+        if snapshot._released:
+            return
+        snapshot._released = True
+        idx = bisect_left(self._snapshots, snapshot.sequence)
+        if idx < len(self._snapshots) and self._snapshots[idx] == snapshot.sequence:
+            del self._snapshots[idx]
+
+    def _active_snapshots(self) -> Tuple[int, ...]:
+        return tuple(self._snapshots)
+
+    # ------------------------------------------------------------------
+    def flush_memtable(self) -> None:
+        """Force the active memtable to Level 0 and wait for it."""
+        self._check_open()
+        if len(self._mem):
+            self._rotate_memtable()
+        while self._imm:
+            self._maybe_schedule_flush()
+            if self._flush_job is not None:
+                self.executor.wait_for(self._flush_job)
+        self.executor.drain()
+
+    def compact_all(self) -> None:
+        """Drive compaction until the store reaches a steady state."""
+        self._check_open()
+        self.flush_memtable()
+        self.executor.wait_all()
+        for _ in range(200):
+            before = self.executor.jobs_run
+            self._schedule_compactions()
+            if self.executor.jobs_run == before:
+                break
+            self.executor.wait_all()
+
+    def wait_idle(self) -> None:
+        """Let all scheduled background work finish (advances the clock)."""
+        self.executor.wait_all()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.executor.wait_all()
+        if self._wal is not None:
+            self._wal.sync(self._wal_acct)
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    def stats(self) -> StoreStats:
+        s = self._stats
+        written = self.storage.stats.written_by_account
+        read = self.storage.stats.read_by_account
+        s.device_bytes_written = sum(
+            v for name, v in written.items() if name.startswith(self.prefix)
+        )
+        s.device_bytes_read = sum(
+            v for name, v in read.items() if name.startswith(self.prefix)
+        )
+        s.memory_bytes = self.memory_bytes()
+        s.sstable_count = len(self.sstable_file_numbers())
+        s.level_sizes = self.level_sizes()
+        return s
+
+    def memory_bytes(self) -> int:
+        """Resident memory: memtables plus cached table indexes/filters."""
+        mem = self._mem.approximate_bytes
+        mem += sum(imm.approximate_bytes for imm, _ in self._imm)
+        mem += sum(r.memory_bytes for r in self._table_cache.values())
+        return mem
+
+    @property
+    def last_sequence(self) -> int:
+        return self._last_sequence
+
+    def approximate_size(self, lo: bytes, hi: bytes) -> int:
+        """Estimated on-storage bytes of keys in ``[lo, hi]``.
+
+        LevelDB's ``GetApproximateSizes``: derived from file metadata
+        only — full size for files contained in the range, half for files
+        straddling a boundary — so it costs no IO.
+        """
+        if hi < lo:
+            raise InvalidArgumentError("approximate_size: hi < lo")
+        total = 0
+        for meta in self.live_files():
+            if not meta.overlaps(lo, hi):
+                continue
+            contained = meta.smallest.user_key >= lo and meta.largest.user_key <= hi
+            total += meta.file_size if contained else meta.file_size // 2
+        return total
+
+    # ------------------------------------------------------------------
+    # Introspection (LevelDB's GetProperty)
+    # ------------------------------------------------------------------
+    def get_property(self, name: str) -> Optional[str]:
+        """Textual store properties, LevelDB-style.
+
+        Supported names: ``repro.stats``, ``repro.levels``,
+        ``repro.sstables``, ``repro.approximate-memory-usage``,
+        ``repro.num-files-at-level<N>``, plus engine extras (PebblesDB
+        adds ``repro.guards``, ``repro.empty-guards``,
+        ``repro.uncommitted-guards``).  Returns None for unknown names.
+        """
+        if name == "repro.stats":
+            s = self.stats()
+            return (
+                f"puts={s.puts} gets={s.gets} deletes={s.deletes} seeks={s.seeks}\n"
+                f"user-bytes={s.user_bytes_written} "
+                f"device-write-bytes={s.device_bytes_written} "
+                f"device-read-bytes={s.device_bytes_read}\n"
+                f"write-amplification={s.write_amplification:.3f} "
+                f"stall-seconds={s.stall_seconds:.6f}\n"
+                f"flushes={s.flushes} compactions={s.compactions} "
+                f"sstables={s.sstable_count}"
+            )
+        if name == "repro.levels":
+            return " ".join(str(n) for n in self.level_sizes())
+        if name == "repro.sstables":
+            layout = getattr(self, "layout", None)
+            return layout() if layout else None
+        if name == "repro.approximate-memory-usage":
+            return str(self.memory_bytes())
+        if name.startswith("repro.num-files-at-level"):
+            try:
+                level = int(name[len("repro.num-files-at-level"):])
+            except ValueError:
+                return None
+            counts = self.files_per_level()
+            if 0 <= level < len(counts):
+                return str(counts[level])
+            return None
+        return self._extra_property(name)
+
+    def _extra_property(self, name: str) -> Optional[str]:
+        """Hook for engine-specific properties."""
+        return None
+
+    def files_per_level(self) -> List[int]:
+        """Live sstable count per level (default: derived from sizes)."""
+        raise NotImplementedError
+
+    # ==================================================================
+    # Write path
+    # ==================================================================
+    def _write(self, ops: List[Tuple[int, bytes, bytes]]) -> None:
+        self._check_open()
+        if not ops:
+            return
+        for _, key, _ in ops:
+            _validate_key(key)
+        self.executor.drain()
+        self._make_room()
+        seq = self._last_sequence + 1
+        opts = self.options
+        if opts.wal_enabled:
+            payload = encode_batch(seq, ops)
+            assert self._wal is not None
+            self._wal.append(payload, self._wal_acct, sync=opts.sync_writes)
+            self._wal_acct.charge(
+                self.cpu.charge("wal_record", self.cpu.wal_record * len(ops))
+            )
+        for i, (kind, key, value) in enumerate(ops):
+            self._mem.add(seq + i, kind, key, value)
+            self._user_acct.charge(
+                self.cpu.charge("memtable_insert", self.cpu.memtable_insert)
+            )
+            self._stats.user_bytes_written += len(key) + len(value)
+            self._on_insert_key(key)
+        self._last_sequence = seq + len(ops) - 1
+        if self._mem.approximate_bytes >= opts.memtable_bytes:
+            self._rotate_memtable()
+
+    def _make_room(self) -> None:
+        opts = self.options
+        # Backpressure from unflushed immutable memtables.
+        while len(self._imm) > opts.max_immutable_memtables:
+            self._maybe_schedule_flush()
+            if self._flush_job is None:
+                break
+            self._stall_until(self._flush_job)
+        # Level-0 file count: slow down, then stop.
+        l0 = self._level0_file_count()
+        if l0 >= opts.level0_stop_trigger:
+            self._schedule_compactions()
+            guard = 0
+            while (
+                self._level0_file_count() >= opts.level0_stop_trigger
+                and self.executor.pending_count
+                and guard < 10000
+            ):
+                self._stall_until(self._next_pending_job())
+                self._schedule_compactions()
+                guard += 1
+        elif l0 >= opts.level0_slowdown_trigger:
+            self.clock.advance(opts.slowdown_delay)
+            self._stats.stall_seconds += opts.slowdown_delay
+
+    def _stall_until(self, job: Optional[Job]) -> None:
+        if job is None:
+            return
+        before = self.clock.now
+        self.executor.wait_for(job)
+        self._stats.stall_seconds += self.clock.now - before
+
+    def _next_pending_job(self) -> Optional[Job]:
+        return self.executor.peek_next()
+
+    def _rotate_memtable(self) -> None:
+        self._imm.append((self._mem, self._wal_number))
+        self._mem = Memtable(self.seed + len(self._imm) + self._next_file_number)
+        self._wal_number = self._alloc_file_number()
+        if self.options.wal_enabled:
+            self._wal = LogWriter(self.storage, self._wal_name(self._wal_number))
+        self._maybe_schedule_flush()
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+    def _maybe_schedule_flush(self) -> None:
+        """Compute a flush of the oldest immutable memtable and submit it.
+
+        The sstable is *written* now (so the job's cost is exact) but only
+        becomes part of the version — and the memtable only goes away —
+        when the job's completion time passes, mirroring a real background
+        flush thread.
+        """
+        if self._flush_job is not None or not self._imm:
+            return
+        imm, imm_wal = self._imm[0]
+        acct = self.storage.background_account(self.prefix + "flush")
+        metas = self._write_sstables(iter(imm), acct, split_bytes=None)
+        edit = VersionEdit(
+            last_sequence=imm.max_sequence,
+            next_file_number=self._next_file_number,
+        )
+        edit.log_number = self._imm[1][1] if len(self._imm) > 1 else self._wal_number
+        cpu_cost = self.cpu.charge(
+            "flush_build",
+            (self.cpu.merge_entry + self.cpu.bloom_build_per_key) * len(imm),
+        )
+        acct.charge(cpu_cost)
+
+        def apply() -> None:
+            self._install_flush(metas, edit)
+            assert self._manifest is not None
+            manifest_acct = self.storage.background_account(self.prefix + "manifest")
+            self._manifest.append(edit, manifest_acct)
+            self._imm.pop(0)
+            self._flush_job = None
+            if self.options.wal_enabled and self.storage.exists(self._wal_name(imm_wal)):
+                self.storage.delete(self._wal_name(imm_wal))
+            self._stats.flushes += 1
+            self._maybe_schedule_flush()
+            self._schedule_compactions()
+
+        self._flush_job = self.executor.submit("flush", acct.seconds, apply)
+
+    # ------------------------------------------------------------------
+    # Shared sstable writing
+    # ------------------------------------------------------------------
+    def _write_sstables(
+        self,
+        entries: Iterator[Entry],
+        account: IoAccount,
+        split_bytes: Optional[int],
+    ) -> List[FileMetadata]:
+        """Write one or more sstables from an ordered entry stream.
+
+        ``split_bytes`` caps each output file (None = single file).
+        """
+        metas: List[FileMetadata] = []
+        builder: Optional[SSTableBuilder] = None
+        number = 0
+        opts = self.options
+
+        def finish_current() -> None:
+            nonlocal builder, number
+            if builder is None or builder.num_entries == 0:
+                builder = None
+                return
+            blob, props, _ = builder.finish()
+            name = self._sst_name(number)
+            self.storage.create(name, charge_factor=opts.compression_ratio)
+            if opts.compression_ratio < 1.0:
+                account.charge(
+                    self.cpu.charge(
+                        "compress", self.cpu.compress_per_kb * len(blob) / 1024
+                    )
+                )
+            self.storage.append(name, blob, account)
+            self.storage.sync(name, account)
+            metas.append(
+                FileMetadata(
+                    number=number,
+                    smallest=props.smallest,
+                    largest=props.largest,
+                    file_size=props.file_size,
+                    num_entries=props.num_entries,
+                )
+            )
+            builder = None
+
+        pending_split = False
+        prev_user_key: Optional[bytes] = None
+        for key, value in entries:
+            # Never split between versions of one user key: two files at
+            # the same level sharing a user key would break the disjoint
+            # level invariant (matters when snapshots preserve versions).
+            if pending_split and key.user_key != prev_user_key:
+                finish_current()
+                pending_split = False
+            if builder is None:
+                number = self._alloc_file_number()
+                builder = SSTableBuilder(opts.block_bytes, opts.bloom_bits_per_key)
+            builder.add(key, value)
+            prev_user_key = key.user_key
+            if split_bytes is not None and builder.estimated_size >= split_bytes:
+                pending_split = True
+        finish_current()
+        return metas
+
+    # ------------------------------------------------------------------
+    # Table cache and file lifecycle
+    # ------------------------------------------------------------------
+    def _get_reader(self, number: int, account: IoAccount) -> SSTableReader:
+        cache = self._table_cache
+        reader = cache.get(number)
+        if reader is not None:
+            cache.move_to_end(number)
+            return reader
+        reader = SSTableReader.open(
+            self.storage,
+            self._sst_name(number),
+            account,
+            load_bloom=self.options.enable_sstable_bloom,
+        )
+        cache[number] = reader
+        while len(cache) > self.options.table_cache_size:
+            cache.popitem(last=False)
+        return reader
+
+    def _ref_file(self, number: int) -> None:
+        self._file_refs[number] = self._file_refs.get(number, 0) + 1
+
+    def _unref_file(self, number: int) -> None:
+        refs = self._file_refs.get(number, 0) - 1
+        if refs <= 0:
+            self._file_refs.pop(number, None)
+            if number in self._doomed_files:
+                self._doomed_files.discard(number)
+                self._drop_table_file(number)
+        else:
+            self._file_refs[number] = refs
+
+    def _retire_file(self, number: int) -> None:
+        """Delete a file once no iterator holds a reference to it."""
+        if self._file_refs.get(number, 0) > 0:
+            self._doomed_files.add(number)
+        else:
+            self._drop_table_file(number)
+
+    def _drop_table_file(self, number: int) -> None:
+        self._table_cache.pop(number, None)
+        name = self._sst_name(number)
+        if self.storage.exists(name):
+            self.storage.delete(name)
+
+    # ------------------------------------------------------------------
+    # Read helpers
+    # ------------------------------------------------------------------
+    def _visible_entries(
+        self, start: bytes, snap: Optional[Snapshot] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Newest visible version of each user key from ``start`` onward."""
+        acct = self._user_acct
+        snapshot = snap.sequence if snap is not None else self._last_sequence
+        iters: List[Iterator[Entry]] = [self._mem.seek(start)]
+        iters.extend(imm.seek(start) for imm, _ in self._imm)
+        iters.extend(self._table_iterators(start, acct))
+        merged = merging_iterator(iters, cpu=self.cpu, account=acct)
+        prev: Optional[bytes] = None
+        for key, value in merged:
+            if key.sequence > snapshot:
+                continue
+            if key.user_key == prev:
+                continue
+            prev = key.user_key
+            if key.kind == KIND_DELETE:
+                continue
+            yield key.user_key, value
+
+    def _visible_entries_reverse(
+        self, start: Optional[bytes], snap: Optional[Snapshot] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Newest visible version per user key, user keys descending.
+
+        The merged stream is in *descending internal-key order*, so for
+        one user key the versions arrive oldest first; the newest visible
+        one is decided when the user key changes.
+        """
+        import heapq as _heapq
+
+        acct = self._user_acct
+        snapshot = snap.sequence if snap is not None else self._last_sequence
+        iters: List[Iterator[Entry]] = [self._mem.reverse_iter(start)]
+        iters.extend(imm.reverse_iter(start) for imm, _ in self._imm)
+        iters.extend(self._table_iterators_reverse(start, acct))
+        merged = _heapq.merge(*iters, key=lambda e: e[0], reverse=True)
+        current_key: Optional[bytes] = None
+        candidate: Optional[Entry] = None
+
+        def emit(entry: Optional[Entry]):
+            if entry is not None and entry[0].kind != KIND_DELETE:
+                return entry[0].user_key, entry[1]
+            return None
+
+        for key, value in merged:
+            acct.charge(self.cpu.charge("iterator_step", self.cpu.iterator_step))
+            if key.sequence > snapshot:
+                continue
+            if key.user_key != current_key:
+                out = emit(candidate)
+                if out is not None:
+                    yield out
+                current_key = key.user_key
+                candidate = (key, value)
+            else:
+                # Ascending sequence within the key: later entry is newer.
+                candidate = (key, value)
+        out = emit(candidate)
+        if out is not None:
+            yield out
+
+    def _table_iterators_reverse(
+        self, start: Optional[bytes], account: IoAccount
+    ) -> List[Iterator[Entry]]:
+        """Descending-order entry iterators over persistent state."""
+        raise NotImplementedError(f"{type(self).__name__} cannot iterate backward")
+
+    def _note_seek(self) -> None:
+        """Hook for seek-triggered compaction policies."""
+
+    def _on_insert_key(self, key: bytes) -> None:
+        """Hook invoked for every inserted key (FLSM guard selection)."""
+
+    # ==================================================================
+    # Recovery
+    # ==================================================================
+    def _open_or_recover(self) -> None:
+        acct = self.storage.foreground_account(self.prefix + "recover")
+        current = read_current(self.storage, acct, self.prefix)
+        if current is None:
+            self._create_fresh(acct)
+        else:
+            self._recover(current, acct)
+        self._post_recover()
+
+    def _post_recover(self) -> None:
+        """Hook run after recovery (FLSM re-seeds uncommitted guards)."""
+
+    def _create_fresh(self, acct: IoAccount) -> None:
+        manifest_name = f"{self.prefix}MANIFEST-{1:06d}"
+        self._next_file_number = 2
+        self._wal_number = self._alloc_file_number()
+        self._manifest = ManifestWriter(self.storage, manifest_name)
+        edit = VersionEdit(
+            last_sequence=0,
+            next_file_number=self._next_file_number,
+            log_number=self._wal_number,
+        )
+        self._manifest.append(edit, acct)
+        set_current(self.storage, manifest_name, acct, self.prefix)
+        if self.options.wal_enabled:
+            self._wal = LogWriter(self.storage, self._wal_name(self._wal_number))
+
+    def _recover(self, manifest_name: str, acct: IoAccount) -> None:
+        log_number = 0
+        for edit in ManifestReader(self.storage, manifest_name).edits(acct):
+            if edit.last_sequence is not None:
+                self._last_sequence = max(self._last_sequence, edit.last_sequence)
+            if edit.next_file_number is not None:
+                self._next_file_number = max(self._next_file_number, edit.next_file_number)
+            if edit.log_number is not None:
+                log_number = max(log_number, edit.log_number)
+            for level, key in edit.new_guards:
+                self._recover_guard(level, key)
+            for level, key in edit.deleted_guards:
+                self._recover_guard_deletion(level, key)
+            for level, meta, marker, guard_key in edit.new_files:
+                self._recover_file(level, meta, marker, guard_key)
+            for level, number in edit.deleted_files:
+                self._recover_drop_file(level, number)
+        self._manifest = ManifestWriter(self.storage, manifest_name)
+        # Files written by in-flight background jobs that never committed
+        # are orphans; their numbers may exceed the persisted counter
+        # (edits carry next_file_number only when the job commits).
+        self._remove_orphans()
+        for name in self.storage.list_files(self.prefix):
+            if name.endswith((".sst", ".log")):
+                number = int(name[len(self.prefix) : -4])
+                self._next_file_number = max(self._next_file_number, number + 1)
+        self._replay_wals(log_number, acct)
+        self._wal_number = self._alloc_file_number()
+        if self.options.wal_enabled:
+            self._wal = LogWriter(self.storage, self._wal_name(self._wal_number))
+        edit = VersionEdit(
+            last_sequence=self._last_sequence,
+            next_file_number=self._next_file_number,
+            log_number=self._wal_number,
+        )
+        self._manifest.append(edit, acct)
+        self._remove_orphans()
+
+    def _replay_wals(self, log_number: int, acct: IoAccount) -> None:
+        """Replay live WALs into the memtable and flush them to Level 0."""
+        wal_names = []
+        for name in self.storage.list_files(self.prefix):
+            if name.endswith(".log"):
+                number = int(name[len(self.prefix) : -4])
+                if number >= log_number:
+                    wal_names.append((number, name))
+        wal_names.sort()
+        recovered = 0
+        for _, name in wal_names:
+            for record in LogReader(self.storage, name).records(acct):
+                seq, ops = decode_batch(record)
+                for i, (kind, key, value) in enumerate(ops):
+                    op_seq = seq + i
+                    if op_seq <= self._last_sequence:
+                        continue  # already durable in an sstable
+                    self._mem.add(op_seq, kind, key, value)
+                    recovered += 1
+                self._last_sequence = max(self._last_sequence, seq + len(ops) - 1)
+        if recovered:
+            metas = self._write_sstables(iter(self._mem), acct, split_bytes=None)
+            edit = VersionEdit(
+                last_sequence=self._last_sequence,
+                next_file_number=self._next_file_number,
+            )
+            self._install_flush(metas, edit)
+            assert self._manifest is not None
+            self._manifest.append(edit, acct)
+            self._mem = Memtable(self.seed)
+        for _, name in wal_names:
+            self.storage.delete(name)
+
+    def _remove_orphans(self) -> None:
+        """Delete sstables not referenced by the recovered version."""
+        live = set(self.sstable_file_numbers())
+        for name in self.storage.list_files(self.prefix):
+            if name.endswith(".sst"):
+                number = int(name[len(self.prefix) : -4])
+                if number not in live:
+                    self.storage.delete(name)
+
+    # ==================================================================
+    # Naming and bookkeeping
+    # ==================================================================
+    def _alloc_file_number(self) -> int:
+        number = self._next_file_number
+        self._next_file_number += 1
+        return number
+
+    def _sst_name(self, number: int) -> str:
+        return f"{self.prefix}{number:06d}.sst"
+
+    def _wal_name(self, number: int) -> str:
+        return f"{self.prefix}{number:06d}.log"
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("store is closed")

@@ -1,0 +1,6 @@
+"""Page-based B+tree store (the KyotoCabinet-style baseline of section 2.2)."""
+
+from repro.engines.btree.bptree import BPlusTree
+from repro.engines.btree.store import BPlusTreeStore
+
+__all__ = ["BPlusTree", "BPlusTreeStore"]

@@ -1,0 +1,5 @@
+"""Leveled log-structured merge tree engine (the paper's baselines)."""
+
+from repro.engines.lsm.store import LeveledLSMStore
+
+__all__ = ["LeveledLSMStore"]

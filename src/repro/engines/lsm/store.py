@@ -1,0 +1,580 @@
+"""Classic leveled LSM store (LevelDB-family baseline).
+
+Invariant (paper section 2.2): every level except Level 0 holds sstables
+with pairwise-disjoint key ranges, so a lookup reads at most one file per
+level.  The price is the write amplification the paper attacks: compacting
+a file into level *i+1* rewrites every overlapping file there.
+
+Presets (see :mod:`repro.engines.options`) differentiate LevelDB,
+HyperLevelDB, and RocksDB by memtable size, Level-0 limits, worker count,
+and how many files one compaction pass takes.  LevelDB's trivial-move
+optimization is implemented: a file that overlaps nothing in the next
+level moves by metadata edit alone, which is why sequential insertion is
+nearly free for LSM but not for FLSM (paper section 4.5).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.engines.base import Entry, LSMStoreBase
+from repro.memtable.memtable import GetResult
+from repro.sim.storage import IoAccount
+from repro.sstable import compaction_iterator, merging_iterator
+from repro.util.keys import InternalKey, KIND_PUT, MAX_SEQUENCE
+from repro.version import VersionEdit
+from repro.version.files import FileMetadata
+from repro.version.manifest import GUARD_NONE
+
+
+class LeveledLSMStore(LSMStoreBase):
+    """Leveled-compaction LSM engine."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        self._levels: List[List[FileMetadata]] = []
+        self._busy: Set[int] = set()
+        self._compact_pointer: Dict[int, bytes] = {}
+        self._seek_overflow: List[Tuple[int, FileMetadata]] = []
+        #: Optional compaction trace for the Figure 2.1 illustration:
+        #: (from_level, input_numbers, output_numbers, bytes_written).
+        self.compaction_trace: Optional[List[Tuple[int, List[int], List[int], int]]] = None
+        super().__init__(*args, **kwargs)
+        while len(self._levels) < self.options.num_levels:
+            self._levels.append([])
+
+    # ==================================================================
+    # State installation
+    # ==================================================================
+    def _install_flush(self, metas: List[FileMetadata], edit: VersionEdit) -> None:
+        while not self._levels:  # recovery may flush before levels exist
+            self._levels.append([])
+        for meta in metas:
+            self._levels[0].insert(0, meta)
+            edit.add_file(0, meta, GUARD_NONE)
+
+    def _level0_file_count(self) -> int:
+        return len(self._levels[0]) if self._levels else 0
+
+    def level_sizes(self) -> List[int]:
+        return [sum(f.file_size for f in level) for level in self._levels]
+
+    def sstable_file_numbers(self) -> List[int]:
+        return [f.number for level in self._levels for f in level]
+
+    def sstable_sizes(self) -> List[int]:
+        """Sizes of all live sstables (Table 5.1 input)."""
+        return [f.file_size for level in self._levels for f in level]
+
+    def files_per_level(self) -> List[int]:
+        return [len(level) for level in self._levels]
+
+    def live_files(self) -> List[FileMetadata]:
+        return [f for level in self._levels for f in level]
+
+    def compact_range(self, lo: bytes, hi: bytes) -> None:
+        """Compact all data overlapping ``[lo, hi]`` to the deepest level
+        holding it (LevelDB's CompactRange restricted to a key range)."""
+        self.flush_memtable()
+        self.executor.wait_all()
+        for level in range(0, len(self._levels) - 1):
+            while True:
+                inputs = [
+                    f
+                    for f in self._levels[level]
+                    if f.overlaps(lo, hi) and f.number not in self._busy
+                ]
+                if not inputs:
+                    break
+                next_inputs = self._overlapping(level + 1, inputs)
+                if any(f.number in self._busy for f in next_inputs):
+                    break
+                self._submit_compaction(level, inputs, next_inputs)
+                self.executor.wait_all()
+
+    # ==================================================================
+    # Reads
+    # ==================================================================
+    def _get_from_tables(self, key: bytes, snapshot: int, account: IoAccount) -> GetResult:
+        # Level 0: files may overlap arbitrarily (e.g. after RepairDB
+        # placed everything there), so the newest matching version across
+        # all candidates wins, decided by sequence number.
+        best: Optional[GetResult] = None
+        for meta in self._levels[0]:
+            if not meta.overlaps(key, key):
+                continue
+            reader = self._get_reader(meta.number, account)
+            if not reader.may_contain(key, account):
+                continue
+            result = reader.get(key, snapshot, account)
+            if result.found and (best is None or result.sequence > best.sequence):
+                best = result
+        if best is not None:
+            return best
+        # Deeper levels: at most one candidate file each.
+        for level in range(1, len(self._levels)):
+            files = self._levels[level]
+            if not files:
+                continue
+            account.charge(
+                self.cpu.charge("level_binary_search", self.cpu.level_binary_search)
+            )
+            meta = self._find_file(files, key)
+            if meta is None:
+                continue
+            reader = self._get_reader(meta.number, account)
+            if not reader.may_contain(key, account):
+                continue
+            result = reader.get(key, snapshot, account)
+            if result.found:
+                return result
+        return GetResult(False, False, None)
+
+    @staticmethod
+    def _find_file(files: List[FileMetadata], key: bytes) -> Optional[FileMetadata]:
+        """The single file in a disjoint level that may contain ``key``."""
+        lo, hi = 0, len(files)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if files[mid].largest.user_key < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == len(files):
+            return None
+        meta = files[lo]
+        return meta if meta.smallest.user_key <= key else None
+
+    def _table_iterators(
+        self, start: Optional[bytes], account: IoAccount
+    ) -> List[Iterator[Entry]]:
+        start_key = start if start is not None else b""
+        probe = InternalKey(start_key, MAX_SEQUENCE, KIND_PUT)
+        iters: List[Iterator[Entry]] = []
+        touched: List[FileMetadata] = []
+        for meta in list(self._levels[0]):
+            if meta.largest.user_key < start_key:
+                continue
+            touched.append(meta)
+            iters.append(self._file_iter(meta, probe, account))
+        for level in range(1, len(self._levels)):
+            files = list(self._levels[level])
+            if not files:
+                continue
+            idx = self._file_index_for(files, start_key)
+            if idx >= len(files):
+                continue
+            touched.append(files[idx])
+            iters.append(self._level_iter(files, idx, probe, account))
+        self._charge_seek_costs(touched, account)
+        return iters
+
+    def _charge_seek_costs(self, metas: List[FileMetadata], account: IoAccount) -> None:
+        if metas:
+            account.charge(
+                self.cpu.charge(
+                    "iterator_seek",
+                    self.cpu.iterator_seek_per_table * len(metas),
+                )
+            )
+        if not self.options.seek_compaction_enabled:
+            return
+        for meta in metas:
+            meta.allowed_seeks -= 1
+            if meta.allowed_seeks == 0:
+                level = self._level_of(meta.number)
+                if level is not None:
+                    self._seek_overflow.append((level, meta))
+
+    @staticmethod
+    def _file_index_for(files: List[FileMetadata], key: bytes) -> int:
+        lo, hi = 0, len(files)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if files[mid].largest.user_key < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _file_iter(
+        self, meta: FileMetadata, probe: InternalKey, account: IoAccount
+    ) -> Iterator[Entry]:
+        self._ref_file(meta.number)
+        try:
+            reader = self._get_reader(meta.number, account)
+            yield from reader.seek(probe, account)
+        finally:
+            self._unref_file(meta.number)
+
+    def _level_iter(
+        self,
+        files: List[FileMetadata],
+        idx: int,
+        probe: InternalKey,
+        account: IoAccount,
+    ) -> Iterator[Entry]:
+        for number in (f.number for f in files[idx:]):
+            self._ref_file(number)
+        try:
+            first = True
+            for meta in files[idx:]:
+                reader = self._get_reader(meta.number, account)
+                if first:
+                    yield from reader.seek(probe, account)
+                    first = False
+                else:
+                    yield from reader.iter_all(account)
+        finally:
+            for number in (f.number for f in files[idx:]):
+                self._unref_file(number)
+
+    def _table_iterators_reverse(
+        self, start: Optional[bytes], account: IoAccount
+    ) -> List[Iterator[Entry]]:
+        bound = start  # None = unbounded
+        iters: List[Iterator[Entry]] = []
+        for meta in list(self._levels[0]):
+            if bound is not None and meta.smallest.user_key > bound:
+                continue
+            iters.append(self._file_iter_reverse(meta, bound, account))
+        for level in range(1, len(self._levels)):
+            files = list(self._levels[level])
+            if not files:
+                continue
+            iters.append(self._level_iter_reverse(files, bound, account))
+        return iters
+
+    def _file_iter_reverse(
+        self, meta: FileMetadata, bound: Optional[bytes], account: IoAccount
+    ) -> Iterator[Entry]:
+        self._ref_file(meta.number)
+        try:
+            reader = self._get_reader(meta.number, account)
+            yield from reader.iter_reverse(account, max_user_key=bound)
+        finally:
+            self._unref_file(meta.number)
+
+    def _level_iter_reverse(
+        self, files: List[FileMetadata], bound: Optional[bytes], account: IoAccount
+    ) -> Iterator[Entry]:
+        for number in (f.number for f in files):
+            self._ref_file(number)
+        try:
+            for meta in reversed(files):
+                if bound is not None and meta.smallest.user_key > bound:
+                    continue
+                reader = self._get_reader(meta.number, account)
+                yield from reader.iter_reverse(account, max_user_key=bound)
+        finally:
+            for number in (f.number for f in files):
+                self._unref_file(number)
+
+    # ==================================================================
+    # Compaction
+    # ==================================================================
+    def _schedule_compactions(self) -> None:
+        for _ in range(len(self._levels) * 2):
+            if not self._pick_and_submit():
+                break
+
+    def _pick_and_submit(self) -> bool:
+        spec = self._pick_compaction()
+        if spec is None:
+            return False
+        level, inputs, next_inputs = spec
+        self._submit_compaction(level, inputs, next_inputs)
+        return True
+
+    def _pick_compaction(
+        self,
+    ) -> Optional[Tuple[int, List[FileMetadata], List[FileMetadata]]]:
+        opts = self.options
+        # Priority 1: Level 0 file count.
+        l0 = [f for f in self._levels[0] if f.number not in self._busy]
+        if len(self._levels[0]) >= opts.level0_compaction_trigger:
+            if len(l0) == len(self._levels[0]):  # nothing already being compacted
+                next_inputs = self._overlapping(1, l0)
+                if all(f.number not in self._busy for f in next_inputs):
+                    return (0, l0, next_inputs)
+        # Priority 2: level size vs target.
+        best_level, best_score = -1, opts.compaction_eagerness
+        sizes = self.level_sizes()
+        for level in range(1, len(self._levels) - 1):
+            if not self._levels[level]:
+                continue
+            score = sizes[level] / opts.level_target_bytes(level)
+            if score >= best_score:
+                best_level, best_score = level, score
+        if best_level > 0:
+            picked = self._pick_level_inputs(best_level)
+            if picked is not None:
+                return picked
+        # Priority 3: seek-triggered compaction.
+        while self._seek_overflow:
+            level, meta = self._seek_overflow.pop(0)
+            if meta.number in self._busy or self._level_of(meta.number) != level:
+                continue
+            if level >= len(self._levels) - 1:
+                continue
+            next_inputs = self._overlapping(level + 1, [meta])
+            if all(f.number not in self._busy for f in next_inputs):
+                return (level, [meta], next_inputs)
+        return None
+
+    def _pick_level_inputs(
+        self, level: int
+    ) -> Optional[Tuple[int, List[FileMetadata], List[FileMetadata]]]:
+        opts = self.options
+        files = [f for f in self._levels[level] if f.number not in self._busy]
+        if not files:
+            return None
+        count = 1 if opts.compaction_policy == "round_robin" else opts.compaction_max_input_files
+        if opts.compaction_policy == "min_overlap":
+            inputs = self._min_overlap_window(level, files, count)
+        else:
+            pointer = self._compact_pointer.get(level, b"")
+            start = 0
+            for i, meta in enumerate(files):
+                if meta.largest.user_key > pointer:
+                    start = i
+                    break
+            inputs = files[start : start + count]
+            if not inputs:
+                inputs = files[:count]
+        next_inputs = self._overlapping(level + 1, inputs)
+        if any(f.number in self._busy for f in next_inputs):
+            return None
+        return (level, inputs, next_inputs)
+
+    def _min_overlap_window(
+        self, level: int, files: List[FileMetadata], count: int
+    ) -> List[FileMetadata]:
+        """HyperLevelDB's compaction choice: the contiguous window of
+        files whose next-level overlap is smallest relative to its size,
+        minimizing the rewrite IO of the pass."""
+        best: List[FileMetadata] = files[:count]
+        best_score = float("inf")
+        for start in range(len(files)):
+            window = files[start : start + count]
+            input_bytes = sum(f.file_size for f in window)
+            if input_bytes == 0:
+                continue
+            overlap = sum(
+                f.file_size for f in self._overlapping(level + 1, window)
+            )
+            score = overlap / input_bytes
+            if score < best_score:
+                best_score = score
+                best = window
+        return best
+
+    def _overlapping(self, level: int, inputs: List[FileMetadata]) -> List[FileMetadata]:
+        if level >= len(self._levels):
+            return []
+        lo = min(f.smallest.user_key for f in inputs)
+        hi = max(f.largest.user_key for f in inputs)
+        return [f for f in self._levels[level] if f.overlaps(lo, hi)]
+
+    def _submit_compaction(
+        self,
+        level: int,
+        inputs: List[FileMetadata],
+        next_inputs: List[FileMetadata],
+    ) -> None:
+        opts = self.options
+        target = level + 1
+        all_inputs = inputs + next_inputs
+        for meta in all_inputs:
+            self._busy.add(meta.number)
+
+        # Trivial move: nothing to merge with and inputs mutually disjoint —
+        # a metadata-only edit, no IO.  This is LevelDB's fast path that
+        # makes sequential insertion so cheap (paper section 4.5).
+        if (
+            opts.allow_trivial_move
+            and not next_inputs
+            and self._mutually_disjoint(inputs)
+        ):
+            self._submit_trivial_move(level, inputs)
+            return
+
+        acct = self.storage.background_account(self.prefix + "compaction")
+        input_entries = sum(f.num_entries for f in all_inputs)
+        iters = [
+            self._get_reader(f.number, acct).iter_all(acct, cache_insert=False)
+            for f in all_inputs
+        ]
+        drop = self._is_bottom(target)
+        merged = compaction_iterator(
+            merging_iterator(iters),
+            drop_tombstones=drop,
+            snapshots=self._active_snapshots(),
+        )
+        metas = self._write_sstables(merged, acct, split_bytes=opts.target_file_bytes)
+        acct.charge(
+            self.cpu.charge(
+                "compaction_merge",
+                self.cpu.merge_entry * input_entries
+                + self.cpu.bloom_build_per_key * sum(m.num_entries for m in metas),
+            )
+        )
+        edit = VersionEdit(next_file_number=self._next_file_number)
+        for meta in inputs:
+            edit.delete_file(level, meta.number)
+        for meta in next_inputs:
+            edit.delete_file(target, meta.number)
+        for meta in metas:
+            edit.add_file(target, meta, GUARD_NONE)
+        if inputs:
+            self._compact_pointer[level] = max(f.largest.user_key for f in inputs)
+        bytes_written = sum(m.file_size for m in metas)
+        if self.compaction_trace is not None:
+            self.compaction_trace.append(
+                (
+                    level,
+                    [f.number for f in all_inputs],
+                    [m.number for m in metas],
+                    bytes_written,
+                )
+            )
+
+        def apply() -> None:
+            self._apply_compaction_edit(level, target, inputs, next_inputs, metas, edit)
+            self._stats.compactions += 1
+            self._stats.compaction_bytes_written += bytes_written
+            self._schedule_compactions()
+
+        self.executor.submit("compaction", acct.seconds, apply)
+
+    @staticmethod
+    def _mutually_disjoint(metas: List[FileMetadata]) -> bool:
+        ordered = sorted(metas, key=lambda f: f.smallest)
+        return all(
+            a.largest.user_key < b.smallest.user_key
+            for a, b in zip(ordered, ordered[1:])
+        )
+
+    def _submit_trivial_move(self, level: int, inputs: List[FileMetadata]) -> None:
+        target = level + 1
+        edit = VersionEdit()
+        for meta in inputs:
+            edit.delete_file(level, meta.number)
+            edit.add_file(target, meta, GUARD_NONE)
+
+        def apply() -> None:
+            for meta in inputs:
+                self._remove_from_level(level, meta.number)
+                insort(self._levels[target], meta, key=lambda f: f.smallest)
+                self._busy.discard(meta.number)
+            manifest_acct = self.storage.background_account(self.prefix + "manifest")
+            assert self._manifest is not None
+            self._manifest.append(edit, manifest_acct)
+            self._stats.compactions += 1
+            self._schedule_compactions()
+
+        self.executor.submit("move", 1.0e-5, apply)
+
+    def _apply_compaction_edit(
+        self,
+        level: int,
+        target: int,
+        inputs: List[FileMetadata],
+        next_inputs: List[FileMetadata],
+        metas: List[FileMetadata],
+        edit: VersionEdit,
+    ) -> None:
+        manifest_acct = self.storage.background_account(self.prefix + "manifest")
+        assert self._manifest is not None
+        self._manifest.append(edit, manifest_acct)
+        for meta in inputs:
+            self._remove_from_level(level, meta.number)
+            self._busy.discard(meta.number)
+            self._retire_file(meta.number)
+        for meta in next_inputs:
+            self._remove_from_level(target, meta.number)
+            self._busy.discard(meta.number)
+            self._retire_file(meta.number)
+        for meta in metas:
+            insort(self._levels[target], meta, key=lambda f: f.smallest)
+
+    def _remove_from_level(self, level: int, number: int) -> None:
+        self._levels[level] = [f for f in self._levels[level] if f.number != number]
+
+    def _is_bottom(self, level: int) -> bool:
+        """True when no live data exists below ``level``."""
+        return all(not self._levels[l] for l in range(level + 1, len(self._levels)))
+
+    def _level_of(self, number: int) -> Optional[int]:
+        for level, files in enumerate(self._levels):
+            if any(f.number == number for f in files):
+                return level
+        return None
+
+    def force_full_compaction(self) -> None:
+        """LevelDB's ``CompactRange``: merge every level into the next
+        until all data sits at the deepest populated level and tombstones
+        are garbage collected."""
+        self.flush_memtable()
+        self.executor.wait_all()
+        for level in range(0, len(self._levels) - 1):
+            while self._levels[level]:
+                inputs = [
+                    f for f in self._levels[level] if f.number not in self._busy
+                ]
+                if not inputs:
+                    break
+                next_inputs = self._overlapping(level + 1, inputs)
+                if any(f.number in self._busy for f in next_inputs):
+                    break
+                self._submit_compaction(level, inputs, next_inputs)
+                self.executor.wait_all()
+
+    # ==================================================================
+    # Recovery plumbing
+    # ==================================================================
+    def _recover_file(
+        self, level: int, meta: FileMetadata, marker: int, guard_key: bytes
+    ) -> None:
+        while len(self._levels) <= level:
+            self._levels.append([])
+        if level == 0:
+            self._levels[0].insert(0, meta)
+        else:
+            insort(self._levels[level], meta, key=lambda f: f.smallest)
+
+    def _recover_drop_file(self, level: int, number: int) -> None:
+        if level < len(self._levels):
+            self._remove_from_level(level, number)
+
+    # ==================================================================
+    # Diagnostics
+    # ==================================================================
+    def layout(self) -> str:
+        """Human-readable level map (the Figure 2.1 style illustration)."""
+        lines = []
+        for level, files in enumerate(self._levels):
+            if not files and level > 1:
+                continue
+            parts = [
+                f"[{f.smallest.user_key!r}..{f.largest.user_key!r}#{f.number}]"
+                for f in files
+            ]
+            lines.append(f"Level {level}: " + (" ".join(parts) if parts else "(empty)"))
+        return "\n".join(lines)
+
+    def check_invariants(self) -> None:
+        for level in range(1, len(self._levels)):
+            files = self._levels[level]
+            for a, b in zip(files, files[1:]):
+                assert a.smallest <= a.largest, "file range inverted"
+                assert a.largest.user_key < b.smallest.user_key, (
+                    f"level {level} files overlap: {a.largest!r} vs {b.smallest!r}"
+                )
+        numbers = self.sstable_file_numbers()
+        assert len(numbers) == len(set(numbers)), "duplicate file numbers"
+        for number in numbers:
+            if number not in self._busy:
+                assert self.storage.exists(self._sst_name(number)), (
+                    f"live sstable missing on storage: {number}"
+                )

@@ -1,0 +1,226 @@
+"""Store configuration and the per-system presets.
+
+The paper compares four stores.  Three of them (LevelDB, HyperLevelDB,
+RocksDB) share the leveled-LSM design and differ in configuration and
+compaction policy, so we model them as presets of one engine:
+
+* **leveldb** — 4 MB memtable (scaled), one background worker, lazy
+  round-robin compaction that moves one file at a time.  Lowest write
+  amplification of the LSM trio (Figure 1.1) but the most write stalls.
+* **hyperleveldb** — LevelDB sizes, two background workers, and
+  HyperLevelDB's wider compactions (several files per pass) which finish a
+  backlog faster at the cost of extra rewrites; the paper's baseline.
+* **rocksdb** — 16x larger memtable, relaxed Level-0 limits (20/24), four
+  background workers, and an eager policy that starts compacting a level at
+  85% of its target size — more total IO, matching its 42x amplification
+  in Figure 1.1.
+* **pebblesdb** — HyperLevelDB sizes plus the FLSM options (guard
+  probability bits, ``max_sstables_per_guard``) and the section 4
+  optimizations, each independently switchable for the ablation benchmark.
+
+All byte sizes default to the DESIGN.md scaled values (~1/64 of the
+paper's) so compaction dynamics appear at Python-friendly dataset sizes;
+``scale`` lets a benchmark scale them together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@dataclass
+class StoreOptions:
+    """Everything tunable about an engine instance."""
+
+    # --- identification -------------------------------------------------
+    preset: str = "pebblesdb"
+
+    # --- write path ------------------------------------------------------
+    memtable_bytes: int = 64 * KiB
+    max_immutable_memtables: int = 2
+    wal_enabled: bool = True
+    sync_writes: bool = False
+
+    # --- shape of the level hierarchy -------------------------------------
+    num_levels: int = 7
+    level0_compaction_trigger: int = 4
+    level0_slowdown_trigger: int = 8
+    level0_stop_trigger: int = 12
+    #: Target size of Level 1; level i target is this * multiplier**(i-1).
+    level1_max_bytes: int = 160 * KiB
+    level_size_multiplier: int = 10
+    #: Max sstable produced by compaction (LevelDB's target_file_size).
+    target_file_bytes: int = 64 * KiB
+
+    # --- compaction policy -----------------------------------------------
+    background_workers: int = 2
+    #: "round_robin" (LevelDB), "wide" (HyperLevelDB: several files/pass).
+    compaction_policy: str = "wide"
+    #: How many input files a "wide" compaction takes per pass.
+    compaction_max_input_files: int = 4
+    #: Start compacting a level at this fraction of its target size.
+    compaction_eagerness: float = 1.0
+    #: Move non-overlapping files to the next level by metadata edit only
+    #: (LevelDB's optimization).  RocksDB's default compaction rewrites in
+    #: far more situations, a large part of its higher amplification.
+    allow_trivial_move: bool = True
+    #: Extra write delay while Level 0 is in the slowdown band (LevelDB
+    #: sleeps 1 ms; scaled with everything else).
+    slowdown_delay: float = 0.25e-3
+
+    #: Device bytes per logical sstable byte; 1.0 = compression off (the
+    #: paper's configuration, section 5.1), ~0.5 models snappy.  The WAL
+    #: is never compressed, matching LevelDB.
+    compression_ratio: float = 1.0
+
+    # --- read path ---------------------------------------------------------
+    block_bytes: int = 4 * KiB
+    bloom_bits_per_key: int = 10
+    #: Open sstable readers kept cached.  The paper's stores cache 1000
+    #: sstable index blocks; scaled by the same ~1/16 factor as file
+    #: counts, so a store with many small sstables thrashes this cache
+    #: (the Workload C / Table 5.1 effect) and a store with fewer, larger
+    #: files keeps its indexes resident.
+    table_cache_size: int = 64
+    #: Seeks allowed against a file before it is scheduled for compaction.
+    seek_compaction_enabled: bool = True
+
+    # --- FLSM / PebblesDB -----------------------------------------------
+    #: Consecutive set LSBs of murmur(key) required to guard Level 1.
+    top_level_bits: int = 13
+    #: Bits relaxed per level below Level 1.
+    bit_decrement: int = 2
+    #: Compact a guard into the next level at this many sstables.
+    max_sstables_per_guard: int = 4
+    #: Paper's 25x heuristic for rewriting in the second-to-last level.
+    last_level_merge_io_ratio: float = 25.0
+    enable_sstable_bloom: bool = True
+    enable_parallel_seeks: bool = True
+    enable_seek_based_compaction: bool = True
+    enable_aggressive_seek_compaction: bool = True
+    #: Compact level i into i+1 when size(i) >= this fraction of size(i+1).
+    aggressive_compaction_ratio: float = 0.25
+    #: Consecutive seek() calls that trigger seek-based compaction.
+    seek_compaction_threshold: int = 10
+
+    # ----------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.memtable_bytes <= 0 or self.level1_max_bytes <= 0:
+            raise ValueError("memtable and level sizes must be positive")
+        if self.num_levels < 2:
+            raise ValueError("need at least two levels")
+        if not (
+            self.level0_compaction_trigger
+            <= self.level0_slowdown_trigger
+            <= self.level0_stop_trigger
+        ):
+            raise ValueError(
+                "level0 triggers must satisfy compaction <= slowdown <= stop"
+            )
+        if self.background_workers < 1:
+            raise ValueError("need at least one background worker")
+        if self.max_sstables_per_guard < 1:
+            raise ValueError("max_sstables_per_guard must be >= 1")
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValueError("compression_ratio must be in (0, 1]")
+        if self.top_level_bits < 1 or self.bit_decrement < 0:
+            raise ValueError("bad guard probability parameters")
+        if self.compaction_policy not in ("round_robin", "wide", "min_overlap"):
+            raise ValueError(f"unknown compaction policy: {self.compaction_policy!r}")
+
+    def level_target_bytes(self, level: int) -> int:
+        """Size target for ``level`` (level 0 is file-count-triggered)."""
+        if level <= 0:
+            return self.level0_compaction_trigger * self.memtable_bytes
+        return self.level1_max_bytes * self.level_size_multiplier ** (level - 1)
+
+    def scaled(self, factor: float) -> "StoreOptions":
+        """Scale every byte-sized knob by ``factor`` (workload sizing aid)."""
+        return replace(
+            self,
+            memtable_bytes=int(self.memtable_bytes * factor),
+            level1_max_bytes=int(self.level1_max_bytes * factor),
+            target_file_bytes=int(self.target_file_bytes * factor),
+        )
+
+    # ------------------------------------------------------------------
+    # Presets (paper section 5.1 configurations, scaled)
+    # ------------------------------------------------------------------
+    @classmethod
+    def leveldb(cls) -> "StoreOptions":
+        # Single background thread and a single immutable memtable: the
+        # write path stalls whenever flushing falls behind, giving the
+        # low-throughput/high-stall profile of stock LevelDB.
+        return cls(
+            preset="leveldb",
+            memtable_bytes=64 * KiB,
+            max_immutable_memtables=1,
+            background_workers=1,
+            compaction_policy="wide",
+            compaction_max_input_files=4,
+            compaction_eagerness=0.75,
+            level0_slowdown_trigger=8,
+            level0_stop_trigger=12,
+        )
+
+    @classmethod
+    def hyperleveldb(cls) -> "StoreOptions":
+        # Two workers, two immutable memtables, and HyperLevelDB's
+        # min-overlap input selection: fewest rewrites per pass and few
+        # stalls — the paper's strongest LSM baseline.
+        return cls(
+            preset="hyperleveldb",
+            memtable_bytes=64 * KiB,
+            max_immutable_memtables=2,
+            background_workers=2,
+            compaction_policy="min_overlap",
+            compaction_max_input_files=4,
+            compaction_eagerness=1.0,
+            level0_slowdown_trigger=8,
+            level0_stop_trigger=12,
+        )
+
+    @classmethod
+    def rocksdb(cls) -> "StoreOptions":
+        # Narrower passes, no trivial moves, one compaction thread in the
+        # scaled configuration: the most rewrite IO of the group (the
+        # paper's Figure 1.1 measures 42x amplification) and the slowest
+        # random-write throughput despite relaxed Level-0 limits.
+        return cls(
+            preset="rocksdb",
+            memtable_bytes=64 * KiB,
+            max_immutable_memtables=2,
+            background_workers=1,
+            compaction_policy="wide",
+            compaction_max_input_files=3,
+            compaction_eagerness=1.0,
+            allow_trivial_move=False,
+            level0_slowdown_trigger=20,
+            level0_stop_trigger=24,
+        )
+
+    @classmethod
+    def pebblesdb(cls) -> "StoreOptions":
+        return cls(
+            preset="pebblesdb",
+            memtable_bytes=64 * KiB,
+            max_immutable_memtables=2,
+            background_workers=2,
+            level0_slowdown_trigger=8,
+            level0_stop_trigger=12,
+        )
+
+    @classmethod
+    def for_preset(cls, name: str) -> "StoreOptions":
+        factories = {
+            "leveldb": cls.leveldb,
+            "hyperleveldb": cls.hyperleveldb,
+            "rocksdb": cls.rocksdb,
+            "pebblesdb": cls.pebblesdb,
+        }
+        if name not in factories:
+            raise ValueError(f"unknown preset: {name!r} (have {sorted(factories)})")
+        return factories[name]()

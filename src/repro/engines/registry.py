@@ -1,0 +1,53 @@
+"""Engine registry: map preset names to store classes.
+
+``create_store`` is the factory behind :func:`repro.open_store`.  Imports
+are lazy so that importing :mod:`repro.engines` does not pull in every
+engine implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engines.base import KeyValueStore
+from repro.engines.options import StoreOptions
+from repro.sim.storage import SimulatedStorage
+
+#: Engine preset names accepted by :func:`create_store`.
+ENGINES = ("leveldb", "hyperleveldb", "rocksdb", "pebblesdb", "btree", "wiredtiger")
+
+
+def create_store(
+    engine: str,
+    storage: SimulatedStorage,
+    options: Optional[StoreOptions] = None,
+    prefix: Optional[str] = None,
+    seed: int = 0,
+) -> KeyValueStore:
+    """Instantiate the engine named ``engine`` on ``storage``.
+
+    ``options`` defaults to the preset configuration matching the engine
+    name; ``prefix`` defaults to ``"<engine>/"`` so several stores can
+    share one simulated device.
+    """
+    if prefix is None:
+        prefix = f"{engine}/"
+    if engine in ("leveldb", "hyperleveldb", "rocksdb"):
+        from repro.engines.lsm import LeveledLSMStore
+
+        opts = options if options is not None else StoreOptions.for_preset(engine)
+        return LeveledLSMStore(storage, opts, prefix=prefix, seed=seed)
+    if engine == "pebblesdb":
+        from repro.core import PebblesDBStore
+
+        opts = options if options is not None else StoreOptions.pebblesdb()
+        return PebblesDBStore(storage, opts, prefix=prefix, seed=seed)
+    if engine == "btree":
+        from repro.engines.btree import BPlusTreeStore
+
+        return BPlusTreeStore(storage, prefix=prefix)
+    if engine == "wiredtiger":
+        from repro.engines.wiredtiger import WiredTigerStore
+
+        return WiredTigerStore(storage, prefix=prefix)
+    raise ValueError(f"unknown engine {engine!r} (have {ENGINES})")

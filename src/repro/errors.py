@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro key-value store library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch one base class.  The hierarchy
+mirrors the failure categories of LevelDB-family stores: corruption of
+on-storage data, invalid user arguments, attempts to use a closed store,
+and simulated-device faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CorruptionError(ReproError):
+    """On-storage data failed a checksum, magic-number, or format check."""
+
+
+class NotFoundError(KeyError, ReproError):
+    """The requested key (or file) does not exist.
+
+    Inherits from :class:`KeyError` so ``store[key]`` style access behaves
+    like a mapping.
+    """
+
+
+class InvalidArgumentError(ValueError, ReproError):
+    """A caller-supplied argument is malformed (empty key, bad range, ...)."""
+
+
+class StoreClosedError(ReproError):
+    """An operation was attempted on a store that has been closed."""
+
+
+class StorageError(ReproError):
+    """The simulated storage device rejected an operation."""
+
+
+class CrashInjected(ReproError):
+    """Raised by crash-injection hooks in tests to simulate power failure.
+
+    Not an error in the usual sense: test harnesses install a hook in the
+    simulated storage layer that raises this at a chosen sync boundary, then
+    recover the store and verify durability guarantees.
+    """

@@ -1,0 +1,10 @@
+"""Experiment harness shared by the benchmark suite and examples."""
+
+from repro.harness.runner import (
+    ExperimentConfig,
+    StoreRun,
+    fresh_run,
+    standard_config,
+)
+
+__all__ = ["ExperimentConfig", "StoreRun", "fresh_run", "standard_config"]

@@ -1,0 +1,122 @@
+"""Builds the simulated environment + store + drivers for one experiment.
+
+Every engine gets its own fresh simulated device (as the paper benchmarks
+stores one at a time on a freshly formatted file system), with the page
+cache sized so the dataset is ~3x memory unless an experiment overrides
+it (cached-dataset and low-memory runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+from repro import Environment
+from repro.engines.base import KeyValueStore
+from repro.engines.options import StoreOptions
+from repro.engines.registry import create_store
+from repro.sim.aging import FilesystemAging
+from repro.sim.device import DeviceModel
+from repro.workloads.db_bench import DBBench
+from repro.workloads.ycsb import YcsbRunner
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by every benchmark run."""
+
+    num_keys: int = 20000
+    value_size: int = 1024
+    key_width: int = 16
+    #: DRAM page cache; default keeps dataset ~3x memory like the paper.
+    cache_bytes: Optional[int] = None
+    threads: int = 1
+    seed: int = 0
+    device_factory: Callable[[], DeviceModel] = DeviceModel.ssd_raid0
+    aging: Optional[FilesystemAging] = None
+    #: Per-engine option overrides, e.g. {"pebblesdb": {...}}.
+    option_overrides: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def dataset_bytes(self) -> int:
+        return self.num_keys * (self.key_width + self.value_size)
+
+    def effective_cache_bytes(self) -> int:
+        if self.cache_bytes is not None:
+            return self.cache_bytes
+        return max(256 * 1024, self.dataset_bytes // 3)
+
+
+def standard_config(**overrides) -> ExperimentConfig:
+    """The default scaled configuration (DESIGN.md section 5)."""
+    return ExperimentConfig(**overrides)
+
+
+@dataclass
+class StoreRun:
+    """One engine instantiated on its own simulated device."""
+
+    engine: str
+    env: Environment
+    db: KeyValueStore
+    config: ExperimentConfig
+
+    @property
+    def bench(self) -> DBBench:
+        return DBBench(
+            self.db,
+            self.env.storage,
+            num_keys=self.config.num_keys,
+            value_size=self.config.value_size,
+            key_width=self.config.key_width,
+            seed=self.config.seed,
+        )
+
+    def ycsb(self, record_count: Optional[int] = None) -> YcsbRunner:
+        return YcsbRunner(
+            self.db,
+            self.env.storage,
+            record_count=record_count or self.config.num_keys,
+            value_size=self.config.value_size,
+            seed=self.config.seed,
+        )
+
+    def reopen(self) -> "StoreRun":
+        """Close and recover the store on the same device (aging runs)."""
+        self.db.close()
+        db = create_store(
+            self.engine,
+            self.env.storage,
+            options=_options_for(self.engine, self.config),
+            prefix=f"{self.engine}/",
+            seed=self.config.seed,
+        )
+        return StoreRun(self.engine, self.env, db, self.config)
+
+
+def _options_for(engine: str, config: ExperimentConfig) -> Optional[StoreOptions]:
+    if engine in ("btree", "wiredtiger"):
+        return None
+    options = StoreOptions.for_preset(engine)
+    overrides = config.option_overrides.get(engine, {})
+    if overrides:
+        options = replace(options, **overrides)
+    return options
+
+
+def fresh_run(engine: str, config: Optional[ExperimentConfig] = None) -> StoreRun:
+    """A new engine instance on a fresh simulated device."""
+    cfg = config if config is not None else ExperimentConfig()
+    device = cfg.device_factory()
+    if cfg.aging is not None:
+        cfg.aging.apply(device)
+    env = Environment(device=device, cache_bytes=cfg.effective_cache_bytes())
+    env.cpu.thread_scale = float(cfg.threads)
+    db = create_store(
+        engine,
+        env.storage,
+        options=_options_for(engine, cfg),
+        prefix=f"{engine}/",
+        seed=cfg.seed,
+    )
+    return StoreRun(engine, env, db, cfg)

@@ -1,0 +1,12 @@
+"""In-memory write buffer: a probabilistic skip list and the memtable on it.
+
+LSM and FLSM stores batch writes in memory (paper section 2.2): every
+``put`` lands in a skip list ordered by internal key, and full memtables
+are written out as Level-0 sstables.  The skip list here is the classic
+Pugh structure — also the ancestor of FLSM's guards.
+"""
+
+from repro.memtable.skiplist import SkipList
+from repro.memtable.memtable import Memtable
+
+__all__ = ["SkipList", "Memtable"]

@@ -1,0 +1,102 @@
+"""A probabilistic skip list (Pugh 1990).
+
+This is both the memtable's index (as in LevelDB) and the conceptual
+ancestor of FLSM's guards: guard keys are chosen exactly the way a skip
+list promotes nodes, so a key that is a guard at level *i* is a guard at
+every deeper level (paper section 3.1).
+
+Keys are arbitrary comparable objects (the store uses
+:class:`repro.util.keys.InternalKey`); duplicate keys are rejected —
+the memtable never produces duplicates because every write carries a fresh
+sequence number.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Optional, Tuple
+
+_MAX_HEIGHT = 12
+_BRANCHING = 4
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Any, value: Any, height: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_Node"]] = [None] * height
+
+
+class SkipList:
+    """Sorted map with O(log n) expected insert and seek."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._head = _Node(None, None, _MAX_HEIGHT)
+        self._height = 1
+        self._rng = random.Random(seed)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    def _random_height(self) -> int:
+        height = 1
+        while height < _MAX_HEIGHT and self._rng.randrange(_BRANCHING) == 0:
+            height += 1
+        return height
+
+    def _find_greater_or_equal(
+        self, key: Any, prev_out: Optional[List[_Node]] = None
+    ) -> Optional[_Node]:
+        node = self._head
+        for level in range(self._height - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[level]
+            if prev_out is not None:
+                prev_out[level] = node
+        return node.forward[0]
+
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert a new key; raises on duplicates."""
+        prev: List[_Node] = [self._head] * _MAX_HEIGHT
+        found = self._find_greater_or_equal(key, prev)
+        if found is not None and not (key < found.key):
+            raise ValueError(f"duplicate skip list key: {key!r}")
+        height = self._random_height()
+        if height > self._height:
+            self._height = height
+        node = _Node(key, value, height)
+        for level in range(height):
+            node.forward[level] = prev[level].forward[level]
+            prev[level].forward[level] = node
+        self._size += 1
+
+    def get(self, key: Any) -> Tuple[bool, Any]:
+        """Exact lookup; returns ``(found, value)``."""
+        node = self._find_greater_or_equal(key)
+        if node is not None and not (key < node.key):
+            return True, node.value
+        return False, None
+
+    def seek(self, key: Any) -> Iterator[Tuple[Any, Any]]:
+        """Iterate ``(key, value)`` pairs starting at the first key >= key."""
+        node = self._find_greater_or_equal(key)
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def __iter__(self) -> Iterator[Tuple[Any, Any]]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def first(self) -> Optional[Tuple[Any, Any]]:
+        node = self._head.forward[0]
+        return None if node is None else (node.key, node.value)

@@ -1,0 +1,252 @@
+"""The simulated file namespace all engines write through.
+
+``SimulatedStorage`` is the single chokepoint between engines and the
+"hardware": every byte appended, overwritten, or read passes through it, so
+write amplification and space amplification are measured exactly, and every
+transfer charges simulated time to an :class:`IoAccount` (the foreground
+clock, or a background compaction job's accumulator).
+
+Durability semantics mirror a POSIX file system closely enough for
+crash-recovery testing: data is durable only up to the last ``sync`` of its
+file; ``crash()`` truncates every file to its synced length and forgets
+never-synced files.  Renames are modelled as atomic and durable (the
+engines only rename the small CURRENT pointer, and real stores sync the
+directory around that rename).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import StorageError
+from repro.sim.cache import PAGE_SIZE, PageCache
+from repro.sim.clock import SimClock
+from repro.sim.cpu import CpuCosts
+from repro.sim.device import DeviceModel
+
+
+class IoAccount:
+    """A named sink for simulated seconds of device/CPU time.
+
+    Foreground accounts advance the shared clock directly; background
+    accounts (compaction jobs) accumulate seconds that the executor later
+    lays out on a worker timeline.
+    """
+
+    __slots__ = ("name", "_clock", "seconds")
+
+    def __init__(self, name: str, clock: Optional[SimClock] = None) -> None:
+        self.name = name
+        self._clock = clock
+        self.seconds = 0.0
+
+    def charge(self, seconds: float) -> None:
+        self.seconds += seconds
+        if self._clock is not None:
+            self._clock.advance(seconds)
+
+    @property
+    def is_foreground(self) -> bool:
+        return self._clock is not None
+
+
+@dataclass
+class StorageStats:
+    """Cumulative IO accounting (bytes are device IO, not logical IO)."""
+
+    bytes_written: int = 0
+    bytes_read: int = 0
+    write_ops: int = 0
+    read_ops: int = 0
+    sync_ops: int = 0
+    written_by_account: Dict[str, int] = field(default_factory=dict)
+    read_by_account: Dict[str, int] = field(default_factory=dict)
+
+    def note_write(self, account: str, nbytes: int) -> None:
+        self.bytes_written += nbytes
+        self.write_ops += 1
+        self.written_by_account[account] = (
+            self.written_by_account.get(account, 0) + nbytes
+        )
+
+    def note_read(self, account: str, nbytes: int) -> None:
+        self.bytes_read += nbytes
+        self.read_ops += 1
+        self.read_by_account[account] = self.read_by_account.get(account, 0) + nbytes
+
+
+class _SimFile:
+    __slots__ = ("name", "file_id", "data", "synced_len", "charge_factor")
+
+    def __init__(self, name: str, file_id: int, charge_factor: float = 1.0) -> None:
+        self.name = name
+        self.file_id = file_id
+        self.data = bytearray()
+        self.synced_len = 0
+        #: Device-bytes per logical byte: < 1.0 models a compressed file
+        #: (the simulation stores logical bytes; transfers and occupancy
+        #: are charged at the compressed size).
+        self.charge_factor = charge_factor
+
+
+class SimulatedStorage:
+    """An in-memory file namespace with device-time and durability modelling."""
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        device: Optional[DeviceModel] = None,
+        cache: Optional[PageCache] = None,
+        cpu: Optional[CpuCosts] = None,
+    ) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.device = device if device is not None else DeviceModel.ssd_raid0()
+        self.cache = cache if cache is not None else PageCache(64 * 1024 * 1024)
+        self.cpu = cpu if cpu is not None else CpuCosts()
+        self.stats = StorageStats()
+        self._files: Dict[str, _SimFile] = {}
+        self._next_file_id = 1
+
+    # ------------------------------------------------------------------
+    # Accounts
+    # ------------------------------------------------------------------
+    def foreground_account(self, name: str = "foreground") -> IoAccount:
+        """An account that advances the shared clock as it is charged."""
+        return IoAccount(name, self.clock)
+
+    def background_account(self, name: str) -> IoAccount:
+        """An account that only accumulates seconds (for executor jobs)."""
+        return IoAccount(name)
+
+    # ------------------------------------------------------------------
+    # Namespace operations
+    # ------------------------------------------------------------------
+    def create(self, name: str, charge_factor: float = 1.0) -> None:
+        """Create an empty file; error if it already exists.
+
+        ``charge_factor`` < 1.0 marks the file as compressed on the
+        device: transfers and space are charged at the compressed size
+        while contents stay byte-addressable.
+        """
+        if name in self._files:
+            raise StorageError(f"file exists: {name}")
+        if not 0.0 < charge_factor <= 1.0:
+            raise StorageError(f"bad charge factor: {charge_factor}")
+        self._files[name] = _SimFile(name, self._next_file_id, charge_factor)
+        self._next_file_id += 1
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def list_files(self, prefix: str = "") -> List[str]:
+        return sorted(n for n in self._files if n.startswith(prefix))
+
+    def size(self, name: str) -> int:
+        return len(self._file(name).data)
+
+    def total_live_bytes(self, prefix: str = "") -> int:
+        """Bytes currently occupied on 'disk' (space amplification input)."""
+        return sum(
+            int(len(f.data) * f.charge_factor)
+            for n, f in self._files.items()
+            if n.startswith(prefix)
+        )
+
+    def delete(self, name: str) -> None:
+        f = self._files.pop(name, None)
+        if f is None:
+            raise StorageError(f"no such file: {name}")
+        self.cache.drop_file(f.file_id)
+
+    def rename(self, old: str, new: str) -> None:
+        """Atomically rename ``old`` to ``new`` (replacing ``new``)."""
+        f = self._files.pop(old, None)
+        if f is None:
+            raise StorageError(f"no such file: {old}")
+        replaced = self._files.pop(new, None)
+        if replaced is not None:
+            self.cache.drop_file(replaced.file_id)
+        f.name = new
+        self._files[new] = f
+
+    # ------------------------------------------------------------------
+    # Data operations
+    # ------------------------------------------------------------------
+    def append(self, name: str, data: bytes, account: IoAccount) -> None:
+        """Append ``data``; charged as a sequential write."""
+        f = self._file(name)
+        offset = len(f.data)
+        f.data.extend(data)
+        device_bytes = int(len(data) * f.charge_factor)
+        account.charge(self.device.seq_write_time(device_bytes))
+        self.stats.note_write(account.name, device_bytes)
+        self.cache.populate_range(f.file_id, offset, len(data))
+
+    def write_at(self, name: str, offset: int, data: bytes, account: IoAccount) -> None:
+        """Overwrite in place (B+tree page writes); charged as random write."""
+        f = self._file(name)
+        end = offset + len(data)
+        if end > len(f.data):
+            f.data.extend(b"\x00" * (end - len(f.data)))
+        f.data[offset:end] = data
+        account.charge(self.device.rand_write_time(len(data)))
+        self.stats.note_write(account.name, len(data))
+        self.cache.populate_range(f.file_id, offset, len(data))
+
+    def read(
+        self,
+        name: str,
+        offset: int,
+        length: int,
+        account: IoAccount,
+        *,
+        sequential: bool = False,
+        cache_insert: bool = True,
+    ) -> bytes:
+        """Read bytes; device time is charged only for page-cache misses."""
+        f = self._file(name)
+        if offset < 0 or offset + length > len(f.data):
+            raise StorageError(
+                f"read out of bounds: {name}[{offset}:{offset + length}] "
+                f"(size {len(f.data)})"
+            )
+        hits, misses = self.cache.access_range(
+            f.file_id, offset, length, insert=cache_insert
+        )
+        if misses:
+            nbytes = int(misses * PAGE_SIZE * f.charge_factor)
+            if sequential:
+                account.charge(self.device.seq_read_time(nbytes))
+            else:
+                account.charge(self.device.rand_read_time(nbytes))
+            self.stats.note_read(account.name, nbytes)
+        if hits:
+            account.charge(self.cpu.charge("block_decode", hits * self.cpu.block_decode))
+        return bytes(f.data[offset : offset + length])
+
+    def sync(self, name: str, account: IoAccount) -> None:
+        """Make all bytes of ``name`` durable."""
+        f = self._file(name)
+        f.synced_len = len(f.data)
+        self.stats.sync_ops += 1
+        account.charge(self.device.seq_request_latency)
+
+    # ------------------------------------------------------------------
+    # Crash simulation
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Simulate power loss: discard everything not yet synced."""
+        doomed = [n for n, f in self._files.items() if f.synced_len == 0]
+        for name in doomed:
+            self.delete(name)
+        for f in self._files.values():
+            del f.data[f.synced_len :]
+        self.cache.clear()
+
+    # ------------------------------------------------------------------
+    def _file(self, name: str) -> _SimFile:
+        f = self._files.get(name)
+        if f is None:
+            raise StorageError(f"no such file: {name}")
+        return f

@@ -1,0 +1,195 @@
+"""Binary layout of an sstable.
+
+::
+
+    [data block 0] [data block 1] ... [filter block] [index block] [footer]
+
+*Data block* — records ``varint32 klen | packed internal key | varint32
+vlen | value``, each block covering ~4 KiB of payload and carrying a
+4-byte masked CRC trailer, so a flipped bit inside a block is detected at
+read time rather than returned as data.
+
+*Filter block* — one encoded :class:`repro.bloom.BloomFilter` over the
+table's user keys (sstable-level filters, paper section 4.1).
+
+*Index block* — per data block: packed *last* internal key, offset, size.
+Finding a key costs one binary search here plus one data-block read.
+
+*Footer* — fixed-size trailer locating index and filter, with a magic
+number and a CRC over the header fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import CorruptionError
+from repro.util.crc import crc32c, mask_crc, unmask_crc
+from repro.util.keys import InternalKey, pack_internal_key, unpack_internal_key
+from repro.util.varint import (
+    decode_varint32,
+    decode_varint64,
+    encode_varint32,
+    encode_varint64,
+)
+
+#: Target uncompressed payload per data block.
+DEFAULT_BLOCK_SIZE = 4096
+
+_MAGIC = 0x50454242_4C455342  # "PEBBLESB"
+FOOTER_SIZE = 8 * 5 + 8 + 4  # five u64 fields + magic + masked crc
+
+
+class BlockBuilder:
+    """Accumulates records for one data block."""
+
+    __slots__ = ("_buf", "_count", "_first_key", "_last_key")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._count = 0
+        self._first_key: InternalKey = None  # type: ignore[assignment]
+        self._last_key: InternalKey = None  # type: ignore[assignment]
+
+    def add(self, key: InternalKey, value: bytes) -> None:
+        packed = pack_internal_key(key)
+        self._buf += encode_varint32(len(packed))
+        self._buf += packed
+        self._buf += encode_varint32(len(value))
+        self._buf += value
+        if self._count == 0:
+            self._first_key = key
+        self._last_key = key
+        self._count += 1
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._buf)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def last_key(self) -> InternalKey:
+        return self._last_key
+
+    def finish(self) -> bytes:
+        return bytes(self._buf)
+
+    def reset(self) -> None:
+        self._buf.clear()
+        self._count = 0
+        self._first_key = None  # type: ignore[assignment]
+        self._last_key = None  # type: ignore[assignment]
+
+
+BLOCK_TRAILER_SIZE = 4
+
+
+def seal_block(payload: bytes) -> bytes:
+    """Append the masked CRC trailer to a data block's payload."""
+    return payload + mask_crc(crc32c(payload)).to_bytes(4, "little")
+
+
+def decode_block(data: bytes) -> List[Tuple[InternalKey, bytes]]:
+    """Verify and parse one data block into ``(internal key, value)``s."""
+    if len(data) < BLOCK_TRAILER_SIZE:
+        raise CorruptionError("data block shorter than its checksum")
+    payload, trailer = data[:-BLOCK_TRAILER_SIZE], data[-BLOCK_TRAILER_SIZE:]
+    if crc32c(payload) != unmask_crc(int.from_bytes(trailer, "little")):
+        raise CorruptionError("data block checksum mismatch")
+    out: List[Tuple[InternalKey, bytes]] = []
+    offset = 0
+    end = len(payload)
+    data = payload
+    while offset < end:
+        klen, offset = decode_varint32(data, offset)
+        if offset + klen > end:
+            raise CorruptionError("data block key overruns block")
+        key = unpack_internal_key(data[offset : offset + klen])
+        offset += klen
+        vlen, offset = decode_varint32(data, offset)
+        if offset + vlen > end:
+            raise CorruptionError("data block value overruns block")
+        out.append((key, data[offset : offset + vlen]))
+        offset += vlen
+    return out
+
+
+@dataclass
+class IndexEntry:
+    """Locates one data block: its last key, byte offset, and size."""
+
+    last_key: InternalKey
+    offset: int
+    size: int
+
+
+def encode_index(entries: List[IndexEntry]) -> bytes:
+    buf = bytearray()
+    for entry in entries:
+        packed = pack_internal_key(entry.last_key)
+        buf += encode_varint32(len(packed))
+        buf += packed
+        buf += encode_varint64(entry.offset)
+        buf += encode_varint64(entry.size)
+    return bytes(buf)
+
+
+def decode_index(data: bytes) -> List[IndexEntry]:
+    out: List[IndexEntry] = []
+    offset = 0
+    while offset < len(data):
+        klen, offset = decode_varint32(data, offset)
+        if offset + klen > len(data):
+            raise CorruptionError("index entry key overruns block")
+        key = unpack_internal_key(data[offset : offset + klen])
+        offset += klen
+        blk_offset, offset = decode_varint64(data, offset)
+        blk_size, offset = decode_varint64(data, offset)
+        out.append(IndexEntry(key, blk_offset, blk_size))
+    return out
+
+
+@dataclass
+class Footer:
+    """Fixed-size trailer locating the index and filter blocks."""
+
+    index_offset: int
+    index_size: int
+    filter_offset: int
+    filter_size: int
+    num_entries: int
+
+    def encode(self) -> bytes:
+        fields = (
+            self.index_offset.to_bytes(8, "little")
+            + self.index_size.to_bytes(8, "little")
+            + self.filter_offset.to_bytes(8, "little")
+            + self.filter_size.to_bytes(8, "little")
+            + self.num_entries.to_bytes(8, "little")
+            + _MAGIC.to_bytes(8, "little")
+        )
+        crc = mask_crc(crc32c(fields))
+        return fields + crc.to_bytes(4, "little")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Footer":
+        if len(data) != FOOTER_SIZE:
+            raise CorruptionError(f"footer wrong size: {len(data)}")
+        fields, crc_bytes = data[:-4], data[-4:]
+        stored = unmask_crc(int.from_bytes(crc_bytes, "little"))
+        if crc32c(fields) != stored:
+            raise CorruptionError("footer checksum mismatch")
+        magic = int.from_bytes(fields[40:48], "little")
+        if magic != _MAGIC:
+            raise CorruptionError(f"bad sstable magic: {magic:#x}")
+        return cls(
+            index_offset=int.from_bytes(fields[0:8], "little"),
+            index_size=int.from_bytes(fields[8:16], "little"),
+            filter_offset=int.from_bytes(fields[16:24], "little"),
+            filter_size=int.from_bytes(fields[24:32], "little"),
+            num_entries=int.from_bytes(fields[32:40], "little"),
+        )

@@ -1,0 +1,92 @@
+"""K-way merging of internal-key-ordered streams.
+
+Used in three places: compaction (merge a guard's or level's sstables),
+database iterators (merge memtable + per-level streams), and range queries.
+``compaction_iterator`` additionally collapses shadowed versions and
+garbage-collects tombstones at the bottom level — the only place a delete
+may be forgotten without resurrecting older versions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.sim.storage import IoAccount
+from repro.sim.cpu import CpuCosts
+from repro.util.keys import KIND_DELETE, InternalKey
+
+Entry = Tuple[InternalKey, bytes]
+
+
+def merging_iterator(
+    iterators: Iterable[Iterator[Entry]],
+    *,
+    cpu: Optional[CpuCosts] = None,
+    account: Optional[IoAccount] = None,
+) -> Iterator[Entry]:
+    """Merge ordered entry streams into one ordered stream.
+
+    Internal keys are globally unique (every write gets a fresh sequence
+    number) so ties cannot occur.  When ``cpu``/``account`` are given, each
+    step charges the merging-iterator CPU cost.
+    """
+    merged = heapq.merge(*iterators, key=lambda entry: entry[0])
+    if cpu is None or account is None:
+        yield from merged
+        return
+    step = cpu.iterator_step
+    for entry in merged:
+        account.charge(cpu.charge("iterator_step", step))
+        yield entry
+
+
+def compaction_iterator(
+    merged: Iterator[Entry],
+    *,
+    drop_tombstones: bool = False,
+    snapshots: Sequence[int] = (),
+) -> Iterator[Entry]:
+    """Collapse a merged stream for writing to the next level.
+
+    Without snapshots, only the newest version of each user key survives
+    (older versions are shadowed and can never be observed).  With active
+    ``snapshots`` (ascending sequence numbers), a version also survives
+    when it is the newest one visible at some snapshot — LevelDB's
+    compaction rule, which both engines inherit.
+
+    Tombstones are retained unless ``drop_tombstones`` (bottom level) —
+    dropping one higher up would resurrect versions buried below.  A
+    tombstone kept alive only for a snapshot is never dropped.
+    """
+    boundaries = sorted(snapshots)
+    prev_user_key: Optional[bytes] = None
+    prev_kept_seq = 0
+    for key, value in merged:
+        if key.user_key != prev_user_key:
+            prev_user_key = key.user_key
+            prev_kept_seq = key.sequence
+            if drop_tombstones and key.kind == KIND_DELETE:
+                # Droppable only when no snapshot predates it: an older
+                # snapshot forces an older PUT of this key to survive,
+                # and dropping the tombstone would resurrect that PUT for
+                # present-time readers.
+                if not boundaries or boundaries[0] >= key.sequence:
+                    continue
+            yield key, value
+            continue
+        # An older version of the same user key: visible to a snapshot?
+        if _visible_to_some_snapshot(boundaries, key.sequence, prev_kept_seq):
+            prev_kept_seq = key.sequence
+            yield key, value
+
+
+def _visible_to_some_snapshot(boundaries: Sequence[int], seq: int, newer_seq: int) -> bool:
+    """True if a snapshot s exists with seq <= s < newer_seq.
+
+    At such a snapshot this version (not the newer one) is the visible
+    one, so compaction must preserve it.
+    """
+    idx = bisect_left(boundaries, seq)
+    return idx < len(boundaries) and boundaries[idx] < newer_seq

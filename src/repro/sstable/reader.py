@@ -1,0 +1,184 @@
+"""Reads sstables back, paying simulated device time per block touched.
+
+Opening a reader loads the footer, index block, and bloom filter (this is
+the "index block caching" the paper discusses for Table 5.1 / Workload C:
+engines keep a bounded table cache of open readers, so stores with many
+small sstables miss that cache more often).  ``get`` consults the bloom
+filter first — the PebblesDB optimization of section 4.1 — and reads at
+most one data block on a negative filter answer avoided.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, List, Optional, Tuple
+
+from repro.bloom import BloomFilter
+from repro.errors import CorruptionError
+from repro.memtable.memtable import GetResult
+from repro.sim.storage import IoAccount, SimulatedStorage
+from repro.sstable.format import FOOTER_SIZE, Footer, IndexEntry, decode_block, decode_index
+from repro.util.keys import KIND_DELETE, KIND_PUT, MAX_SEQUENCE, InternalKey
+
+
+class SSTableReader:
+    """Random and sequential access to one immutable sstable."""
+
+    def __init__(
+        self,
+        storage: SimulatedStorage,
+        name: str,
+        footer: Footer,
+        index: List[IndexEntry],
+        bloom: Optional[BloomFilter],
+        file_size: int,
+    ) -> None:
+        self._storage = storage
+        self.name = name
+        self._footer = footer
+        self._index = index
+        self._index_keys = [entry.last_key for entry in index]
+        self.bloom = bloom
+        self.file_size = file_size
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        storage: SimulatedStorage,
+        name: str,
+        account: IoAccount,
+        *,
+        load_bloom: bool = True,
+    ) -> "SSTableReader":
+        """Read footer + index (+ bloom) and return a ready reader."""
+        size = storage.size(name)
+        if size < FOOTER_SIZE:
+            raise CorruptionError(f"sstable too small: {name}")
+        footer = Footer.decode(storage.read(name, size - FOOTER_SIZE, FOOTER_SIZE, account))
+        index_raw = storage.read(name, footer.index_offset, footer.index_size, account)
+        index = decode_index(index_raw)
+        bloom = None
+        if load_bloom and footer.filter_size:
+            filter_raw = storage.read(
+                name, footer.filter_offset, footer.filter_size, account
+            )
+            bloom = BloomFilter.decode(filter_raw)
+        return cls(storage, name, footer, index, bloom, size)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        return self._footer.num_entries
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._index)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Resident footprint: parsed index + bloom (Table 5.4 input)."""
+        index_bytes = sum(len(e.last_key.user_key) + 24 for e in self._index)
+        bloom_bytes = self.bloom.size_bytes if self.bloom is not None else 0
+        return index_bytes + bloom_bytes
+
+    def may_contain(self, user_key: bytes, account: IoAccount) -> bool:
+        """Bloom-filter test; True when no filter is loaded."""
+        if self.bloom is None:
+            return True
+        cpu = self._storage.cpu
+        account.charge(cpu.charge("bloom_check", cpu.bloom_check))
+        return self.bloom.may_contain(user_key)
+
+    # ------------------------------------------------------------------
+    def _read_block(self, entry: IndexEntry, account: IoAccount, *, sequential: bool = False):
+        raw = self._storage.read(
+            self.name, entry.offset, entry.size, account, sequential=sequential
+        )
+        return decode_block(raw)
+
+    def get(self, user_key: bytes, snapshot: int, account: IoAccount) -> GetResult:
+        """Newest visible version of ``user_key`` in this table."""
+        cpu = self._storage.cpu
+        account.charge(cpu.charge("sstable_search", cpu.sstable_search))
+        probe = InternalKey(user_key, min(snapshot, MAX_SEQUENCE), KIND_PUT)
+        idx = bisect_left(self._index_keys, probe)
+        while idx < len(self._index):
+            block = self._read_block(self._index[idx], account)
+            pos = bisect_left([k for k, _ in block], probe)
+            for key, value in block[pos:]:
+                if key.user_key != user_key:
+                    return GetResult(False, False, None)
+                if key.sequence <= snapshot:
+                    if key.kind == KIND_DELETE:
+                        return GetResult(True, True, None, key.sequence)
+                    return GetResult(True, False, value, key.sequence)
+            # All matching entries in this block were newer than the
+            # snapshot; the next block may hold older versions.
+            idx += 1
+        return GetResult(False, False, None)
+
+    # ------------------------------------------------------------------
+    def iter_all(self, account: IoAccount, *, cache_insert: bool = True) -> Iterator[
+        Tuple[InternalKey, bytes]
+    ]:
+        """Scan every entry in order (compactions use cache_insert=False)."""
+        for entry in self._index:
+            raw = self._storage.read(
+                self.name,
+                entry.offset,
+                entry.size,
+                account,
+                sequential=True,
+                cache_insert=cache_insert,
+            )
+            for item in decode_block(raw):
+                yield item
+
+    def seek(self, probe: InternalKey, account: IoAccount) -> Iterator[
+        Tuple[InternalKey, bytes]
+    ]:
+        """Iterate entries starting at the first internal key >= probe."""
+        cpu = self._storage.cpu
+        account.charge(cpu.charge("sstable_search", cpu.sstable_search))
+        idx = bisect_left(self._index_keys, probe)
+        first = True
+        for entry in self._index[idx:]:
+            block = self._read_block(entry, account)
+            if first:
+                pos = bisect_left([k for k, _ in block], probe)
+                block = block[pos:]
+                first = False
+            for item in block:
+                yield item
+
+    def seek_user_key(self, user_key: bytes, account: IoAccount) -> Iterator[
+        Tuple[InternalKey, bytes]
+    ]:
+        """Iterate starting at the newest entry for ``user_key``."""
+        return self.seek(InternalKey(user_key, MAX_SEQUENCE, KIND_PUT), account)
+
+    def iter_reverse(
+        self, account: IoAccount, max_user_key: Optional[bytes] = None
+    ) -> Iterator[Tuple[InternalKey, bytes]]:
+        """Iterate entries in descending internal-key order.
+
+        Blocks are visited back to front (each block read costs one
+        random read, like a backward scan on a real store); entries with
+        user key > ``max_user_key`` are skipped.
+        """
+        cpu = self._storage.cpu
+        account.charge(cpu.charge("sstable_search", cpu.sstable_search))
+        for idx in range(len(self._index) - 1, -1, -1):
+            if (
+                max_user_key is not None
+                and idx > 0
+                and self._index[idx - 1].last_key.user_key > max_user_key
+            ):
+                # Every key in this block exceeds the bound.
+                continue
+            block = self._read_block(self._index[idx], account)
+            for key, value in reversed(block):
+                if max_user_key is not None and key.user_key > max_user_key:
+                    continue
+                yield key, value

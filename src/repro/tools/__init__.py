@@ -1,0 +1,7 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.dbbench`` — the db_bench-style CLI runner.
+* ``python -m repro.tools.shell`` — an interactive store shell.
+* :mod:`repro.tools.repair` — rebuild a store's MANIFEST from its
+  sstables after metadata loss.
+"""

@@ -1,0 +1,175 @@
+"""db_bench-style command line runner.
+
+Mirrors LevelDB's ``db_bench`` flags on the simulated stores::
+
+    python -m repro.tools.dbbench --engine pebblesdb \
+        --num 20000 --value-size 1024 --threads 1 \
+        --benchmarks fillrandom,readrandom,seekrandom
+
+Prints one result row per benchmark phase (simulated KOps/s and exact
+device IO) and a final stats block.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.engines.registry import ENGINES
+from repro.harness import fresh_run, standard_config
+from repro.sim.aging import FilesystemAging
+from repro.sim.device import DeviceModel
+from repro.workloads.db_bench import BenchResult
+
+#: Benchmarks the CLI understands, in db_bench naming.
+BENCHMARKS = (
+    "fillseq",
+    "fillrandom",
+    "fillsync",
+    "overwrite",
+    "readrandom",
+    "readmissing",
+    "readhot",
+    "readseq",
+    "seekrandom",
+    "rangequery",
+    "deleterandom",
+    "mixed",
+    "compact",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dbbench",
+        description="Run db_bench-style workloads against a simulated store.",
+    )
+    parser.add_argument(
+        "--engine",
+        default="pebblesdb",
+        help="engine name, comma-separated list, or 'all' to compare "
+        f"(choices: {', '.join(ENGINES)})",
+    )
+    parser.add_argument("--num", type=int, default=20000, help="number of keys")
+    parser.add_argument("--value-size", type=int, default=1024)
+    parser.add_argument("--reads", type=int, default=None, help="read ops (default: num/4)")
+    parser.add_argument("--seeks", type=int, default=None, help="seek ops (default: num/8)")
+    parser.add_argument("--nexts", type=int, default=50, help="next() calls per rangequery")
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cache-mb", type=float, default=None, help="page cache size (default: dataset/3)"
+    )
+    parser.add_argument("--device", choices=("ssd", "ssd-raid0", "hdd"), default="ssd-raid0")
+    parser.add_argument("--aged-fs", action="store_true", help="age the file system first")
+    parser.add_argument(
+        "--benchmarks",
+        default="fillrandom,readrandom,seekrandom",
+        help="comma-separated list from: " + ",".join(BENCHMARKS),
+    )
+    return parser
+
+
+def _device_factory(name: str):
+    return {
+        "ssd": DeviceModel.ssd,
+        "ssd-raid0": DeviceModel.ssd_raid0,
+        "hdd": DeviceModel.hdd,
+    }[name]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    engines = (
+        list(ENGINES)
+        if args.engine == "all"
+        else [e.strip() for e in args.engine.split(",") if e.strip()]
+    )
+    bad = [e for e in engines if e not in ENGINES]
+    if bad:
+        print(f"unknown engines: {', '.join(bad)}", file=sys.stderr)
+        return 2
+    if len(engines) > 1:
+        rc = 0
+        for engine in engines:
+            print(f"\n===== {engine} =====")
+            rc |= _run_one(engine, names, args)
+        return rc
+    return _run_one(engines[0], names, args)
+
+
+def _run_one(engine: str, names: List[str], args) -> int:
+    cfg = standard_config(
+        num_keys=args.num,
+        value_size=args.value_size,
+        threads=args.threads,
+        seed=args.seed,
+        cache_bytes=int(args.cache_mb * 1024 * 1024) if args.cache_mb else None,
+        device_factory=_device_factory(args.device),
+        aging=FilesystemAging(2, 0.89) if args.aged_fs else None,
+    )
+    run = fresh_run(engine, cfg)
+    bench = run.bench
+    reads = args.reads if args.reads is not None else max(1, args.num // 4)
+    seeks = args.seeks if args.seeks is not None else max(1, args.num // 8)
+
+    print(f"engine={engine} keys={args.num} value={args.value_size}B "
+          f"threads={args.threads} cache={cfg.effective_cache_bytes() // 1024}KB "
+          f"device={args.device}")
+    print("-" * 78)
+    results: List[BenchResult] = []
+    for name in names:
+        if name == "fillseq":
+            results.append(bench.fill_seq())
+        elif name == "fillrandom":
+            results.append(bench.fill_random())
+        elif name == "fillsync":
+            results.append(bench.fill_sync())
+        elif name == "overwrite":
+            results.append(bench.overwrite())
+        elif name == "readrandom":
+            results.append(bench.read_random(reads))
+        elif name == "readmissing":
+            results.append(bench.read_missing(reads))
+        elif name == "readhot":
+            results.append(bench.read_hot(reads))
+        elif name == "readseq":
+            results.append(bench.read_seq(reads))
+        elif name == "seekrandom":
+            results.append(bench.seek_random(seeks))
+        elif name == "rangequery":
+            results.append(bench.seek_random(seeks, nexts=args.nexts))
+        elif name == "deleterandom":
+            results.append(bench.delete_random())
+        elif name == "mixed":
+            results.append(bench.mixed_read_write(reads, reads))
+        elif name == "compact":
+            run.db.compact_all()
+            print(f"{'compact':<16} store compacted")
+            continue
+        print(results[-1].row())
+
+    run.db.wait_idle()
+    stats = run.db.stats()
+    print("-" * 78)
+    print(
+        f"write amplification {stats.write_amplification:.2f}x | "
+        f"device W {stats.device_bytes_written / 1e6:.1f} MB "
+        f"R {stats.device_bytes_read / 1e6:.1f} MB | "
+        f"stalls {stats.stall_seconds:.3f}s | "
+        f"sstables {stats.sstable_count} | "
+        f"sim time {run.env.now:.3f}s"
+    )
+    run.db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

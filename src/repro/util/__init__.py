@@ -1,0 +1,50 @@
+"""Low-level utilities shared by every subsystem.
+
+Contents
+--------
+``varint``
+    LevelDB-compatible unsigned varint32/64 encoding.
+``crc``
+    Masked CRC-32C-style checksums for log records and sstable blocks.
+``murmur``
+    Pure-Python MurmurHash3 (x86 32-bit), used for guard selection and
+    bloom-filter hashing, matching the paper's use of MurmurHash.
+``keys``
+    Internal-key codec: ``(user_key, sequence, kind)`` packing and the
+    comparator shared by the memtable, sstables, and merging iterators.
+"""
+
+from repro.util.varint import (
+    decode_varint32,
+    decode_varint64,
+    encode_varint32,
+    encode_varint64,
+)
+from repro.util.crc import crc32c, mask_crc, unmask_crc
+from repro.util.murmur import murmur3_32, murmur3_64
+from repro.util.keys import (
+    KIND_DELETE,
+    KIND_PUT,
+    MAX_SEQUENCE,
+    InternalKey,
+    pack_internal_key,
+    unpack_internal_key,
+)
+
+__all__ = [
+    "decode_varint32",
+    "decode_varint64",
+    "encode_varint32",
+    "encode_varint64",
+    "crc32c",
+    "mask_crc",
+    "unmask_crc",
+    "murmur3_32",
+    "murmur3_64",
+    "KIND_DELETE",
+    "KIND_PUT",
+    "MAX_SEQUENCE",
+    "InternalKey",
+    "pack_internal_key",
+    "unpack_internal_key",
+]

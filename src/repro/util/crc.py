@@ -1,0 +1,34 @@
+"""Checksums for log records and sstable blocks.
+
+LevelDB uses CRC-32C (Castagnoli) with a *masking* step so that a CRC stored
+alongside the data it covers does not accidentally re-checksum to itself.
+We reuse the masking scheme verbatim.  For the polynomial we use
+:func:`zlib.crc32` (CRC-32/ISO-HDLC): the library never needs to
+interoperate with real LevelDB files, only to detect corruption of its own
+records, for which any 32-bit CRC is equally strong — and ``zlib.crc32`` is
+C-speed, which matters in a pure-Python store.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+_MASK_DELTA = 0xA282EAD8
+_U32 = 0xFFFFFFFF
+
+
+def crc32c(data: bytes, seed: int = 0) -> int:
+    """32-bit CRC of ``data`` (optionally chained via ``seed``)."""
+    return zlib.crc32(data, seed) & _U32
+
+
+def mask_crc(crc: int) -> int:
+    """Mask a raw CRC before storing it next to the covered bytes."""
+    rotated = ((crc >> 15) | (crc << 17)) & _U32
+    return (rotated + _MASK_DELTA) & _U32
+
+
+def unmask_crc(masked: int) -> int:
+    """Invert :func:`mask_crc`."""
+    rotated = (masked - _MASK_DELTA) & _U32
+    return ((rotated >> 17) | (rotated << 15)) & _U32

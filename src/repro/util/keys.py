@@ -1,0 +1,89 @@
+"""Internal-key codec shared by memtable, sstables, and iterators.
+
+LSM-family stores never update in place: each ``put``/``delete`` appends a
+new *internal key* ``(user_key, sequence, kind)`` where ``sequence`` is a
+store-wide monotonically increasing version number and ``kind`` marks the
+record as a value or a tombstone.  Ordering is ``user_key`` ascending, then
+``sequence`` *descending*, so a forward scan meets the newest version of
+each user key first.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import CorruptionError
+
+KIND_DELETE = 0
+KIND_PUT = 1
+
+#: Largest representable sequence number (56 bits, as in LevelDB).
+MAX_SEQUENCE = (1 << 56) - 1
+
+_TRAILER_LEN = 8
+
+
+class InternalKey:
+    """A versioned key.  Orders by (user_key asc, sequence desc)."""
+
+    __slots__ = ("user_key", "sequence", "kind")
+
+    def __init__(self, user_key: bytes, sequence: int, kind: int) -> None:
+        if not 0 <= sequence <= MAX_SEQUENCE:
+            raise ValueError(f"sequence out of range: {sequence}")
+        if kind not in (KIND_DELETE, KIND_PUT):
+            raise ValueError(f"bad kind: {kind}")
+        self.user_key = user_key
+        self.sequence = sequence
+        self.kind = kind
+
+    def _sort_key(self) -> Tuple[bytes, int, int]:
+        # Negating the sequence makes plain tuple comparison give the
+        # newest-first order within a user key.
+        return (self.user_key, -self.sequence, -self.kind)
+
+    def __lt__(self, other: "InternalKey") -> bool:
+        return self._sort_key() < other._sort_key()
+
+    def __le__(self, other: "InternalKey") -> bool:
+        return self._sort_key() <= other._sort_key()
+
+    def __gt__(self, other: "InternalKey") -> bool:
+        return self._sort_key() > other._sort_key()
+
+    def __ge__(self, other: "InternalKey") -> bool:
+        return self._sort_key() >= other._sort_key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InternalKey):
+            return NotImplemented
+        return (
+            self.user_key == other.user_key
+            and self.sequence == other.sequence
+            and self.kind == other.kind
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.user_key, self.sequence, self.kind))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "PUT" if self.kind == KIND_PUT else "DEL"
+        return f"InternalKey({self.user_key!r}, seq={self.sequence}, {kind})"
+
+
+def pack_internal_key(key: InternalKey) -> bytes:
+    """Serialize to ``user_key + 8-byte little-endian (seq << 8 | kind)``."""
+    trailer = (key.sequence << 8) | key.kind
+    return key.user_key + trailer.to_bytes(_TRAILER_LEN, "little")
+
+
+def unpack_internal_key(data: bytes) -> InternalKey:
+    """Inverse of :func:`pack_internal_key`."""
+    if len(data) < _TRAILER_LEN:
+        raise CorruptionError("internal key shorter than trailer")
+    trailer = int.from_bytes(data[-_TRAILER_LEN:], "little")
+    kind = trailer & 0xFF
+    sequence = trailer >> 8
+    if kind not in (KIND_DELETE, KIND_PUT):
+        raise CorruptionError(f"bad internal key kind: {kind}")
+    return InternalKey(data[:-_TRAILER_LEN], sequence, kind)

@@ -1,0 +1,77 @@
+"""Pure-Python MurmurHash3.
+
+PebblesDB hashes every inserted key with MurmurHash and inspects the least
+significant bits of the digest to decide whether the key becomes a guard
+(paper section 4.4).  We implement MurmurHash3 x86 32-bit exactly (same test
+vectors as the reference smhasher implementation) so guard selection has the
+same statistical properties the paper relies on, and derive a 64-bit variant
+by hashing with two seeds for uses that need more bits (bloom filters).
+"""
+
+from __future__ import annotations
+
+_U32 = 0xFFFFFFFF
+
+_C1 = 0xCC9E2D51
+_C2 = 0x1B873593
+
+
+def _rotl32(x: int, r: int) -> int:
+    return ((x << r) | (x >> (32 - r))) & _U32
+
+
+def _fmix32(h: int) -> int:
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _U32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _U32
+    h ^= h >> 16
+    return h
+
+
+def murmur3_32(data: bytes, seed: int = 0) -> int:
+    """MurmurHash3 x86 32-bit of ``data`` with ``seed``."""
+    length = len(data)
+    nblocks = length // 4
+    h1 = seed & _U32
+
+    for i in range(nblocks):
+        k1 = int.from_bytes(data[4 * i : 4 * i + 4], "little")
+        k1 = (k1 * _C1) & _U32
+        k1 = _rotl32(k1, 15)
+        k1 = (k1 * _C2) & _U32
+        h1 ^= k1
+        h1 = _rotl32(h1, 13)
+        h1 = (h1 * 5 + 0xE6546B64) & _U32
+
+    tail = data[nblocks * 4 :]
+    k1 = 0
+    if len(tail) >= 3:
+        k1 ^= tail[2] << 16
+    if len(tail) >= 2:
+        k1 ^= tail[1] << 8
+    if len(tail) >= 1:
+        k1 ^= tail[0]
+        k1 = (k1 * _C1) & _U32
+        k1 = _rotl32(k1, 15)
+        k1 = (k1 * _C2) & _U32
+        h1 ^= k1
+
+    h1 ^= length
+    return _fmix32(h1)
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=1 << 18)
+def murmur3_64(data: bytes, seed: int = 0) -> int:
+    """64 bits derived from two seeded murmur3_32 passes.
+
+    Used where 32 bits of hash are not enough (double-hashing bloom
+    filters over large key sets).  Cached: the same user keys are
+    re-hashed at every compaction that rebuilds a bloom filter.
+    """
+    lo = murmur3_32(data, seed)
+    hi = murmur3_32(data, seed ^ 0x9E3779B9)
+    return (hi << 32) | lo

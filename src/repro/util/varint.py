@@ -1,0 +1,73 @@
+"""Unsigned varint encoding, wire-compatible with LevelDB/protobuf.
+
+Each byte carries 7 payload bits; the high bit marks continuation.  Varints
+keep small lengths (the common case for key/value sizes) to one byte, which
+is what makes the sstable block format compact.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import CorruptionError
+
+_MAX_U32 = (1 << 32) - 1
+_MAX_U64 = (1 << 64) - 1
+
+
+def encode_varint32(value: int) -> bytes:
+    """Encode ``value`` (0 <= value < 2**32) as a varint."""
+    if not 0 <= value <= _MAX_U32:
+        raise ValueError(f"varint32 out of range: {value}")
+    return _encode(value)
+
+
+def encode_varint64(value: int) -> bytes:
+    """Encode ``value`` (0 <= value < 2**64) as a varint."""
+    if not 0 <= value <= _MAX_U64:
+        raise ValueError(f"varint64 out of range: {value}")
+    return _encode(value)
+
+
+def _encode(value: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint32(buf: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint32 from ``buf`` at ``offset``.
+
+    Returns ``(value, new_offset)``.  Raises :class:`CorruptionError` on a
+    truncated or overlong encoding.
+    """
+    value, offset = _decode(buf, offset, max_bytes=5)
+    if value > _MAX_U32:
+        raise CorruptionError("varint32 overflow")
+    return value, offset
+
+
+def decode_varint64(buf: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint64 from ``buf`` at ``offset``; see decode_varint32."""
+    return _decode(buf, offset, max_bytes=10)
+
+
+def _decode(buf: bytes, offset: int, max_bytes: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    for i in range(max_bytes):
+        pos = offset + i
+        if pos >= len(buf):
+            raise CorruptionError("truncated varint")
+        byte = buf[pos]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos + 1
+        shift += 7
+    raise CorruptionError("varint too long")

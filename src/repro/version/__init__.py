@@ -1,0 +1,29 @@
+"""Metadata persistence: file manifests and version edits.
+
+Engines describe every metadata change — sstables added/removed, sequence
+number high-water mark, and (for FLSM) guards committed or deleted — as a
+:class:`VersionEdit` appended to a MANIFEST log.  Recovery replays the
+MANIFEST and then the write-ahead log; PebblesDB's only addition over
+LevelDB is the guard metadata riding in the same edits (paper section
+4.3.1), which is exactly how we persist it.
+"""
+
+from repro.version.files import FileMetadata
+from repro.version.manifest import (
+    CURRENT_NAME,
+    ManifestReader,
+    ManifestWriter,
+    VersionEdit,
+    read_current,
+    set_current,
+)
+
+__all__ = [
+    "FileMetadata",
+    "VersionEdit",
+    "ManifestWriter",
+    "ManifestReader",
+    "CURRENT_NAME",
+    "read_current",
+    "set_current",
+]

@@ -1,0 +1,18 @@
+"""Write-ahead log.
+
+Before a write reaches the memtable it is appended to a log file so a
+crash loses nothing that was acknowledged.  Records use LevelDB's framing:
+the log is a sequence of 32 KiB blocks, each record carries a masked CRC,
+length, and a FULL/FIRST/MIDDLE/LAST type so records may span blocks and a
+torn tail is detected and dropped cleanly on recovery.
+"""
+
+from repro.wal.log import (
+    BLOCK_SIZE,
+    LogReader,
+    LogWriter,
+    decode_batch,
+    encode_batch,
+)
+
+__all__ = ["BLOCK_SIZE", "LogReader", "LogWriter", "encode_batch", "decode_batch"]

@@ -1,0 +1,181 @@
+"""Record-framed log writer/reader plus the write-batch codec.
+
+Framing (per LevelDB): 32 KiB blocks; each physical record is
+``masked_crc(4) | length(2) | type(1) | payload``.  A logical record that
+does not fit the current block is split FIRST/MIDDLE/.../LAST; a block tail
+smaller than a header is zero-padded.  Readers stop at the first corrupt or
+truncated record — exactly the durability boundary a crash leaves.
+
+A *write batch* (one logical record) is ``sequence(8) | count(4)`` followed
+by ``kind(1) | varint klen | key [| varint vlen | value]`` per operation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import CorruptionError
+from repro.sim.storage import IoAccount, SimulatedStorage
+from repro.util.crc import crc32c, mask_crc, unmask_crc
+from repro.util.keys import KIND_DELETE, KIND_PUT
+from repro.util.varint import decode_varint32, encode_varint32
+
+BLOCK_SIZE = 32 * 1024
+_HEADER_SIZE = 7
+
+_FULL = 1
+_FIRST = 2
+_MIDDLE = 3
+_LAST = 4
+
+#: Operations are (kind, user_key, value) triples; value is b"" for deletes.
+Op = Tuple[int, bytes, bytes]
+
+
+def encode_batch(sequence: int, ops: List[Op]) -> bytes:
+    """Serialize a write batch starting at ``sequence``."""
+    buf = bytearray()
+    buf += sequence.to_bytes(8, "little")
+    buf += len(ops).to_bytes(4, "little")
+    for kind, key, value in ops:
+        if kind not in (KIND_PUT, KIND_DELETE):
+            raise ValueError(f"bad op kind: {kind}")
+        buf.append(kind)
+        buf += encode_varint32(len(key))
+        buf += key
+        if kind == KIND_PUT:
+            buf += encode_varint32(len(value))
+            buf += value
+    return bytes(buf)
+
+
+def decode_batch(data: bytes) -> Tuple[int, List[Op]]:
+    """Inverse of :func:`encode_batch`; returns ``(sequence, ops)``."""
+    if len(data) < 12:
+        raise CorruptionError("write batch too short")
+    sequence = int.from_bytes(data[0:8], "little")
+    count = int.from_bytes(data[8:12], "little")
+    ops: List[Op] = []
+    offset = 12
+    for _ in range(count):
+        if offset >= len(data):
+            raise CorruptionError("write batch truncated")
+        kind = data[offset]
+        offset += 1
+        klen, offset = decode_varint32(data, offset)
+        key = data[offset : offset + klen]
+        if len(key) != klen:
+            raise CorruptionError("write batch key truncated")
+        offset += klen
+        value = b""
+        if kind == KIND_PUT:
+            vlen, offset = decode_varint32(data, offset)
+            value = data[offset : offset + vlen]
+            if len(value) != vlen:
+                raise CorruptionError("write batch value truncated")
+            offset += vlen
+        elif kind != KIND_DELETE:
+            raise CorruptionError(f"bad op kind in batch: {kind}")
+        ops.append((kind, key, value))
+    return sequence, ops
+
+
+class LogWriter:
+    """Appends framed records to a log file."""
+
+    def __init__(self, storage: SimulatedStorage, name: str) -> None:
+        self._storage = storage
+        self.name = name
+        if not storage.exists(name):
+            storage.create(name)
+        self._block_offset = storage.size(name) % BLOCK_SIZE
+
+    def append(self, payload: bytes, account: IoAccount, *, sync: bool = False) -> None:
+        """Write one logical record (fragmenting across blocks as needed)."""
+        out = bytearray()
+        remaining = payload
+        first = True
+        while True:
+            leftover = BLOCK_SIZE - self._block_offset
+            if leftover < _HEADER_SIZE:
+                out += b"\x00" * leftover
+                self._block_offset = 0
+                leftover = BLOCK_SIZE
+            avail = leftover - _HEADER_SIZE
+            fragment = remaining[:avail]
+            remaining = remaining[avail:]
+            if first and not remaining:
+                rec_type = _FULL
+            elif first:
+                rec_type = _FIRST
+            elif remaining:
+                rec_type = _MIDDLE
+            else:
+                rec_type = _LAST
+            crc = mask_crc(crc32c(bytes([rec_type]) + fragment))
+            out += crc.to_bytes(4, "little")
+            out += len(fragment).to_bytes(2, "little")
+            out.append(rec_type)
+            out += fragment
+            self._block_offset += _HEADER_SIZE + len(fragment)
+            first = False
+            if not remaining:
+                break
+        self._storage.append(self.name, bytes(out), account)
+        if sync:
+            self._storage.sync(self.name, account)
+
+    def sync(self, account: IoAccount) -> None:
+        self._storage.sync(self.name, account)
+
+
+class LogReader:
+    """Replays every intact logical record of a log file."""
+
+    def __init__(self, storage: SimulatedStorage, name: str) -> None:
+        self._storage = storage
+        self.name = name
+
+    def records(self, account: IoAccount) -> Iterator[bytes]:
+        """Yield logical records until EOF or the first corruption."""
+        data = self._storage.read(
+            self.name, 0, self._storage.size(self.name), account, sequential=True
+        )
+        offset = 0
+        pending: Optional[bytearray] = None
+        while offset + _HEADER_SIZE <= len(data):
+            block_left = BLOCK_SIZE - offset % BLOCK_SIZE
+            if block_left < _HEADER_SIZE:
+                offset += block_left  # zero-padded block tail
+                continue
+            stored_crc = unmask_crc(int.from_bytes(data[offset : offset + 4], "little"))
+            length = int.from_bytes(data[offset + 4 : offset + 6], "little")
+            rec_type = data[offset + 6]
+            if rec_type == 0 and length == 0:
+                offset += block_left  # padding
+                continue
+            start = offset + _HEADER_SIZE
+            end = start + length
+            if end > len(data):
+                return  # torn tail
+            fragment = data[start:end]
+            if crc32c(bytes([rec_type]) + fragment) != stored_crc:
+                return  # corrupt tail: stop replay
+            offset = end
+            if rec_type == _FULL:
+                pending = None
+                yield fragment
+            elif rec_type == _FIRST:
+                pending = bytearray(fragment)
+            elif rec_type == _MIDDLE:
+                if pending is None:
+                    return
+                pending += fragment
+            elif rec_type == _LAST:
+                if pending is None:
+                    return
+                pending += fragment
+                yield bytes(pending)
+                pending = None
+            else:
+                return

@@ -1,0 +1,39 @@
+"""Workload generators and benchmark drivers.
+
+* :mod:`repro.workloads.distributions` — uniform / zipfian / scrambled
+  zipfian / latest / sequential request distributions (the YCSB family)
+  and deterministic key/value encoding.
+* :mod:`repro.workloads.db_bench` — the LevelDB ``db_bench`` micro
+  benchmark suite the paper uses in section 5.2.
+* :mod:`repro.workloads.ycsb` — the Yahoo Cloud Serving Benchmark core
+  workloads A-F (Table 5.3) and their runner.
+* :mod:`repro.workloads.timeseries` — the insert/read/delete-in-windows
+  workload of Figure 5.4 (empty-guard accumulation).
+"""
+
+from repro.workloads.distributions import (
+    KeyCodec,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    SequentialGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    value_bytes,
+)
+from repro.workloads.db_bench import BenchResult, DBBench
+from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbRunner, YcsbWorkload
+
+__all__ = [
+    "KeyCodec",
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "LatestGenerator",
+    "SequentialGenerator",
+    "value_bytes",
+    "BenchResult",
+    "DBBench",
+    "YcsbWorkload",
+    "YCSB_WORKLOADS",
+    "YcsbRunner",
+]

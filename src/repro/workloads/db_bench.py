@@ -1,0 +1,277 @@
+"""The db_bench micro-benchmark suite (paper section 5.2).
+
+Mirrors the LevelDB ``db_bench`` workloads the paper runs: ``fillseq``,
+``fillrandom``, ``readrandom``, ``seekrandom``, ``deleterandom``,
+``overwrite`` (updates), plus a mixed readwhilewriting-style workload for
+the concurrency experiment.  Each run reports throughput in simulated
+KOps/s and the exact device IO the store performed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engines.base import KeyValueStore
+from repro.sim.storage import SimulatedStorage
+from repro.workloads.distributions import KeyCodec, value_bytes
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one micro-benchmark phase."""
+
+    name: str
+    ops: int
+    elapsed_seconds: float
+    device_bytes_written: int
+    device_bytes_read: int
+    user_bytes_written: int
+    stall_seconds: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def kops(self) -> float:
+        """Throughput in thousands of operations per simulated second."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.ops / self.elapsed_seconds / 1000.0
+
+    #: Per-operation simulated latencies in seconds (sampled when the
+    #: driver collects them); see :meth:`percentile`.
+    latencies: Optional[List[float]] = None
+
+    @property
+    def write_amplification(self) -> float:
+        if self.user_bytes_written == 0:
+            return 0.0
+        return self.device_bytes_written / self.user_bytes_written
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile in seconds (q in [0, 1]); 0.0 if unsampled."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        pos = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[pos]
+
+    def row(self) -> str:
+        text = (
+            f"{self.name:<16} {self.ops:>9} ops  {self.kops:>9.2f} KOps/s  "
+            f"W {self.device_bytes_written / 1e6:>8.1f} MB  "
+            f"R {self.device_bytes_read / 1e6:>8.1f} MB  "
+            f"amp {self.write_amplification:>5.2f}"
+        )
+        if self.latencies:
+            text += (
+                f"  p50 {self.percentile(0.5) * 1e6:>7.1f}us"
+                f"  p99 {self.percentile(0.99) * 1e6:>8.1f}us"
+            )
+        return text
+
+
+class DBBench:
+    """Drives micro-benchmarks against one store on one simulated device."""
+
+    def __init__(
+        self,
+        db: KeyValueStore,
+        storage: SimulatedStorage,
+        *,
+        num_keys: int = 20000,
+        value_size: int = 1024,
+        key_width: int = 16,
+        seed: int = 0,
+    ) -> None:
+        self.db = db
+        self.storage = storage
+        self.num_keys = num_keys
+        self.value_size = value_size
+        self.codec = KeyCodec(key_width)
+        self.seed = seed
+        self._value_version = 0
+
+    # ------------------------------------------------------------------
+    def _snapshot(self):
+        stats = self.db.stats()
+        return (
+            self.storage.clock.now,
+            stats.device_bytes_written,
+            stats.device_bytes_read,
+            stats.user_bytes_written,
+            stats.stall_seconds,
+        )
+
+    def _result(self, name: str, ops: int, before) -> BenchResult:
+        after = self._snapshot()
+        return BenchResult(
+            name=name,
+            ops=ops,
+            elapsed_seconds=after[0] - before[0],
+            device_bytes_written=after[1] - before[1],
+            device_bytes_read=after[2] - before[2],
+            user_bytes_written=after[3] - before[3],
+            stall_seconds=after[4] - before[4],
+        )
+
+    def _value(self, index: int) -> bytes:
+        return value_bytes(index + self._value_version * self.num_keys, self.value_size)
+
+    # ------------------------------------------------------------------
+    # Write workloads
+    # ------------------------------------------------------------------
+    def fill_seq(self, count: Optional[int] = None) -> BenchResult:
+        """Insert keys in ascending order (paper: LSM's best case)."""
+        n = count if count is not None else self.num_keys
+        before = self._snapshot()
+        for i in range(n):
+            self.db.put(self.codec.encode(i), self._value(i))
+        return self._result("fillseq", n, before)
+
+    def fill_random(self, count: Optional[int] = None) -> BenchResult:
+        """Insert keys in random order (the paper's headline workload)."""
+        n = count if count is not None else self.num_keys
+        order = list(range(n))
+        random.Random(self.seed).shuffle(order)
+        clock = self.storage.clock
+        latencies: List[float] = []
+        before = self._snapshot()
+        for i in order:
+            t0 = clock.now
+            self.db.put(self.codec.encode(i), self._value(i))
+            latencies.append(clock.now - t0)
+        result = self._result("fillrandom", n, before)
+        result.latencies = latencies
+        return result
+
+    def overwrite(self, count: Optional[int] = None) -> BenchResult:
+        """Update existing keys in random order."""
+        n = count if count is not None else self.num_keys
+        self._value_version += 1
+        rng = random.Random(self.seed + self._value_version)
+        before = self._snapshot()
+        for _ in range(n):
+            i = rng.randrange(self.num_keys)
+            self.db.put(self.codec.encode(i), self._value(i))
+        return self._result("overwrite", n, before)
+
+    def delete_random(self, count: Optional[int] = None) -> BenchResult:
+        n = count if count is not None else self.num_keys
+        order = list(range(self.num_keys))
+        random.Random(self.seed + 77).shuffle(order)
+        before = self._snapshot()
+        for i in order[:n]:
+            self.db.delete(self.codec.encode(i))
+        return self._result("deleterandom", n, before)
+
+    def fill_sync(self, count: Optional[int] = None) -> BenchResult:
+        """Random inserts with a synchronous WAL (db_bench's fillsync)."""
+        n = count if count is not None else self.num_keys
+        opts = getattr(self.db, "options", None)
+        if opts is None or not hasattr(opts, "sync_writes"):
+            return self.fill_random(n)
+        previous = opts.sync_writes
+        opts.sync_writes = True
+        try:
+            order = list(range(n))
+            random.Random(self.seed + 5).shuffle(order)
+            before = self._snapshot()
+            for i in order:
+                self.db.put(self.codec.encode(i), self._value(i))
+            return self._result("fillsync", n, before)
+        finally:
+            opts.sync_writes = previous
+
+    # ------------------------------------------------------------------
+    # Read workloads
+    # ------------------------------------------------------------------
+    def read_random(self, count: int, *, expect_found: bool = True) -> BenchResult:
+        rng = random.Random(self.seed + 1)
+        clock = self.storage.clock
+        latencies: List[float] = []
+        before = self._snapshot()
+        found = 0
+        for _ in range(count):
+            key = self.codec.encode(rng.randrange(self.num_keys))
+            t0 = clock.now
+            if self.db.get(key) is not None:
+                found += 1
+            latencies.append(clock.now - t0)
+        result = self._result("readrandom", count, before)
+        result.extra["found_fraction"] = found / count if count else 0.0
+        result.latencies = latencies
+        return result
+
+    def read_missing(self, count: int) -> BenchResult:
+        """Point-lookups of keys that are never present (bloom showcase)."""
+        rng = random.Random(self.seed + 6)
+        missing_codec = KeyCodec(self.codec.width, prefix=b"none")
+        before = self._snapshot()
+        found = 0
+        for _ in range(count):
+            if self.db.get(missing_codec.encode(rng.randrange(self.num_keys))) is not None:
+                found += 1
+        result = self._result("readmissing", count, before)
+        result.extra["found_fraction"] = found / count if count else 0.0
+        return result
+
+    def read_hot(self, count: int, hot_fraction: float = 0.01) -> BenchResult:
+        """Reads confined to a small hot set (cache-friendly)."""
+        rng = random.Random(self.seed + 7)
+        hot = max(1, int(self.num_keys * hot_fraction))
+        before = self._snapshot()
+        for _ in range(count):
+            self.db.get(self.codec.encode(rng.randrange(hot)))
+        return self._result("readhot", count, before)
+
+    def read_seq(self, count: int) -> BenchResult:
+        """One long sequential scan of ``count`` entries (readseq)."""
+        before = self._snapshot()
+        it = self.db.seek(self.codec.encode(0))
+        scanned = 0
+        while it.valid and scanned < count:
+            it.next()
+            scanned += 1
+        it.close()
+        return self._result("readseq", scanned, before)
+
+    def seek_random(self, count: int, nexts: int = 0) -> BenchResult:
+        """Position an iterator at random keys; ``nexts`` next() calls each."""
+        rng = random.Random(self.seed + 2)
+        name = "seekrandom" if nexts == 0 else f"rangequery{nexts}"
+        clock = self.storage.clock
+        latencies: List[float] = []
+        before = self._snapshot()
+        for _ in range(count):
+            key = self.codec.encode(rng.randrange(self.num_keys))
+            t0 = clock.now
+            it = self.db.seek(key)
+            for _ in range(nexts):
+                if not it.valid:
+                    break
+                it.next()
+            it.close()
+            latencies.append(clock.now - t0)
+        result = self._result(name, count, before)
+        result.latencies = latencies
+        return result
+
+    # ------------------------------------------------------------------
+    # Mixed workloads (Figure 5.1c)
+    # ------------------------------------------------------------------
+    def mixed_read_write(self, reads: int, writes: int) -> BenchResult:
+        """Interleave reads and writes (concurrent reader/writer threads)."""
+        rng = random.Random(self.seed + 3)
+        ops: List[int] = [0] * reads + [1] * writes
+        rng.shuffle(ops)
+        self._value_version += 1
+        before = self._snapshot()
+        for op in ops:
+            i = rng.randrange(self.num_keys)
+            key = self.codec.encode(i)
+            if op:
+                self.db.put(key, self._value(i))
+            else:
+                self.db.get(key)
+        return self._result("mixed", reads + writes, before)

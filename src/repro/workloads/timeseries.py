@@ -1,0 +1,91 @@
+"""Time-series workload: the empty-guard experiment of Figure 5.4.
+
+Each iteration inserts a fresh window of sequential key space, reads it,
+then deletes it.  Because FLSM never deletes guards automatically, guards
+created for dead windows accumulate (the paper reaches ~9000 empty guards
+by iteration twenty) — the experiment shows reads and writes are
+unaffected by them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.engines.base import KeyValueStore
+from repro.sim.storage import SimulatedStorage
+from repro.workloads.db_bench import BenchResult
+from repro.workloads.distributions import KeyCodec, value_bytes
+
+
+@dataclass
+class TimeSeriesIteration:
+    """Per-iteration throughput results (relative series of Figure 5.4)."""
+
+    iteration: int
+    write_kops: float
+    read_kops: float
+    delete_kops: float
+    empty_guards: int
+
+
+class TimeSeriesWorkload:
+    """Runs the insert/read/delete window loop against one store."""
+
+    def __init__(
+        self,
+        db: KeyValueStore,
+        storage: SimulatedStorage,
+        *,
+        keys_per_window: int = 5000,
+        reads_per_window: int = 2500,
+        value_size: int = 512,
+        seed: int = 0,
+    ) -> None:
+        self.db = db
+        self.storage = storage
+        self.keys_per_window = keys_per_window
+        self.reads_per_window = reads_per_window
+        self.value_size = value_size
+        self.codec = KeyCodec(16)
+        self.seed = seed
+
+    def run(self, iterations: int) -> List[TimeSeriesIteration]:
+        results = []
+        for it in range(iterations):
+            base = it * self.keys_per_window
+            rng = random.Random(self.seed + it)
+
+            t0 = self.storage.clock.now
+            for i in range(base, base + self.keys_per_window):
+                self.db.put(self.codec.encode(i), value_bytes(i, self.value_size))
+            write_s = self.storage.clock.now - t0
+
+            t0 = self.storage.clock.now
+            for _ in range(self.reads_per_window):
+                i = base + rng.randrange(self.keys_per_window)
+                self.db.get(self.codec.encode(i))
+            read_s = self.storage.clock.now - t0
+
+            t0 = self.storage.clock.now
+            for i in range(base, base + self.keys_per_window):
+                self.db.delete(self.codec.encode(i))
+            delete_s = self.storage.clock.now - t0
+
+            empty = 0
+            if hasattr(self.db, "empty_guard_counts"):
+                empty = sum(self.db.empty_guard_counts())
+            results.append(
+                TimeSeriesIteration(
+                    iteration=it,
+                    write_kops=self.keys_per_window / write_s / 1000.0,
+                    read_kops=self.reads_per_window / read_s / 1000.0,
+                    delete_kops=self.keys_per_window / delete_s / 1000.0,
+                    empty_guards=empty,
+                )
+            )
+        return results
+
+
+__all__ = ["TimeSeriesIteration", "TimeSeriesWorkload", "BenchResult"]

@@ -1,0 +1,158 @@
+"""Workload trace capture and replay.
+
+Records every mutating and reading operation issued against a store into
+a compact binary trace, which can be replayed — against a different
+engine, configuration, or device model — to compare behaviour on
+*exactly* the same request stream.  This is how production key-value
+deployments evaluate engine swaps, and it doubles as a differential
+debugging aid here.
+
+Format: one varint-framed record per operation::
+
+    op(1) | varint klen | key [| varint vlen | value]
+
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.engines.base import KeyValueStore
+from repro.errors import CorruptionError
+from repro.util.varint import decode_varint32, encode_varint32
+
+OP_PUT = 1
+OP_GET = 2
+OP_DELETE = 3
+OP_SEEK = 4
+
+_HAS_VALUE = {OP_PUT}
+
+#: (op, key, value) — value is b"" for ops without one.
+TraceOp = Tuple[int, bytes, bytes]
+
+
+def encode_trace(ops: List[TraceOp]) -> bytes:
+    """Serialize a list of trace operations."""
+    out = bytearray()
+    for op, key, value in ops:
+        if op not in (OP_PUT, OP_GET, OP_DELETE, OP_SEEK):
+            raise ValueError(f"bad trace op: {op}")
+        out.append(op)
+        out += encode_varint32(len(key))
+        out += key
+        if op in _HAS_VALUE:
+            out += encode_varint32(len(value))
+            out += value
+    return bytes(out)
+
+
+def decode_trace(data: bytes) -> Iterator[TraceOp]:
+    """Stream the operations of an encoded trace."""
+    offset = 0
+    end = len(data)
+    while offset < end:
+        op = data[offset]
+        offset += 1
+        if op not in (OP_PUT, OP_GET, OP_DELETE, OP_SEEK):
+            raise CorruptionError(f"bad trace op byte: {op}")
+        klen, offset = decode_varint32(data, offset)
+        if offset + klen > end:
+            raise CorruptionError("trace key truncated")
+        key = data[offset : offset + klen]
+        offset += klen
+        value = b""
+        if op in _HAS_VALUE:
+            vlen, offset = decode_varint32(data, offset)
+            if offset + vlen > end:
+                raise CorruptionError("trace value truncated")
+            value = data[offset : offset + vlen]
+            offset += vlen
+        yield (op, key, value)
+
+
+class TracingStore:
+    """Wraps a store, recording every operation that flows through it.
+
+    Supports the operations trace replay understands (put/get/delete/
+    seek); everything else should be called on the wrapped store
+    directly.
+    """
+
+    def __init__(self, db: KeyValueStore) -> None:
+        self.db = db
+        self.ops: List[TraceOp] = []
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.ops.append((OP_PUT, bytes(key), bytes(value)))
+        self.db.put(key, value)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self.ops.append((OP_GET, bytes(key), b""))
+        return self.db.get(key)
+
+    def delete(self, key: bytes) -> None:
+        self.ops.append((OP_DELETE, bytes(key), b""))
+        self.db.delete(key)
+
+    def seek(self, key: bytes):
+        self.ops.append((OP_SEEK, bytes(key), b""))
+        return self.db.seek(key)
+
+    def encoded(self) -> bytes:
+        return encode_trace(self.ops)
+
+
+class ReplayResult:
+    """Counters from one trace replay."""
+
+    __slots__ = ("ops", "gets", "puts", "deletes", "seeks", "elapsed_seconds")
+
+    def __init__(self) -> None:
+        self.ops = 0
+        self.gets = 0
+        self.puts = 0
+        self.deletes = 0
+        self.seeks = 0
+        self.elapsed_seconds = 0.0
+
+    @property
+    def kops(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.ops / self.elapsed_seconds / 1000.0
+
+
+def replay_trace(
+    data: bytes, db: KeyValueStore, clock=None, seek_nexts: int = 0
+) -> ReplayResult:
+    """Apply an encoded trace to ``db``; returns replay counters.
+
+    ``clock`` (a SimClock) enables simulated-time measurement;
+    ``seek_nexts`` advances each replayed seek's iterator, modelling the
+    range-query length of the original workload.
+    """
+    result = ReplayResult()
+    start = clock.now if clock is not None else 0.0
+    for op, key, value in decode_trace(data):
+        result.ops += 1
+        if op == OP_PUT:
+            db.put(key, value)
+            result.puts += 1
+        elif op == OP_GET:
+            db.get(key)
+            result.gets += 1
+        elif op == OP_DELETE:
+            db.delete(key)
+            result.deletes += 1
+        else:
+            it = db.seek(key)
+            for _ in range(seek_nexts):
+                if not it.valid:
+                    break
+                it.next()
+            it.close()
+            result.seeks += 1
+    if clock is not None:
+        result.elapsed_seconds = clock.now - start
+    return result

@@ -1,0 +1,147 @@
+"""Cross-cutting accounting invariants of the simulation."""
+
+import random
+
+import pytest
+
+import repro
+from repro.sim.device import DeviceModel
+from tests.conftest import make_store
+
+
+def fill(db, n, seed=0, value=128):
+    rng = random.Random(seed)
+    for i in range(n):
+        db.put(b"key%08d" % rng.randrange(10**7), b"v" * value)
+
+
+class TestTimeAccounting:
+    def test_clock_monotonic_through_workload(self):
+        env = repro.Environment(cache_bytes=1 << 20)
+        db = make_store("pebblesdb", env)
+        last = env.now
+        for i in range(500):
+            db.put(b"k%05d" % i, b"v" * 64)
+            assert env.now >= last
+            last = env.now
+        db.get(b"k00001")
+        assert env.now > last
+
+    def test_every_operation_costs_time(self):
+        env = repro.Environment(cache_bytes=1 << 20)
+        db = make_store("pebblesdb", env)
+        t0 = env.now
+        db.put(b"k", b"v")
+        t1 = env.now
+        assert t1 > t0
+        db.get(b"k")
+        assert env.now > t1
+
+    def test_thread_scale_speeds_up_cpu_bound_work(self):
+        times = {}
+        for threads in (1, 4):
+            env = repro.Environment(cache_bytes=64 * 1024 * 1024)
+            env.cpu.thread_scale = float(threads)
+            db = make_store("pebblesdb", env)
+            fill(db, 1500, seed=2)
+            times[threads] = env.now
+        assert times[4] < times[1]
+
+    def test_cpu_accounting_unscaled(self):
+        """The accounting dict records burned CPU, not timeline time."""
+        env = repro.Environment()
+        env.cpu.thread_scale = 4.0
+        charged = env.cpu.charge("unit-test", 1.0)
+        assert charged == 0.25
+        assert env.cpu.accounting["unit-test"] == 1.0
+
+    def test_hdd_workload_slower_than_ssd(self):
+        times = {}
+        for name, factory in (("ssd", DeviceModel.ssd_raid0), ("hdd", DeviceModel.hdd)):
+            env = repro.Environment(device=factory(), cache_bytes=256 * 1024)
+            db = make_store("hyperleveldb", env)
+            fill(db, 1200, seed=3)
+            for i in range(200):
+                db.get(b"key%08d" % random.Random(4).randrange(10**7))
+            times[name] = env.now
+        assert times["hdd"] > 2 * times["ssd"]
+
+
+class TestIoAccounting:
+    def test_store_accounts_sum_to_storage_totals(self):
+        env = repro.Environment(cache_bytes=1 << 20)
+        db = make_store("pebblesdb", env)
+        fill(db, 1500, seed=5)
+        db.compact_all()
+        per_account = sum(env.storage.stats.written_by_account.values())
+        assert per_account == env.storage.stats.bytes_written
+        stats = db.stats()
+        assert stats.device_bytes_written == per_account
+
+    def test_write_breakdown_has_expected_categories(self):
+        env = repro.Environment(cache_bytes=1 << 20)
+        db = make_store("pebblesdb", env)
+        fill(db, 2000, seed=6)
+        db.wait_idle()
+        names = set(env.storage.stats.written_by_account)
+        assert any("wal" in n for n in names)
+        assert any("flush" in n for n in names)
+        assert any("compaction" in n for n in names)
+
+    def test_wal_io_roughly_matches_user_bytes(self):
+        env = repro.Environment(cache_bytes=1 << 20)
+        db = make_store("pebblesdb", env)
+        fill(db, 1500, seed=7)
+        stats = db.stats()
+        wal = sum(
+            v for n, v in env.storage.stats.written_by_account.items() if "wal" in n
+        )
+        # WAL = user bytes + per-record framing, so within ~2x.
+        assert stats.user_bytes_written <= wal <= 2 * stats.user_bytes_written
+
+    def test_reads_only_charged_on_cache_miss(self):
+        env = repro.Environment(cache_bytes=64 * 1024 * 1024)  # everything cached
+        db = make_store("pebblesdb", env)
+        fill(db, 800, seed=8)
+        db.compact_all()
+        before = env.storage.stats.bytes_read
+        for i in range(100):
+            db.get(b"key%08d" % random.Random(9).randrange(10**7))
+        # Compaction populated the cache; reads should be nearly free.
+        assert env.storage.stats.bytes_read - before < 64 * 1024
+
+    def test_aging_increases_time_not_bytes(self):
+        results = {}
+        for factor in (1.0, 1.5):
+            env = repro.Environment(cache_bytes=1 << 20)
+            env.storage.device.aging_factor = factor
+            db = make_store("hyperleveldb", env)
+            fill(db, 1200, seed=10)
+            db.wait_idle()
+            results[factor] = (env.now, db.stats().device_bytes_written)
+        assert results[1.5][0] > results[1.0][0]  # slower
+        # Aging shifts compaction timing (so byte totals drift slightly)
+        # but must not systematically inflate IO.
+        assert abs(results[1.5][1] - results[1.0][1]) < 0.25 * results[1.0][1]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("engine", ["pebblesdb", "hyperleveldb"])
+    def test_identical_runs_identical_everything(self, engine):
+        outcomes = []
+        for _ in range(2):
+            env = repro.Environment(cache_bytes=1 << 20)
+            db = make_store(engine, env)
+            fill(db, 1000, seed=11)
+            db.compact_all()
+            stats = db.stats()
+            outcomes.append(
+                (
+                    env.now,
+                    stats.device_bytes_written,
+                    stats.device_bytes_read,
+                    stats.stall_seconds,
+                    tuple(db.sstable_file_numbers()),
+                )
+            )
+        assert outcomes[0] == outcomes[1]

@@ -1,0 +1,97 @@
+"""Backup/restore tool and the ASCII chart helpers."""
+
+import random
+
+import pytest
+
+import repro
+from repro.analysis.charts import grouped_bar_chart, hbar_chart, sparkline
+from repro.errors import ReproError
+from repro.tools.backup import create_backup, restore_backup
+from tests.conftest import make_store
+
+
+class TestBackupRestore:
+    def _loaded_store(self, env, n=1200):
+        db = make_store("pebblesdb", env, sync_writes=True)
+        rng = random.Random(21)
+        model = {}
+        for i in range(n):
+            k = b"key%06d" % rng.randrange(10**5)
+            v = b"v%05d" % i
+            db.put(k, v)
+            model[k] = v
+        db.wait_idle()
+        return db, model
+
+    def test_backup_and_restore_roundtrip(self, env):
+        db, model = self._loaded_store(env)
+        report = create_backup(env.storage, "db/", "backup/")
+        assert report.files_copied > 1
+        assert report.bytes_copied > 0
+
+        # Destroy the original store completely.
+        db.close()
+        for name in list(env.storage.list_files("db/")):
+            env.storage.delete(name)
+
+        restore_backup(env.storage, "backup/", "db/")
+        db2 = make_store("pebblesdb", env, sync_writes=True)
+        assert dict(db2.scan()) == model
+        db2.check_invariants()
+
+    def test_backup_is_isolated_from_later_writes(self, env):
+        db, model = self._loaded_store(env, n=600)
+        create_backup(env.storage, "db/", "backup/")
+        db.put(b"later", b"write")
+        db.close()
+        restore_backup(env.storage, "backup/", "restored/")
+        db2 = repro.open_store("pebblesdb", env.storage, prefix="restored/")
+        got = dict(db2.scan())
+        assert got == model
+        assert b"later" not in got
+
+    def test_backup_requires_existing_store(self, env):
+        with pytest.raises(ReproError):
+            create_backup(env.storage, "nothing/", "backup/")
+
+    def test_same_prefix_rejected(self, env):
+        self._loaded_store(env, n=50)
+        with pytest.raises(ReproError):
+            create_backup(env.storage, "db/", "db/")
+        with pytest.raises(ReproError):
+            restore_backup(env.storage, "db/", "db/")
+
+    def test_restore_from_non_backup_rejected(self, env):
+        with pytest.raises(ReproError):
+            restore_backup(env.storage, "void/", "db/")
+
+
+class TestCharts:
+    def test_hbar_chart_renders_all_entries(self):
+        chart = hbar_chart(
+            "Write amp", {"pebblesdb": 6.5, "rocksdb": 11.3}, unit="x",
+            baseline="pebblesdb",
+        )
+        assert "pebblesdb" in chart and "rocksdb" in chart
+        assert "(1.74x)" in chart
+        assert "█" in chart
+
+    def test_hbar_chart_empty(self):
+        assert "(no data)" in hbar_chart("t", {})
+
+    def test_grouped_bar_chart(self):
+        chart = grouped_bar_chart(
+            "micro",
+            ["writes", "reads"],
+            {"pebblesdb": [100.0, 12.0], "hyperleveldb": [50.0, 11.0]},
+        )
+        assert "writes:" in chart and "reads:" in chart
+        assert chart.count("pebblesdb") == 2
+
+    def test_sparkline_shape(self):
+        line = sparkline([1, 2, 3, 4, 3, 2, 1])
+        assert len(line) == 7
+        assert line[0] == "▁" and line[3] == "█"
+        assert sparkline([]) == ""
+        assert sparkline([5, 5]) == "▄▄"

@@ -1,0 +1,77 @@
+"""Bloom filter: no false negatives, bounded false positives, codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bloom import BloomFilter
+from repro.errors import CorruptionError
+
+
+class TestMembership:
+    @given(st.sets(st.binary(min_size=1, max_size=24), max_size=200))
+    @settings(max_examples=50)
+    def test_no_false_negatives(self, keys):
+        filt = BloomFilter.for_keys(keys)
+        assert all(filt.may_contain(k) for k in keys)
+
+    def test_false_positive_rate_near_theory(self):
+        n = 5000
+        keys = [b"present%08d" % i for i in range(n)]
+        filt = BloomFilter.for_keys(keys, bits_per_key=10)
+        probes = [b"absent%09d" % i for i in range(n)]
+        fp = sum(1 for p in probes if filt.may_contain(p)) / n
+        # ~0.8% expected at 10 bits/key; allow generous slack.
+        assert fp < 0.05
+        assert filt.expected_fpr() < 0.02
+
+    def test_more_bits_fewer_false_positives(self):
+        keys = [b"k%06d" % i for i in range(2000)]
+        probes = [b"p%06d" % i for i in range(2000)]
+        fp = {}
+        for bits in (4, 16):
+            filt = BloomFilter.for_keys(keys, bits_per_key=bits)
+            fp[bits] = sum(1 for p in probes if filt.may_contain(p))
+        assert fp[16] < fp[4]
+
+    def test_empty_filter_rejects_everything_gracefully(self):
+        filt = BloomFilter(0)
+        assert filt.expected_fpr() == 0.0
+        # may_contain may return False for anything; must not crash.
+        filt.may_contain(b"x")
+
+
+class TestCodec:
+    @given(st.sets(st.binary(min_size=1, max_size=16), min_size=1, max_size=100))
+    @settings(max_examples=30)
+    def test_encode_decode_preserves_membership(self, keys):
+        filt = BloomFilter.for_keys(keys)
+        clone = BloomFilter.decode(filt.encode())
+        assert all(clone.may_contain(k) for k in keys)
+        assert clone.num_probes == filt.num_probes
+        assert clone.keys_added == filt.keys_added
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(CorruptionError):
+            BloomFilter.decode(b"not a bloom filter")
+
+    def test_decode_rejects_truncated(self):
+        filt = BloomFilter.for_keys([b"a", b"b"])
+        with pytest.raises(CorruptionError):
+            BloomFilter.decode(filt.encode()[:-3])
+
+
+class TestSizing:
+    def test_size_scales_with_keys(self):
+        small = BloomFilter(100)
+        large = BloomFilter(10000)
+        assert large.size_bytes > small.size_bytes
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BloomFilter(-1)
+        with pytest.raises(ValueError):
+            BloomFilter(10, bits_per_key=0)
+
+    def test_probe_count_clamped(self):
+        assert 1 <= BloomFilter(10, bits_per_key=1).num_probes <= 30
+        assert BloomFilter(10, bits_per_key=100).num_probes <= 30

@@ -1,0 +1,106 @@
+"""Chaos test: every PebblesDB feature interleaved under one workload.
+
+Puts, deletes, reads, forward/reverse scans, snapshots, guard deletion,
+rebalancing, empty-guard collection, targeted and full compaction, crash
++ recovery — all against one store, with the model checked and the
+invariants verified throughout.  This is the closest thing to a soak test
+the simulated substrate allows.
+"""
+
+import dataclasses
+import random
+
+import repro
+from repro.engines.options import StoreOptions
+
+
+def _options():
+    return dataclasses.replace(
+        StoreOptions.pebblesdb(),
+        memtable_bytes=4 * 1024,
+        level1_max_bytes=16 * 1024,
+        target_file_bytes=8 * 1024,
+        top_level_bits=6,
+        bit_decrement=1,
+        sync_writes=True,
+    )
+
+
+def test_chaos_soak():
+    env = repro.Environment(cache_bytes=1 << 20)
+    db = repro.open_store("pebblesdb", env.storage, options=_options(), prefix="db/")
+    rng = random.Random(2024)
+    model = {}
+    keyspace = [b"key%05d" % i for i in range(500)]
+    snapshots = []
+
+    for step in range(6000):
+        roll = rng.random()
+        key = rng.choice(keyspace)
+        if roll < 0.45:
+            value = b"v%06d" % step
+            db.put(key, value)
+            model[key] = value
+        elif roll < 0.60:
+            db.delete(key)
+            model.pop(key, None)
+        elif roll < 0.75:
+            assert db.get(key) == model.get(key), (step, key)
+        elif roll < 0.80:
+            expected = sorted((k, v) for k, v in model.items() if k >= key)[:10]
+            got = []
+            it = db.seek(key)
+            while it.valid and len(got) < 10:
+                got.append((it.key(), it.value()))
+                it.next()
+            it.close()
+            assert got == expected, (step, key)
+        elif roll < 0.85:
+            expected = sorted(
+                ((k, v) for k, v in model.items() if k <= key), reverse=True
+            )[:10]
+            got = []
+            it = db.seek_reverse(key)
+            while it.valid and len(got) < 10:
+                got.append((it.key(), it.value()))
+                it.next()
+            it.close()
+            assert got == expected, (step, key)
+        elif roll < 0.88 and len(snapshots) < 3:
+            snapshots.append((db.get_snapshot(), dict(model)))
+        elif roll < 0.90 and snapshots:
+            snap, frozen = snapshots.pop(rng.randrange(len(snapshots)))
+            probe = rng.choice(keyspace)
+            assert db.get(probe, snapshot=snap) == frozen.get(probe), (step, probe)
+            db.release_snapshot(snap)
+        elif roll < 0.92:
+            db.compact_range(key, rng.choice(keyspace))
+        elif roll < 0.94:
+            db.collect_empty_guards()
+        elif roll < 0.96:
+            db.rebalance_guards()
+        elif roll < 0.98:
+            db.compact_all()
+        else:
+            # Crash and recover (drop process-level state: snapshots).
+            for snap, _ in snapshots:
+                db.release_snapshot(snap)
+            snapshots.clear()
+            env.storage.crash()
+            db = repro.open_store(
+                "pebblesdb", env.storage, options=_options(), prefix="db/"
+            )
+        if step % 500 == 499:
+            db.wait_idle()
+            db.check_invariants()
+            assert dict(db.scan()) == model, f"divergence at step {step}"
+
+    for snap, _ in snapshots:
+        db.release_snapshot(snap)
+    db.force_full_compaction()
+    db.check_invariants()
+    assert dict(db.scan()) == model
+    assert dict(db.scan_reverse()) == model
+    stats = db.stats()
+    assert stats.write_amplification > 1.0
+    db.close()

@@ -1,0 +1,106 @@
+"""Request distributions and key/value encoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.distributions import (
+    KeyCodec,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    SequentialGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    value_bytes,
+    zipf_sanity_skew,
+)
+
+
+class TestKeyCodec:
+    def test_fixed_width(self):
+        codec = KeyCodec(16)
+        key = codec.encode(123)
+        assert len(key) == 16
+        assert key.startswith(b"user")
+        assert codec.decode(key) == 123
+
+    def test_order_preserving(self):
+        codec = KeyCodec(16)
+        keys = [codec.encode(i) for i in (0, 5, 99, 100000)]
+        assert keys == sorted(keys)
+
+    @given(st.integers(min_value=0, max_value=10**11))
+    def test_roundtrip(self, i):
+        codec = KeyCodec(16)
+        assert codec.decode(codec.encode(i)) == i
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            KeyCodec(3)
+
+
+class TestValueBytes:
+    def test_deterministic_and_sized(self):
+        assert value_bytes(7, 100) == value_bytes(7, 100)
+        assert len(value_bytes(7, 100)) == 100
+        assert value_bytes(7, 100) != value_bytes(8, 100)
+
+
+class TestGenerators:
+    def test_sequential(self):
+        gen = SequentialGenerator()
+        assert [gen.next() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_uniform_in_range(self):
+        gen = UniformGenerator(100, seed=1)
+        samples = [gen.next() for _ in range(2000)]
+        assert all(0 <= s < 100 for s in samples)
+        assert len(set(samples)) > 80  # covers most of the space
+
+    def test_zipfian_skew(self):
+        gen = ZipfianGenerator(10000, seed=2)
+        skew = zipf_sanity_skew(gen, samples=20000)
+        # Zipfian-0.99: hottest 1% of items take a large share of requests.
+        assert skew > 0.3
+
+    def test_zipfian_in_range(self):
+        gen = ZipfianGenerator(500, seed=3)
+        assert all(0 <= gen.next() < 500 for _ in range(5000))
+
+    def test_zipfian_rank_zero_hottest(self):
+        gen = ZipfianGenerator(1000, seed=4)
+        counts = {}
+        for _ in range(20000):
+            v = gen.next()
+            counts[v] = counts.get(v, 0) + 1
+        assert counts.get(0, 0) == max(counts.values())
+
+    def test_zipfian_grow_extends_range(self):
+        gen = ZipfianGenerator(100, seed=5)
+        gen.grow(200)
+        assert gen.item_count == 200
+        assert all(0 <= gen.next() < 200 for _ in range(1000))
+
+    def test_scrambled_spreads_hot_items(self):
+        gen = ScrambledZipfianGenerator(10000, seed=6)
+        samples = [gen.next() for _ in range(5000)]
+        hot = [s for s in samples if s < 100]
+        # After scrambling, low indexes are no longer the hot set.
+        assert len(hot) < len(samples) * 0.15
+
+    def test_latest_prefers_recent(self):
+        gen = LatestGenerator(1000, seed=7)
+        samples = [gen.next() for _ in range(5000)]
+        recent = sum(1 for s in samples if s >= 900)
+        assert recent > len(samples) * 0.5
+        assert all(0 <= s < 1000 for s in samples)
+
+    def test_deterministic_given_seed(self):
+        a = ZipfianGenerator(1000, seed=8)
+        b = ZipfianGenerator(1000, seed=8)
+        assert [a.next() for _ in range(50)] == [b.next() for _ in range(50)]
+
+    def test_invalid_item_count(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            UniformGenerator(0)

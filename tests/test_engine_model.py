@@ -1,0 +1,108 @@
+"""Property-based equivalence: every engine vs. an in-memory model.
+
+Random sequences of put/delete/get/scan must behave exactly like a dict +
+sorted view, across flushes, compactions, and (for LSM engines) reopen.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from tests.conftest import ALL_ENGINES, LSM_ENGINES, make_store
+
+KEYS = [b"k%02d" % i for i in range(40)]
+
+op_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from(KEYS), st.binary(min_size=1, max_size=32)),
+        st.tuples(st.just("delete"), st.sampled_from(KEYS), st.just(b"")),
+        st.tuples(st.just("get"), st.sampled_from(KEYS), st.just(b"")),
+        st.tuples(st.just("scan"), st.sampled_from(KEYS), st.just(b"")),
+    ),
+    max_size=120,
+)
+
+
+def apply_ops(db, ops):
+    model = {}
+    for op, key, value in ops:
+        if op == "put":
+            db.put(key, value)
+            model[key] = value
+        elif op == "delete":
+            db.delete(key)
+            model.pop(key, None)
+        elif op == "get":
+            assert db.get(key) == model.get(key)
+        else:  # scan from key
+            expected = sorted((k, v) for k, v in model.items() if k >= key)
+            got = []
+            it = db.seek(key)
+            while it.valid:
+                got.append((it.key(), it.value()))
+                it.next()
+            it.close()
+            assert got == expected
+    return model
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+@given(ops=op_strategy)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_engine_matches_model(engine, ops):
+    env = repro.Environment(cache_bytes=1 << 20)
+    db = make_store(engine, env)
+    model = apply_ops(db, ops)
+    for key in KEYS:
+        assert db.get(key) == model.get(key)
+    if hasattr(db, "check_invariants"):
+        db.check_invariants()
+
+
+@pytest.mark.parametrize("engine", LSM_ENGINES)
+def test_engine_matches_model_through_compaction(engine):
+    """Longer deterministic run with forced compaction points."""
+    env = repro.Environment(cache_bytes=1 << 20)
+    db = make_store(engine, env)
+    rng = random.Random(42)
+    model = {}
+    keyspace = [b"key%06d" % i for i in range(400)]
+    for step in range(4000):
+        key = rng.choice(keyspace)
+        action = rng.random()
+        if action < 0.65:
+            value = b"v%06d" % step
+            db.put(key, value)
+            model[key] = value
+        elif action < 0.8:
+            db.delete(key)
+            model.pop(key, None)
+        else:
+            assert db.get(key) == model.get(key), (engine, step, key)
+        if step % 1500 == 1499:
+            db.compact_all()
+            db.check_invariants()
+    assert dict(db.scan()) == model
+
+
+@pytest.mark.parametrize("engine", LSM_ENGINES)
+def test_model_equivalence_survives_reopen(engine):
+    env = repro.Environment(cache_bytes=1 << 20)
+    db = make_store(engine, env)
+    rng = random.Random(9)
+    model = {}
+    for step in range(1200):
+        key = b"key%05d" % rng.randrange(300)
+        value = b"v%05d" % step
+        db.put(key, value)
+        model[key] = value
+    db.close()
+    db2 = make_store(engine, env)
+    assert dict(db2.scan()) == model
+    db2.check_invariants()

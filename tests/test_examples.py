@@ -1,0 +1,30 @@
+"""Smoke-run every example script (a release's demos must not rot)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_present():
+    assert len(EXAMPLES) >= 3, "the repo must ship at least three examples"
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script} produced no output"
+    assert "Traceback" not in proc.stderr

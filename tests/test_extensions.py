@@ -1,0 +1,101 @@
+"""Chapter 7 extensions: adaptive guard rebalancing, empty-guard cleanup."""
+
+import random
+
+import pytest
+
+import repro
+from tests.conftest import make_store
+
+
+@pytest.fixture
+def env():
+    return repro.Environment(cache_bytes=1 << 20)
+
+
+def fill(db, n, seed=0, prefix=b"key"):
+    rng = random.Random(seed)
+    model = {}
+    for i in range(n):
+        k = prefix + b"%09d" % rng.randrange(10**8)
+        v = b"v%05d" % i
+        db.put(k, v)
+        model[k] = v
+    return model
+
+
+class TestGuardRebalancing:
+    def test_skewed_store_gains_guards(self, env):
+        # Very sparse guard selection => almost everything lands in one
+        # guard: the skew scenario of paper section 7.
+        db = make_store("pebblesdb", env, top_level_bits=20, bit_decrement=1)
+        model = fill(db, 3000, seed=1)
+        db.compact_all()
+        before = sum(db.guard_counts())
+        added = db.rebalance_guards()
+        assert added > 0, "skewed guards should trigger rebalancing"
+        db.force_full_compaction()  # commits the synthetic guards
+        db.check_invariants()
+        after = sum(db.guard_counts())
+        assert after > before
+        # Data is intact after re-partitioning.
+        assert dict(db.scan()) == model
+
+    def test_balanced_store_untouched(self, env):
+        db = make_store("pebblesdb", env, top_level_bits=6, bit_decrement=1)
+        fill(db, 2000, seed=2)
+        db.compact_all()
+        assert db.rebalance_guards(max_guard_bytes=1 << 30) == 0
+
+    def test_rebalance_reduces_max_guard_share(self, env):
+        db = make_store("pebblesdb", env, top_level_bits=20, bit_decrement=1)
+        fill(db, 3000, seed=3)
+        db.compact_all()
+
+        def max_guard_bytes():
+            worst = 0
+            for lvl in range(1, db.options.num_levels):
+                for guard in db._guarded[lvl].guards():
+                    worst = max(worst, guard.size_bytes)
+            return worst
+
+        before = max_guard_bytes()
+        db.rebalance_guards()
+        db.force_full_compaction()
+        db.check_invariants()
+        assert max_guard_bytes() <= before
+
+
+class TestEmptyGuardCollection:
+    def test_empty_guards_collected(self, env):
+        db = make_store("pebblesdb", env, top_level_bits=5, bit_decrement=1)
+        model = fill(db, 2000, seed=4, prefix=b"old")
+        db.force_full_compaction()
+        for k in model:
+            db.delete(k)
+        # Drive tombstones to the bottom, where they are garbage
+        # collected, leaving the guards of the dead range empty.
+        db.force_full_compaction()
+        empty_before = sum(db.empty_guard_counts())
+        assert empty_before > 0, "deleting a window should leave empty guards"
+        collected = db.collect_empty_guards()
+        assert collected > 0
+        db.put(b"tick", b"t")  # deletions processed at next cycle
+        db.compact_all()
+        db.check_invariants()
+        assert sum(db.empty_guard_counts()) < empty_before
+
+    def test_collection_never_touches_occupied_guards(self, env):
+        db = make_store("pebblesdb", env, top_level_bits=5, bit_decrement=1)
+        model = fill(db, 2500, seed=5)
+        db.compact_all()
+        db.collect_empty_guards()
+        db.put(b"tick", b"t")
+        model[b"tick"] = b"t"
+        db.compact_all()
+        db.check_invariants()
+        assert dict(db.scan()) == model
+
+    def test_nothing_to_collect_on_fresh_store(self, env):
+        db = make_store("pebblesdb", env)
+        assert db.collect_empty_guards() == 0

@@ -1,0 +1,173 @@
+"""Guard selection and the guarded-level structure (paper sections 3.1-3.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.guards import Guard, GuardedLevel, GuardPicker, trailing_set_bits
+from repro.util.keys import KIND_PUT, InternalKey
+from repro.version.files import FileMetadata
+
+
+def meta(number, lo, hi):
+    return FileMetadata(
+        number=number,
+        smallest=InternalKey(lo, 1, KIND_PUT),
+        largest=InternalKey(hi, 1, KIND_PUT),
+        file_size=10,
+        num_entries=1,
+    )
+
+
+class TestTrailingBits:
+    def test_values(self):
+        assert trailing_set_bits(0b0) == 0
+        assert trailing_set_bits(0b1) == 1
+        assert trailing_set_bits(0b0111) == 3
+        assert trailing_set_bits(0b1011) == 2
+        assert trailing_set_bits(0xFFFFFFFF) == 32
+
+
+class TestGuardPicker:
+    def test_skip_list_property(self):
+        """A guard at level i is a guard at every deeper level."""
+        picker = GuardPicker(top_level_bits=8, bit_decrement=2, num_levels=7)
+        for i in range(5000):
+            level = picker.guard_level(b"key%06d" % i)
+            if level is not None:
+                # required bits decrease with depth, so qualifying for
+                # `level` implies qualifying for level+1, +2, ...
+                bits = picker.required_bits(level)
+                for deeper in range(level + 1, 7):
+                    assert picker.required_bits(deeper) <= bits
+
+    def test_deeper_levels_have_more_guards(self):
+        picker = GuardPicker(top_level_bits=10, bit_decrement=2, num_levels=7)
+        counts = {lvl: 0 for lvl in range(1, 7)}
+        n = 30000
+        for i in range(n):
+            level = picker.guard_level(b"user%08d" % i)
+            if level is not None:
+                for lvl in range(level, 7):
+                    counts[lvl] += 1
+        assert counts[1] < counts[3] < counts[5]
+        # Expected density at level i is 2^-(required_bits).
+        expected_l5 = n / 2 ** picker.required_bits(5)
+        assert expected_l5 * 0.5 < counts[5] < expected_l5 * 2.0
+
+    def test_required_bits_floor(self):
+        picker = GuardPicker(top_level_bits=3, bit_decrement=2, num_levels=7)
+        assert picker.required_bits(6) >= 1
+
+    def test_deterministic(self):
+        picker = GuardPicker(13, 2, 7)
+        assert picker.guard_level(b"abc") == picker.guard_level(b"abc")
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            GuardPicker(0, 2, 7)
+
+
+class TestGuardedLevel:
+    def test_sentinel_covers_below_first_guard(self):
+        lvl = GuardedLevel(1)
+        lvl.add_guard(b"m")
+        assert lvl.find_guard(b"a").is_sentinel
+        assert lvl.find_guard(b"m").key == b"m"
+        assert lvl.find_guard(b"z").key == b"m"
+
+    def test_find_guard_between_keys(self):
+        lvl = GuardedLevel(1)
+        for key in (b"d", b"m", b"t"):
+            lvl.add_guard(key)
+        assert lvl.find_guard(b"f").key == b"d"
+        assert lvl.find_guard(b"m").key == b"m"
+        assert lvl.find_guard(b"s").key == b"m"
+        assert lvl.find_guard(b"zz").key == b"t"
+
+    def test_add_guard_idempotent(self):
+        lvl = GuardedLevel(1)
+        assert lvl.add_guard(b"g")
+        assert not lvl.add_guard(b"g")
+        assert len(lvl) == 1
+
+    def test_guard_range(self):
+        lvl = GuardedLevel(1)
+        lvl.add_guard(b"d")
+        lvl.add_guard(b"m")
+        assert lvl.guard_range(lvl.sentinel) == (None, b"d")
+        assert lvl.guard_range(lvl.find_guard(b"d")) == (b"d", b"m")
+        assert lvl.guard_range(lvl.find_guard(b"m")) == (b"m", None)
+
+    def test_add_file_attaches_to_covering_guard(self):
+        lvl = GuardedLevel(1)
+        lvl.add_guard(b"m")
+        lvl.add_file(meta(1, b"a", b"c"))
+        lvl.add_file(meta(2, b"n", b"p"))
+        assert [f.number for f in lvl.sentinel.files] == [1]
+        assert [f.number for f in lvl.find_guard(b"m").files] == [2]
+        lvl.check_invariants()
+
+    def test_guards_from_starts_at_covering(self):
+        lvl = GuardedLevel(1)
+        for key in (b"d", b"m"):
+            lvl.add_guard(key)
+        got = [g.key for g in lvl.guards_from(b"e")]
+        assert got == [b"d", b"m"]
+        got = [g.key for g in lvl.guards_from(b"a")]
+        assert got == [None, b"d", b"m"]
+
+    def test_remove_guard_returns_files(self):
+        lvl = GuardedLevel(1)
+        lvl.add_guard(b"m")
+        lvl.add_file(meta(1, b"n", b"o"))
+        guard = lvl.remove_guard(b"m")
+        assert [f.number for f in guard.files] == [1]
+        assert len(lvl) == 0
+        # Re-homing into the now-covering sentinel keeps invariants.
+        for f in guard.files:
+            lvl.add_file(f)
+        lvl.check_invariants()
+
+    def test_invariant_violation_detected(self):
+        lvl = GuardedLevel(1)
+        lvl.add_guard(b"m")
+        # Manually attach a file to the wrong guard.
+        lvl.find_guard(b"m").files.append(meta(1, b"a", b"b"))
+        with pytest.raises(AssertionError):
+            lvl.check_invariants()
+
+    @given(st.sets(st.binary(min_size=1, max_size=6), min_size=1, max_size=30))
+    @settings(max_examples=40)
+    def test_find_guard_matches_reference(self, keys):
+        lvl = GuardedLevel(1)
+        for key in keys:
+            lvl.add_guard(key)
+        ordered = sorted(keys)
+        for probe in list(keys) + [b"", b"\xff" * 7]:
+            guard = lvl.find_guard(probe)
+            expected = None
+            for k in ordered:
+                if k <= probe:
+                    expected = k
+            assert guard.key == expected
+
+    def test_all_files_and_sizes(self):
+        lvl = GuardedLevel(1)
+        lvl.add_guard(b"m")
+        lvl.add_file(meta(1, b"a", b"b"))
+        lvl.add_file(meta(2, b"x", b"y"))
+        assert sorted(f.number for f in lvl.all_files()) == [1, 2]
+        assert lvl.size_bytes == 20
+
+
+class TestGuard:
+    def test_properties(self):
+        g = Guard(b"k")
+        assert not g.is_sentinel
+        g.files.append(meta(1, b"k", b"l"))
+        g.files.append(meta(2, b"k", b"m"))
+        assert g.num_files == 2
+        assert g.size_bytes == 20
+        assert g.num_entries == 2
+        g.remove_file(1)
+        assert [f.number for f in g.files] == [2]

@@ -1,0 +1,114 @@
+"""GetProperty introspection and the compression claim (section 5.1)."""
+
+import random
+
+import pytest
+
+import repro
+from tests.conftest import make_store
+
+
+@pytest.fixture
+def env():
+    return repro.Environment(cache_bytes=1 << 20)
+
+
+def fill(db, n, seed=0):
+    rng = random.Random(seed)
+    for i in range(n):
+        db.put(b"key%09d" % rng.randrange(10**8), b"v%04d" % i + b"x" * 128)
+
+
+class TestProperties:
+    def test_stats_property(self, env):
+        db = make_store("pebblesdb", env)
+        fill(db, 300, seed=1)
+        text = db.get_property("repro.stats")
+        assert "puts=300" in text
+        assert "write-amplification=" in text
+
+    def test_levels_and_files_per_level(self, env):
+        db = make_store("pebblesdb", env)
+        fill(db, 1500, seed=2)
+        db.wait_idle()
+        levels = db.get_property("repro.levels").split()
+        assert len(levels) == db.options.num_levels
+        total_files = sum(
+            int(db.get_property(f"repro.num-files-at-level{i}"))
+            for i in range(db.options.num_levels)
+        )
+        assert total_files == len(db.sstable_file_numbers())
+
+    def test_sstables_layout_property(self, env):
+        db = make_store("pebblesdb", env)
+        fill(db, 800, seed=3)
+        db.flush_memtable()
+        assert "Level 0" in db.get_property("repro.sstables")
+
+    def test_memory_property(self, env):
+        db = make_store("hyperleveldb", env)
+        fill(db, 300, seed=4)
+        assert int(db.get_property("repro.approximate-memory-usage")) > 0
+
+    def test_pebbles_guard_properties(self, env):
+        db = make_store("pebblesdb", env)
+        fill(db, 2500, seed=5)
+        db.compact_all()
+        guards = [int(x) for x in db.get_property("repro.guards").split()]
+        assert sum(guards) > 0
+        assert db.get_property("repro.empty-guards") is not None
+        assert db.get_property("repro.uncommitted-guards") is not None
+
+    def test_unknown_property_none(self, env):
+        db = make_store("pebblesdb", env)
+        assert db.get_property("repro.nonsense") is None
+        assert db.get_property("repro.num-files-at-levelX") is None
+        # LSM engine has no guard properties.
+        db2 = make_store("hyperleveldb", env, )
+        assert db2.get_property("repro.guards") is None
+
+
+class TestCompression:
+    def _amp(self, engine, ratio, seed=7):
+        env = repro.Environment(cache_bytes=1 << 20)
+        db = make_store(engine, env, compression_ratio=ratio)
+        fill(db, 2500, seed=seed)
+        db.wait_idle()
+        return db.stats().write_amplification
+
+    def test_compression_reduces_device_writes(self):
+        assert self._amp("pebblesdb", 0.5) < self._amp("pebblesdb", 1.0)
+
+    def test_relative_results_unchanged_by_compression(self):
+        """Paper section 5.1: 'compression does not change any of our
+        performance results; it simply leads to a smaller dataset'."""
+        for ratio in (1.0, 0.5):
+            p = self._amp("pebblesdb", ratio)
+            h = self._amp("hyperleveldb", ratio)
+            assert p < h, f"ordering must hold at compression ratio {ratio}"
+
+    def test_compressed_store_reads_correctly(self):
+        env = repro.Environment(cache_bytes=1 << 20)
+        db = make_store("pebblesdb", env, compression_ratio=0.5)
+        rng = random.Random(8)
+        model = {}
+        for i in range(1200):
+            k = b"key%07d" % rng.randrange(10**6)
+            v = b"val%05d" % i
+            db.put(k, v)
+            model[k] = v
+        db.compact_all()
+        for k in random.Random(9).sample(list(model), 100):
+            assert db.get(k) == model[k]
+        db.check_invariants()
+
+    def test_space_usage_scales_with_ratio(self):
+        live = {}
+        for ratio in (1.0, 0.5):
+            env = repro.Environment(cache_bytes=1 << 20)
+            db = make_store("pebblesdb", env, compression_ratio=ratio)
+            fill(db, 1500, seed=10)
+            db.flush_memtable()
+            db.wait_idle()
+            live[ratio] = env.storage.total_live_bytes("db/")
+        assert live[0.5] < 0.75 * live[1.0]

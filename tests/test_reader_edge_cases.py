@@ -1,0 +1,134 @@
+"""SSTable reader edge cases: block boundaries, snapshots, huge entries."""
+
+import pytest
+
+from repro.sim.cache import PageCache
+from repro.sim.storage import SimulatedStorage
+from repro.sstable import SSTableBuilder, SSTableReader
+from repro.util.keys import KIND_DELETE, KIND_PUT, MAX_SEQUENCE, InternalKey
+
+
+@pytest.fixture
+def storage():
+    return SimulatedStorage(cache=PageCache(1 << 20))
+
+
+def build_and_open(storage, entries, block_size=256, name="t.sst"):
+    builder = SSTableBuilder(block_size=block_size)
+    for key, value in entries:
+        builder.add(key, value)
+    blob, props, _ = builder.finish()
+    acct = storage.foreground_account()
+    storage.create(name)
+    storage.append(name, blob, acct)
+    return SSTableReader.open(storage, name, acct), props
+
+
+class TestBlockBoundaries:
+    def test_versions_of_one_key_spanning_blocks(self, storage):
+        """All versions of a hot key across several blocks: the newest
+        visible one at each snapshot must be found even when the block
+        holding it is not the first candidate."""
+        key = b"hotkey"
+        entries = [
+            (InternalKey(key, seq, KIND_PUT), b"v%03d" % seq + b"x" * 100)
+            for seq in range(60, 0, -1)
+        ]
+        reader, _ = build_and_open(storage, entries, block_size=256)
+        assert reader.num_blocks > 3
+        acct = storage.foreground_account()
+        assert reader.get(key, MAX_SEQUENCE, acct).value.startswith(b"v060")
+        assert reader.get(key, 31, acct).value.startswith(b"v031")
+        assert reader.get(key, 1, acct).value.startswith(b"v001")
+        assert not reader.get(key, 0, acct).found
+
+    def test_single_entry_per_block(self, storage):
+        entries = [
+            (InternalKey(b"k%02d" % i, 1, KIND_PUT), b"v" * 300) for i in range(20)
+        ]
+        reader, _ = build_and_open(storage, entries, block_size=64)
+        assert reader.num_blocks == 20
+        acct = storage.foreground_account()
+        for i in range(20):
+            assert reader.get(b"k%02d" % i, MAX_SEQUENCE, acct).found
+
+    def test_value_larger_than_block(self, storage):
+        big = bytes(range(256)) * 64  # 16 KiB
+        entries = [
+            (InternalKey(b"a", 1, KIND_PUT), b"small"),
+            (InternalKey(b"big", 2, KIND_PUT), big),
+            (InternalKey(b"z", 3, KIND_PUT), b"small"),
+        ]
+        reader, _ = build_and_open(storage, entries, block_size=4096)
+        acct = storage.foreground_account()
+        assert reader.get(b"big", MAX_SEQUENCE, acct).value == big
+        assert reader.get(b"z", MAX_SEQUENCE, acct).found
+
+    def test_seek_at_every_position(self, storage):
+        entries = [
+            (InternalKey(b"k%03d" % i, 1, KIND_PUT), b"v%03d" % i) for i in range(80)
+        ]
+        reader, _ = build_and_open(storage, entries, block_size=128)
+        acct = storage.foreground_account()
+        for i in range(80):
+            probe = InternalKey(b"k%03d" % i, MAX_SEQUENCE, KIND_PUT)
+            first = next(reader.seek(probe, acct))
+            assert first[0].user_key == b"k%03d" % i
+
+    def test_seek_between_keys(self, storage):
+        entries = [
+            (InternalKey(b"k%03d" % i, 1, KIND_PUT), b"") for i in range(0, 100, 10)
+        ]
+        reader, _ = build_and_open(storage, entries)
+        acct = storage.foreground_account()
+        probe = InternalKey(b"k015", MAX_SEQUENCE, KIND_PUT)
+        assert next(reader.seek(probe, acct))[0].user_key == b"k020"
+
+
+class TestTombstonesInTables:
+    def test_tombstone_then_older_put_same_table(self, storage):
+        key = b"k"
+        entries = [
+            (InternalKey(key, 9, KIND_DELETE), b""),
+            (InternalKey(key, 4, KIND_PUT), b"old"),
+        ]
+        reader, _ = build_and_open(storage, entries)
+        acct = storage.foreground_account()
+        newest = reader.get(key, MAX_SEQUENCE, acct)
+        assert newest.found and newest.is_deleted
+        old_view = reader.get(key, 5, acct)
+        assert old_view.found and old_view.value == b"old"
+
+
+class TestProperties:
+    def test_table_properties(self, storage):
+        entries = [
+            (InternalKey(b"k%02d" % i, i + 1, KIND_PUT), b"v" * 10) for i in range(30)
+        ]
+        reader, props = build_and_open(storage, entries)
+        assert props.num_entries == 30
+        assert props.smallest.user_key == b"k00"
+        assert props.largest.user_key == b"k29"
+        assert props.raw_value_bytes == 300
+        assert props.file_size == reader.file_size
+
+    def test_memory_bytes_accounts_index_and_bloom(self, storage):
+        entries = [
+            (InternalKey(b"k%04d" % i, 1, KIND_PUT), b"v" * 50) for i in range(500)
+        ]
+        reader, _ = build_and_open(storage, entries)
+        assert reader.memory_bytes > 500  # bloom alone is ~625 bytes
+
+    def test_reader_without_bloom(self, storage):
+        entries = [(InternalKey(b"k", 1, KIND_PUT), b"v")]
+        builder = SSTableBuilder()
+        for key, value in entries:
+            builder.add(key, value)
+        blob, _, _ = builder.finish()
+        acct = storage.foreground_account()
+        storage.create("nb.sst")
+        storage.append("nb.sst", blob, acct)
+        reader = SSTableReader.open(storage, "nb.sst", acct, load_bloom=False)
+        assert reader.bloom is None
+        assert reader.may_contain(b"anything", acct)  # must not filter
+        assert reader.get(b"k", MAX_SEQUENCE, acct).found

@@ -1,0 +1,137 @@
+"""Reverse iteration: scan_reverse / seek_reverse across both engines."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from tests.conftest import make_store
+
+ENGINES = ["pebblesdb", "hyperleveldb", "leveldb", "rocksdb"]
+
+
+@pytest.fixture
+def env():
+    return repro.Environment(cache_bytes=1 << 20)
+
+
+def fill(db, n, seed=0):
+    rng = random.Random(seed)
+    model = {}
+    for i in range(n):
+        k = b"key%06d" % rng.randrange(10**5)
+        v = b"v%05d" % i
+        db.put(k, v)
+        model[k] = v
+    return model
+
+
+class TestScanReverse:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_full_reverse_matches_sorted_model(self, engine, env):
+        db = make_store(engine, env)
+        model = fill(db, 1500, seed=1)
+        got = list(db.scan_reverse())
+        expected = sorted(model.items(), reverse=True)
+        assert got == expected
+
+    def test_reverse_after_compaction(self, env):
+        db = make_store("pebblesdb", env)
+        model = fill(db, 2000, seed=2)
+        db.compact_all()
+        assert list(db.scan_reverse()) == sorted(model.items(), reverse=True)
+
+    def test_reverse_skips_tombstones(self, env):
+        db = make_store("pebblesdb", env)
+        model = fill(db, 800, seed=3)
+        doomed = random.Random(4).sample(list(model), 100)
+        for k in doomed:
+            db.delete(k)
+            del model[k]
+        assert list(db.scan_reverse()) == sorted(model.items(), reverse=True)
+
+    def test_reverse_returns_newest_version(self, env):
+        db = make_store("pebblesdb", env)
+        for round_no in range(4):
+            for i in range(200):
+                db.put(b"k%03d" % i, b"round%d" % round_no)
+            db.flush_memtable()
+        got = dict(db.scan_reverse())
+        assert all(v == b"round3" for v in got.values())
+
+    def test_reverse_with_bound(self, env):
+        db = make_store("hyperleveldb", env)
+        for i in range(100):
+            db.put(b"k%03d" % i, b"%d" % i)
+        got = [k for k, _ in db.scan_reverse(b"k050")]
+        assert got == [b"k%03d" % i for i in range(50, -1, -1)]
+
+    def test_reverse_with_snapshot(self, env):
+        db = make_store("pebblesdb", env)
+        for i in range(50):
+            db.put(b"k%02d" % i, b"old")
+        snap = db.get_snapshot()
+        for i in range(50):
+            db.put(b"k%02d" % i, b"new")
+        frozen = list(db.scan_reverse(snapshot=snap))
+        assert all(v == b"old" for _, v in frozen)
+        assert len(frozen) == 50
+
+
+class TestSeekReverse:
+    def test_positions_at_floor(self, env):
+        db = make_store("pebblesdb", env)
+        for i in range(0, 100, 10):
+            db.put(b"k%03d" % i, b"v")
+        it = db.seek_reverse(b"k055")
+        assert it.key() == b"k050"
+        it.next()
+        assert it.key() == b"k040"
+        it.close()
+
+    def test_exact_key_included(self, env):
+        db = make_store("pebblesdb", env)
+        db.put(b"exact", b"v")
+        it = db.seek_reverse(b"exact")
+        assert it.key() == b"exact"
+        it.close()
+
+    def test_before_first_key_empty(self, env):
+        db = make_store("pebblesdb", env)
+        db.put(b"m", b"v")
+        it = db.seek_reverse(b"a")
+        assert not it.valid
+        it.close()
+
+    def test_unsupported_engines_raise(self, env):
+        db = repro.open_store("btree", env.storage)
+        with pytest.raises(NotImplementedError):
+            db.seek_reverse(b"k")
+
+
+@pytest.mark.parametrize("engine", ["pebblesdb", "hyperleveldb"])
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.integers(min_value=0, max_value=60),
+        ),
+        max_size=120,
+    ),
+    bound=st.integers(min_value=0, max_value=60),
+)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_reverse_equals_reversed_forward(engine, ops, bound):
+    env = repro.Environment(cache_bytes=1 << 20)
+    db = make_store(engine, env)
+    for op, i in ops:
+        key = b"k%02d" % i
+        if op == "put":
+            db.put(key, b"v%02d" % i)
+        else:
+            db.delete(key)
+    bound_key = b"k%02d" % bound
+    forward = [(k, v) for k, v in db.scan() if k <= bound_key]
+    backward = list(db.scan_reverse(bound_key))
+    assert backward == list(reversed(forward))

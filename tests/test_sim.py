@@ -1,0 +1,180 @@
+"""Simulation substrate: clock, device, cache, executor, aging."""
+
+import pytest
+
+from repro.sim.aging import FilesystemAging
+from repro.sim.cache import PAGE_SIZE, PageCache
+from repro.sim.clock import SimClock
+from repro.sim.device import DeviceModel
+from repro.sim.executor import BackgroundExecutor
+
+
+class TestClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.now == 0.0
+        clock.advance(1.5)
+        assert clock.now == 1.5
+
+    def test_advance_to_never_goes_back(self):
+        clock = SimClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+
+class TestDevice:
+    def test_sequential_faster_than_random(self):
+        dev = DeviceModel.ssd()
+        assert dev.seq_read_time(4096) < dev.rand_read_time(4096)
+
+    def test_bandwidth_scales_with_size(self):
+        dev = DeviceModel.ssd()
+        small = dev.seq_write_time(4096)
+        large = dev.seq_write_time(4096 * 100)
+        assert large > small * 10
+
+    def test_hdd_random_much_slower_than_ssd(self):
+        assert DeviceModel.hdd().rand_read_time(4096) > 20 * DeviceModel.ssd().rand_read_time(4096)
+
+    def test_aging_factor_multiplies(self):
+        fresh = DeviceModel.ssd()
+        aged = DeviceModel.ssd()
+        aged.aging_factor = 1.5
+        assert aged.seq_write_time(65536) == pytest.approx(1.5 * fresh.seq_write_time(65536))
+
+
+class TestAging:
+    def test_fresh_filesystem_factor_one(self):
+        assert FilesystemAging(0, 0.0).factor() == 1.0
+
+    def test_factor_grows_with_churn_and_utilization(self):
+        low = FilesystemAging(1, 0.5).factor()
+        high = FilesystemAging(4, 0.95).factor()
+        assert 1.0 < low < high <= 1.6
+
+    def test_apply_sets_device(self):
+        dev = DeviceModel.ssd()
+        FilesystemAging(2, 0.89).apply(dev)
+        assert dev.aging_factor > 1.1
+
+
+class TestPageCache:
+    def test_hit_after_insert(self):
+        cache = PageCache(16 * PAGE_SIZE)
+        assert not cache.access("f", 0)
+        assert cache.access("f", 0)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = PageCache(2 * PAGE_SIZE)
+        cache.access("f", 0)
+        cache.access("f", 1)
+        cache.access("f", 0)  # refresh page 0
+        cache.access("f", 2)  # evicts page 1
+        assert cache.access("f", 0)
+        assert not cache.access("f", 1)
+
+    def test_no_insert_mode_does_not_pollute(self):
+        cache = PageCache(4 * PAGE_SIZE)
+        cache.access("f", 0, insert=False)
+        assert not cache.access("f", 0, insert=False)
+
+    def test_access_range_counts_pages(self):
+        cache = PageCache(64 * PAGE_SIZE)
+        hits, misses = cache.access_range("f", 0, PAGE_SIZE * 3)
+        assert (hits, misses) == (0, 3)
+        hits, misses = cache.access_range("f", PAGE_SIZE, PAGE_SIZE * 2)
+        assert (hits, misses) == (2, 0)
+
+    def test_populate_then_drop_file(self):
+        cache = PageCache(64 * PAGE_SIZE)
+        cache.populate_range("f", 0, PAGE_SIZE * 4)
+        assert cache.access("f", 3)
+        cache.drop_file("f")
+        assert not cache.access("f", 3)
+
+    def test_zero_capacity_never_caches(self):
+        cache = PageCache(0)
+        cache.access("f", 0)
+        assert not cache.access("f", 0)
+        assert cache.size_bytes == 0
+
+
+class TestExecutor:
+    def test_jobs_apply_in_completion_order(self):
+        clock = SimClock()
+        ex = BackgroundExecutor(clock, workers=1)
+        order = []
+        ex.submit("a", 1.0, lambda: order.append("a"))
+        ex.submit("b", 1.0, lambda: order.append("b"))
+        assert ex.drain() == 0  # nothing completed yet
+        clock.advance(1.5)
+        assert ex.drain() == 1
+        assert order == ["a"]
+        ex.wait_all()
+        assert order == ["a", "b"]
+        assert clock.now == pytest.approx(2.0)
+
+    def test_single_worker_serializes(self):
+        clock = SimClock()
+        ex = BackgroundExecutor(clock, workers=1)
+        j1 = ex.submit("a", 2.0)
+        j2 = ex.submit("b", 1.0)
+        assert j1.completion == pytest.approx(2.0)
+        assert j2.completion == pytest.approx(3.0)
+
+    def test_two_workers_parallelize(self):
+        clock = SimClock()
+        ex = BackgroundExecutor(clock, workers=2)
+        j1 = ex.submit("a", 2.0)
+        j2 = ex.submit("b", 1.0)
+        assert j1.completion == pytest.approx(2.0)
+        assert j2.completion == pytest.approx(1.0)
+
+    def test_backlog_seconds(self):
+        clock = SimClock()
+        ex = BackgroundExecutor(clock, workers=1)
+        ex.submit("a", 3.0)
+        assert ex.backlog_seconds() == pytest.approx(3.0)
+        clock.advance(1.0)
+        assert ex.backlog_seconds() == pytest.approx(2.0)
+
+    def test_wait_for_advances_clock(self):
+        clock = SimClock()
+        ex = BackgroundExecutor(clock)
+        done = []
+        job = ex.submit("a", 0.5, lambda: done.append(1))
+        ex.wait_for(job)
+        assert clock.now == pytest.approx(0.5)
+        assert done == [1]
+
+    def test_apply_can_submit_followup(self):
+        clock = SimClock()
+        ex = BackgroundExecutor(clock)
+        order = []
+
+        def first():
+            order.append("first")
+            ex.submit("second", 0.1, lambda: order.append("second"))
+
+        ex.submit("first", 0.1, first)
+        ex.wait_all()
+        assert order == ["first", "second"]
+
+    def test_peek_next(self):
+        clock = SimClock()
+        ex = BackgroundExecutor(clock)
+        assert ex.peek_next() is None
+        job = ex.submit("a", 1.0)
+        assert ex.peek_next() is job
+
+    def test_negative_cost_rejected(self):
+        ex = BackgroundExecutor(SimClock())
+        with pytest.raises(ValueError):
+            ex.submit("bad", -1.0)

@@ -1,0 +1,203 @@
+"""SSTable format, builder, reader, and merging iterators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CorruptionError, InvalidArgumentError
+from repro.sim.cache import PageCache
+from repro.sim.storage import SimulatedStorage
+from repro.sstable import (
+    SSTableBuilder,
+    SSTableReader,
+    compaction_iterator,
+    merging_iterator,
+)
+from repro.sstable.format import Footer, decode_block
+from repro.util.keys import KIND_DELETE, KIND_PUT, MAX_SEQUENCE, InternalKey
+
+
+def build_table(entries, block_size=512):
+    builder = SSTableBuilder(block_size=block_size)
+    for key, value in entries:
+        builder.add(key, value)
+    return builder.finish()
+
+
+def write_table(storage, name, blob):
+    acct = storage.foreground_account()
+    storage.create(name)
+    storage.append(name, blob, acct)
+    storage.sync(name, acct)
+    return SSTableReader.open(storage, name, acct)
+
+
+@pytest.fixture
+def storage():
+    return SimulatedStorage(cache=PageCache(1 << 20))
+
+
+def make_entries(n, value=b"v", start_seq=1):
+    return [
+        (InternalKey(b"key%06d" % i, start_seq + i, KIND_PUT), value + b"%d" % i)
+        for i in range(n)
+    ]
+
+
+class TestBuilderReader:
+    def test_roundtrip_all_entries(self, storage):
+        entries = make_entries(500)
+        blob, props, _ = build_table(entries)
+        assert props.num_entries == 500
+        reader = write_table(storage, "t.sst", blob)
+        acct = storage.foreground_account()
+        assert list(reader.iter_all(acct)) == entries
+        assert reader.num_entries == 500
+        assert reader.num_blocks > 1
+
+    def test_get_found_and_missing(self, storage):
+        entries = make_entries(200)
+        blob, _, _ = build_table(entries)
+        reader = write_table(storage, "t.sst", blob)
+        acct = storage.foreground_account()
+        hit = reader.get(b"key000123", MAX_SEQUENCE, acct)
+        assert hit.found and hit.value == b"v123"
+        miss = reader.get(b"key999999", MAX_SEQUENCE, acct)
+        assert not miss.found
+
+    def test_get_respects_snapshot(self, storage):
+        key = b"samekey"
+        entries = [
+            (InternalKey(key, 10, KIND_PUT), b"new"),
+            (InternalKey(key, 5, KIND_PUT), b"old"),
+        ]
+        blob, _, _ = build_table(entries)
+        reader = write_table(storage, "t.sst", blob)
+        acct = storage.foreground_account()
+        assert reader.get(key, MAX_SEQUENCE, acct).value == b"new"
+        assert reader.get(key, 7, acct).value == b"old"
+        assert not reader.get(key, 3, acct).found
+
+    def test_get_sees_tombstone(self, storage):
+        entries = [(InternalKey(b"k", 9, KIND_DELETE), b"")]
+        blob, _, _ = build_table(entries)
+        reader = write_table(storage, "t.sst", blob)
+        result = reader.get(b"k", MAX_SEQUENCE, storage.foreground_account())
+        assert result.found and result.is_deleted
+
+    def test_seek_positions_mid_table(self, storage):
+        entries = make_entries(300)
+        blob, _, _ = build_table(entries)
+        reader = write_table(storage, "t.sst", blob)
+        acct = storage.foreground_account()
+        probe = InternalKey(b"key000150", MAX_SEQUENCE, KIND_PUT)
+        got = list(reader.seek(probe, acct))
+        assert got == entries[150:]
+
+    def test_bloom_filters_absent_keys(self, storage):
+        entries = make_entries(100)
+        blob, _, _ = build_table(entries)
+        reader = write_table(storage, "t.sst", blob)
+        acct = storage.foreground_account()
+        assert reader.may_contain(b"key000050", acct)
+        absent_hits = sum(
+            1 for i in range(500) if reader.may_contain(b"zzz%06d" % i, acct)
+        )
+        assert absent_hits < 25
+
+    def test_out_of_order_rejected(self):
+        builder = SSTableBuilder()
+        builder.add(InternalKey(b"b", 1, KIND_PUT), b"")
+        with pytest.raises(InvalidArgumentError):
+            builder.add(InternalKey(b"a", 1, KIND_PUT), b"")
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            SSTableBuilder().finish()
+
+    def test_corrupt_footer_detected(self, storage):
+        entries = make_entries(10)
+        blob, _, _ = build_table(entries)
+        corrupted = blob[:-2] + b"\xff\xff"
+        acct = storage.foreground_account()
+        storage.create("bad.sst")
+        storage.append("bad.sst", corrupted, acct)
+        with pytest.raises(CorruptionError):
+            SSTableReader.open(storage, "bad.sst", acct)
+
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=12), st.binary(max_size=40)),
+            min_size=1,
+            max_size=80,
+            unique_by=lambda kv: kv[0],
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, pairs):
+        pairs.sort(key=lambda kv: kv[0])
+        entries = [
+            (InternalKey(k, i + 1, KIND_PUT), v) for i, (k, v) in enumerate(pairs)
+        ]
+        # InternalKey order within equal user keys is seq-desc, but user
+        # keys here are unique and ascending, so this is already sorted.
+        blob, props, _ = build_table(entries, block_size=128)
+        storage = SimulatedStorage(cache=PageCache(1 << 20))
+        reader = write_table(storage, "t.sst", blob)
+        acct = storage.foreground_account()
+        assert list(reader.iter_all(acct)) == entries
+        for key, value in pairs[:10]:
+            assert reader.get(key, MAX_SEQUENCE, acct).value == value
+
+
+class TestFooter:
+    def test_roundtrip(self):
+        footer = Footer(1, 2, 3, 4, 5)
+        assert Footer.decode(footer.encode()) == footer
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(CorruptionError):
+            Footer.decode(b"short")
+
+    def test_checksum_detects_flip(self):
+        data = bytearray(Footer(1, 2, 3, 4, 5).encode())
+        data[0] ^= 1
+        with pytest.raises(CorruptionError):
+            Footer.decode(bytes(data))
+
+
+class TestMerging:
+    def test_merges_sorted_streams(self):
+        a = [(InternalKey(b"a", 1, KIND_PUT), b"1"), (InternalKey(b"c", 2, KIND_PUT), b"2")]
+        b = [(InternalKey(b"b", 3, KIND_PUT), b"3")]
+        merged = list(merging_iterator([iter(a), iter(b)]))
+        assert [e[0].user_key for e in merged] == [b"a", b"b", b"c"]
+
+    def test_newest_version_first_within_key(self):
+        a = [(InternalKey(b"k", 1, KIND_PUT), b"old")]
+        b = [(InternalKey(b"k", 9, KIND_PUT), b"new")]
+        merged = list(merging_iterator([iter(a), iter(b)]))
+        assert [e[1] for e in merged] == [b"new", b"old"]
+
+    def test_compaction_collapses_versions(self):
+        stream = iter(
+            [
+                (InternalKey(b"a", 9, KIND_PUT), b"new"),
+                (InternalKey(b"a", 2, KIND_PUT), b"old"),
+                (InternalKey(b"b", 5, KIND_DELETE), b""),
+                (InternalKey(b"b", 1, KIND_PUT), b"dead"),
+            ]
+        )
+        out = list(compaction_iterator(stream))
+        assert [(e[0].user_key, e[1]) for e in out] == [(b"a", b"new"), (b"b", b"")]
+        assert out[1][0].kind == KIND_DELETE
+
+    def test_compaction_drops_tombstones_at_bottom(self):
+        stream = iter(
+            [
+                (InternalKey(b"a", 9, KIND_DELETE), b""),
+                (InternalKey(b"a", 2, KIND_PUT), b"dead"),
+                (InternalKey(b"b", 5, KIND_PUT), b"live"),
+            ]
+        )
+        out = list(compaction_iterator(stream, drop_tombstones=True))
+        assert [(e[0].user_key, e[1]) for e in out] == [(b"b", b"live")]

@@ -1,0 +1,111 @@
+"""Trace capture and replay."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.errors import CorruptionError
+from repro.workloads.trace import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    OP_SEEK,
+    TracingStore,
+    decode_trace,
+    encode_trace,
+    replay_trace,
+)
+from tests.conftest import make_store
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        ops = [
+            (OP_PUT, b"k1", b"v1"),
+            (OP_GET, b"k1", b""),
+            (OP_DELETE, b"k1", b""),
+            (OP_SEEK, b"k", b""),
+        ]
+        assert list(decode_trace(encode_trace(ops))) == ops
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([OP_PUT, OP_GET, OP_DELETE, OP_SEEK]),
+                st.binary(min_size=1, max_size=16),
+                st.binary(max_size=32),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, raw_ops):
+        ops = [
+            (op, key, value if op == OP_PUT else b"") for op, key, value in raw_ops
+        ]
+        assert list(decode_trace(encode_trace(ops))) == ops
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            encode_trace([(99, b"k", b"")])
+        with pytest.raises(CorruptionError):
+            list(decode_trace(b"\x63\x01k"))
+
+    def test_truncated_rejected(self):
+        data = encode_trace([(OP_PUT, b"key", b"value")])
+        with pytest.raises(CorruptionError):
+            list(decode_trace(data[:-2]))
+
+
+class TestRecordReplay:
+    def test_recorded_trace_replays_to_same_state(self):
+        env_a = repro.Environment(cache_bytes=1 << 20)
+        source = TracingStore(make_store("pebblesdb", env_a))
+        for i in range(300):
+            source.put(b"k%04d" % (i % 120), b"v%04d" % i)
+        for i in range(0, 120, 7):
+            source.delete(b"k%04d" % i)
+        source.get(b"k0001")
+        it = source.seek(b"k0050")
+        it.close()
+
+        env_b = repro.Environment(cache_bytes=1 << 20)
+        target = make_store("hyperleveldb", env_b)
+        result = replay_trace(source.encoded(), target, clock=env_b.clock)
+        assert result.ops == len(source.ops)
+        assert (result.puts, result.deletes, result.gets, result.seeks) == (
+            300,
+            18,
+            1,
+            1,
+        )
+        assert result.elapsed_seconds > 0
+        assert dict(target.scan()) == dict(source.db.scan())
+
+    def test_replay_with_seek_nexts(self):
+        env = repro.Environment(cache_bytes=1 << 20)
+        db = make_store("pebblesdb", env)
+        for i in range(50):
+            db.put(b"k%02d" % i, b"v")
+        trace = encode_trace([(OP_SEEK, b"k10", b"")])
+        result = replay_trace(trace, db, seek_nexts=5)
+        assert result.seeks == 1
+
+    def test_cross_engine_comparison_same_trace(self):
+        """The intended use: one trace, several engines, compare costs."""
+        trace_env = repro.Environment(cache_bytes=1 << 20)
+        recorder = TracingStore(make_store("pebblesdb", trace_env))
+        for i in range(2500):
+            recorder.put(b"key%05d" % ((i * 7919) % 2000), b"x" * 64)
+        for i in range(200):
+            recorder.get(b"key%05d" % ((i * 104729) % 2000))
+        trace = recorder.encoded()
+
+        amps = {}
+        for engine in ("pebblesdb", "hyperleveldb"):
+            env = repro.Environment(cache_bytes=1 << 20)
+            db = make_store(engine, env)
+            replay_trace(trace, db, clock=env.clock)
+            db.wait_idle()
+            amps[engine] = db.stats().write_amplification
+        assert amps["pebblesdb"] <= amps["hyperleveldb"]

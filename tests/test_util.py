@@ -1,0 +1,124 @@
+"""CRC masking, MurmurHash3, and the internal-key codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CorruptionError
+from repro.util.crc import crc32c, mask_crc, unmask_crc
+from repro.util.keys import (
+    KIND_DELETE,
+    KIND_PUT,
+    MAX_SEQUENCE,
+    InternalKey,
+    pack_internal_key,
+    unpack_internal_key,
+)
+from repro.util.murmur import murmur3_32, murmur3_64
+
+
+class TestCrc:
+    @given(st.binary(max_size=256))
+    def test_mask_roundtrip(self, data):
+        crc = crc32c(data)
+        assert unmask_crc(mask_crc(crc)) == crc
+
+    def test_mask_changes_value(self):
+        crc = crc32c(b"hello")
+        assert mask_crc(crc) != crc
+
+    def test_chaining(self):
+        whole = crc32c(b"hello world")
+        chained = crc32c(b" world", seed=crc32c(b"hello"))
+        assert whole == chained
+
+    def test_detects_flip(self):
+        data = bytearray(b"some record payload")
+        crc = crc32c(bytes(data))
+        data[3] ^= 0x40
+        assert crc32c(bytes(data)) != crc
+
+
+class TestMurmur:
+    def test_reference_vectors(self):
+        # Reference values from the smhasher MurmurHash3_x86_32.
+        assert murmur3_32(b"") == 0
+        assert murmur3_32(b"", seed=1) == 0x514E28B7
+        assert murmur3_32(b"hello") == 0x248BFA47
+        assert murmur3_32(b"hello, world") == 0x149BBB7F
+        assert murmur3_32(b"The quick brown fox jumps over the lazy dog") == 0x2E4FF723
+
+    @given(st.binary(max_size=64))
+    def test_deterministic(self, data):
+        assert murmur3_32(data) == murmur3_32(data)
+        assert murmur3_64(data) == murmur3_64(data)
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_seed_changes_hash(self, data):
+        assert murmur3_32(data, 1) != murmur3_32(data, 2) or True  # rarely equal
+        assert 0 <= murmur3_32(data) < 2**32
+        assert 0 <= murmur3_64(data) < 2**64
+
+    def test_distribution_of_trailing_bits(self):
+        # ~1/2^k keys should have k trailing set bits: sanity for guards.
+        from repro.core.guards import trailing_set_bits
+
+        n = 20000
+        count = sum(
+            1
+            for i in range(n)
+            if trailing_set_bits(murmur3_32(b"key%08d" % i)) >= 6
+        )
+        expected = n / 64
+        assert expected * 0.5 < count < expected * 2.0
+
+
+class TestInternalKey:
+    def test_ordering_user_key_then_seq_desc(self):
+        a = InternalKey(b"a", 5, KIND_PUT)
+        a_newer = InternalKey(b"a", 9, KIND_PUT)
+        b = InternalKey(b"b", 1, KIND_PUT)
+        assert a_newer < a  # newer version sorts first
+        assert a < b
+        assert a_newer < b
+
+    def test_prefix_keys_order_correctly(self):
+        # b"a" < b"ab" must hold regardless of sequence numbers.
+        long_old = InternalKey(b"ab", 1, KIND_PUT)
+        short_new = InternalKey(b"a", MAX_SEQUENCE, KIND_PUT)
+        assert short_new < long_old
+
+    @given(
+        st.binary(min_size=1, max_size=24),
+        st.integers(min_value=0, max_value=MAX_SEQUENCE),
+        st.sampled_from([KIND_PUT, KIND_DELETE]),
+    )
+    def test_pack_roundtrip(self, user_key, seq, kind):
+        key = InternalKey(user_key, seq, kind)
+        assert unpack_internal_key(pack_internal_key(key)) == key
+
+    def test_pack_rejects_short(self):
+        with pytest.raises(CorruptionError):
+            unpack_internal_key(b"\x01")
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            InternalKey(b"k", 1, 7)
+
+    def test_invalid_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            InternalKey(b"k", MAX_SEQUENCE + 1, KIND_PUT)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.binary(min_size=1, max_size=8),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_sort_matches_reference(self, items):
+        keys = [InternalKey(k, s, KIND_PUT) for k, s in items]
+        expected = sorted(keys, key=lambda ik: (ik.user_key, -ik.sequence))
+        assert sorted(keys) == expected

@@ -1,0 +1,84 @@
+"""Varint codec: round-trips, boundaries, and corruption handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CorruptionError
+from repro.util.varint import (
+    decode_varint32,
+    decode_varint64,
+    encode_varint32,
+    encode_varint64,
+)
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_varint32_roundtrip(self, value):
+        data = encode_varint32(value)
+        decoded, offset = decode_varint32(data)
+        assert decoded == value
+        assert offset == len(data)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_varint64_roundtrip(self, value):
+        data = encode_varint64(value)
+        decoded, offset = decode_varint64(data)
+        assert decoded == value
+        assert offset == len(data)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=20))
+    def test_concatenated_stream(self, values):
+        blob = b"".join(encode_varint64(v) for v in values)
+        offset = 0
+        out = []
+        for _ in values:
+            value, offset = decode_varint64(blob, offset)
+            out.append(value)
+        assert out == values
+        assert offset == len(blob)
+
+
+class TestBoundaries:
+    def test_single_byte_values(self):
+        for v in (0, 1, 127):
+            assert len(encode_varint32(v)) == 1
+
+    def test_two_byte_threshold(self):
+        assert len(encode_varint32(127)) == 1
+        assert len(encode_varint32(128)) == 2
+
+    def test_max_lengths(self):
+        assert len(encode_varint32(2**32 - 1)) == 5
+        assert len(encode_varint64(2**64 - 1)) == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint32(-1)
+        with pytest.raises(ValueError):
+            encode_varint64(-1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint32(2**32)
+
+
+class TestCorruption:
+    def test_truncated(self):
+        data = encode_varint64(2**40)[:-1]
+        with pytest.raises(CorruptionError):
+            decode_varint64(data)
+
+    def test_empty(self):
+        with pytest.raises(CorruptionError):
+            decode_varint32(b"")
+
+    def test_endless_continuation(self):
+        with pytest.raises(CorruptionError):
+            decode_varint64(b"\xff" * 11)
+
+    def test_varint32_overflow_encoding(self):
+        # A valid varint64 that exceeds 32 bits must be rejected as varint32.
+        data = encode_varint64(2**33)
+        with pytest.raises(CorruptionError):
+            decode_varint32(data)

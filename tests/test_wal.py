@@ -1,0 +1,113 @@
+"""Write-ahead log framing, batch codec, and torn-tail recovery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CorruptionError
+from repro.sim.storage import SimulatedStorage
+from repro.util.keys import KIND_DELETE, KIND_PUT
+from repro.wal import BLOCK_SIZE, LogReader, LogWriter, decode_batch, encode_batch
+
+
+@pytest.fixture
+def storage():
+    return SimulatedStorage()
+
+
+def replay(storage, name):
+    return list(LogReader(storage, name).records(storage.foreground_account()))
+
+
+class TestBatchCodec:
+    def test_roundtrip(self):
+        ops = [(KIND_PUT, b"k1", b"v1"), (KIND_DELETE, b"k2", b""), (KIND_PUT, b"k3", b"")]
+        seq, decoded = decode_batch(encode_batch(42, ops))
+        assert seq == 42
+        assert decoded == ops
+
+    @given(
+        st.integers(min_value=0, max_value=2**56 - 1),
+        st.lists(
+            st.tuples(
+                st.sampled_from([KIND_PUT, KIND_DELETE]),
+                st.binary(min_size=1, max_size=20),
+                st.binary(max_size=64),
+            ),
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, seq, ops):
+        normalized = [
+            (kind, key, value if kind == KIND_PUT else b"") for kind, key, value in ops
+        ]
+        got_seq, got_ops = decode_batch(encode_batch(seq, normalized))
+        assert (got_seq, got_ops) == (seq, normalized)
+
+    def test_truncated_rejected(self):
+        blob = encode_batch(1, [(KIND_PUT, b"key", b"value")])
+        with pytest.raises(CorruptionError):
+            decode_batch(blob[:-2])
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            encode_batch(1, [(9, b"k", b"v")])
+
+
+class TestLogFraming:
+    def test_records_roundtrip(self, storage):
+        acct = storage.foreground_account()
+        writer = LogWriter(storage, "wal")
+        payloads = [b"first", b"second" * 100, b"x"]
+        for p in payloads:
+            writer.append(p, acct)
+        assert replay(storage, "wal") == payloads
+
+    def test_record_spanning_blocks(self, storage):
+        acct = storage.foreground_account()
+        writer = LogWriter(storage, "wal")
+        big = bytes(range(256)) * ((2 * BLOCK_SIZE) // 256)
+        writer.append(b"small", acct)
+        writer.append(big, acct)
+        writer.append(b"after", acct)
+        assert replay(storage, "wal") == [b"small", big, b"after"]
+
+    def test_many_small_records_cross_block_padding(self, storage):
+        acct = storage.foreground_account()
+        writer = LogWriter(storage, "wal")
+        payloads = [b"p%04d" % i + b"z" * 100 for i in range(400)]
+        for p in payloads:
+            writer.append(p, acct)
+        assert storage.size("wal") > BLOCK_SIZE  # crossed at least one block
+        assert replay(storage, "wal") == payloads
+
+    def test_torn_tail_dropped(self, storage):
+        acct = storage.foreground_account()
+        writer = LogWriter(storage, "wal")
+        writer.append(b"complete", acct, sync=True)
+        writer.append(b"torn-away", acct)  # not synced
+        storage.crash()
+        assert replay(storage, "wal") == [b"complete"]
+
+    def test_corrupt_middle_stops_replay(self, storage):
+        acct = storage.foreground_account()
+        writer = LogWriter(storage, "wal")
+        writer.append(b"one", acct)
+        writer.append(b"two", acct)
+        # Flip a byte inside the first record's payload.
+        storage.write_at("wal", 8, b"\xff", acct)
+        assert replay(storage, "wal") == []
+
+    def test_empty_log(self, storage):
+        LogWriter(storage, "wal")
+        assert replay(storage, "wal") == []
+
+    @given(st.lists(st.binary(min_size=0, max_size=5000), max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, payloads):
+        storage = SimulatedStorage()
+        acct = storage.foreground_account()
+        writer = LogWriter(storage, "wal")
+        for p in payloads:
+            writer.append(p, acct)
+        assert replay(storage, "wal") == payloads

@@ -1,0 +1,192 @@
+"""db_bench, YCSB, and time-series workload drivers."""
+
+import pytest
+
+import repro
+from repro.harness import fresh_run, standard_config
+from repro.workloads import DBBench, YCSB_WORKLOADS, YcsbRunner, YcsbWorkload
+from repro.workloads.timeseries import TimeSeriesWorkload
+
+
+@pytest.fixture
+def run():
+    return fresh_run("pebblesdb", standard_config(num_keys=1200, value_size=128))
+
+
+class TestDBBench:
+    def test_fill_then_read(self, run):
+        bench = run.bench
+        result = bench.fill_random()
+        assert result.ops == 1200
+        assert result.kops > 0
+        assert result.device_bytes_written > result.user_bytes_written
+        reads = bench.read_random(300)
+        assert reads.extra["found_fraction"] == 1.0
+
+    def test_fillseq_cheaper_io_than_fillrandom_for_lsm(self):
+        seq = fresh_run("hyperleveldb", standard_config(num_keys=2000, value_size=128))
+        rand = fresh_run("hyperleveldb", standard_config(num_keys=2000, value_size=128))
+        r_seq = seq.bench.fill_seq()
+        seq.db.wait_idle()
+        r_rand = rand.bench.fill_random()
+        rand.db.wait_idle()
+        assert seq.db.stats().device_bytes_written < rand.db.stats().device_bytes_written
+
+    def test_overwrite_and_delete(self, run):
+        bench = run.bench
+        bench.fill_random()
+        over = bench.overwrite(400)
+        assert over.ops == 400
+        dels = bench.delete_random(300)
+        assert dels.ops == 300
+
+    def test_seek_with_nexts_named_rangequery(self, run):
+        bench = run.bench
+        bench.fill_random()
+        result = bench.seek_random(50, nexts=10)
+        assert result.name == "rangequery10"
+        assert result.elapsed_seconds > 0
+
+    def test_mixed_workload(self, run):
+        bench = run.bench
+        bench.fill_random()
+        result = bench.mixed_read_write(reads=200, writes=200)
+        assert result.ops == 400
+
+    def test_result_row_renders(self, run):
+        bench = run.bench
+        result = bench.fill_random(100)
+        row = result.row()
+        assert "fillrandom" in row and "KOps/s" in row
+
+
+class TestYcsb:
+    def test_workload_table_matches_paper(self):
+        """Table 5.3 definitions."""
+        assert YCSB_WORKLOADS["A"].read == 0.5 and YCSB_WORKLOADS["A"].update == 0.5
+        assert YCSB_WORKLOADS["B"].read == 0.95
+        assert YCSB_WORKLOADS["C"].read == 1.0
+        assert YCSB_WORKLOADS["D"].request_distribution == "latest"
+        assert YCSB_WORKLOADS["E"].scan == 0.95
+        assert YCSB_WORKLOADS["F"].read_modify_write == 0.5
+
+    def test_proportions_validated(self):
+        with pytest.raises(ValueError):
+            YcsbWorkload("bad", "x", read=0.5, update=0.2)
+
+    def test_load_and_run_all_workloads(self):
+        run = fresh_run("pebblesdb", standard_config(num_keys=800, value_size=128))
+        ycsb = run.ycsb()
+        load = ycsb.load()
+        assert load.ops == 800
+        for name in "ABCDEF":
+            result = ycsb.run(YCSB_WORKLOADS[name], 150)
+            assert result.ops == 150
+            assert result.elapsed_seconds > 0, name
+
+    def test_workload_c_is_read_only(self):
+        run = fresh_run("pebblesdb", standard_config(num_keys=600, value_size=128))
+        ycsb = run.ycsb()
+        ycsb.load()
+        before = run.db.stats().puts
+        ycsb.run(YCSB_WORKLOADS["C"], 200)
+        assert run.db.stats().puts == before
+
+    def test_run_requires_load(self):
+        run = fresh_run("pebblesdb", standard_config(num_keys=100, value_size=64))
+        with pytest.raises(RuntimeError):
+            run.ycsb().run(YCSB_WORKLOADS["A"], 10)
+
+    def test_inserts_extend_keyspace(self):
+        run = fresh_run("pebblesdb", standard_config(num_keys=400, value_size=64))
+        ycsb = run.ycsb()
+        ycsb.load()
+        ycsb.run(YCSB_WORKLOADS["D"], 400)  # 5% inserts
+        assert ycsb._inserted > 400
+
+
+class TestTimeSeries:
+    def test_iterations_and_empty_guards(self):
+        run = fresh_run("pebblesdb", standard_config(num_keys=1000, value_size=128))
+        workload = TimeSeriesWorkload(
+            run.db,
+            run.env.storage,
+            keys_per_window=400,
+            reads_per_window=150,
+            value_size=128,
+        )
+        results = workload.run(iterations=3)
+        assert len(results) == 3
+        assert all(r.write_kops > 0 and r.read_kops > 0 for r in results)
+        # Guards accumulate across dead windows.
+        assert results[-1].empty_guards >= results[0].empty_guards
+
+
+class TestExtendedDbBench:
+    def test_read_missing_finds_nothing(self, run):
+        bench = run.bench
+        bench.fill_random()
+        result = bench.read_missing(300)
+        assert result.extra["found_fraction"] == 0.0
+        assert result.kops > 0
+
+    def test_read_missing_cheaper_than_read_random(self):
+        """Bloom filters answer most missing-key lookups without any IO;
+        the dataset must exceed the page cache for hits to pay IO."""
+        run = fresh_run("pebblesdb", standard_config(num_keys=6000, value_size=256))
+        bench = run.bench
+        bench.fill_random()
+        run.db.compact_all()
+        hit = bench.read_random(400)
+        miss = bench.read_missing(400)
+        assert miss.device_bytes_read < hit.device_bytes_read
+
+    def test_read_hot_faster_than_read_random(self, run):
+        bench = run.bench
+        bench.fill_random()
+        run.db.compact_all()
+        bench.read_hot(100)  # warm the hot set
+        hot = bench.read_hot(400)
+        cold = bench.read_random(400)
+        assert hot.kops > cold.kops
+
+    def test_read_seq_scans_in_order(self, run):
+        bench = run.bench
+        bench.fill_random()
+        result = bench.read_seq(500)
+        assert result.name == "readseq"
+        assert result.ops == 500
+
+    def test_fill_sync_slower_than_async(self):
+        sync = fresh_run("pebblesdb", standard_config(num_keys=800, value_size=128))
+        normal = fresh_run("pebblesdb", standard_config(num_keys=800, value_size=128))
+        r_sync = sync.bench.fill_sync()
+        r_async = normal.bench.fill_random()
+        assert r_sync.kops < r_async.kops
+        # The option is restored afterwards.
+        assert sync.db.options.sync_writes is False
+
+
+class TestLatencyPercentiles:
+    def test_percentiles_collected_and_ordered(self, run):
+        bench = run.bench
+        writes = bench.fill_random()
+        assert writes.latencies and len(writes.latencies) == writes.ops
+        assert writes.percentile(0.5) <= writes.percentile(0.99)
+        reads = bench.read_random(200)
+        assert reads.percentile(0.5) > 0
+        assert "p50" in writes.row() and "p99" in writes.row()
+
+    def test_write_tail_reflects_stalls(self):
+        """p99 write latency under compaction pressure far exceeds p50 —
+        the stall behaviour behind the paper's throughput numbers."""
+        run = fresh_run("leveldb", standard_config(num_keys=6000, value_size=512))
+        writes = run.bench.fill_random()
+        assert writes.stall_seconds > 0
+        assert writes.percentile(0.999) > 5 * writes.percentile(0.5)
+
+    def test_unsampled_result_percentile_zero(self):
+        from repro.workloads.db_bench import BenchResult
+
+        r = BenchResult("x", 1, 1.0, 0, 0, 0)
+        assert r.percentile(0.99) == 0.0

@@ -1,0 +1,137 @@
+"""Statistical properties of the YCSB runner's request streams."""
+
+import pytest
+
+import repro
+from repro.harness import fresh_run, standard_config
+from repro.workloads import YCSB_WORKLOADS, YcsbRunner, YcsbWorkload
+
+
+class CountingStore:
+    """A stub store that counts operations instead of executing them."""
+
+    def __init__(self):
+        self.puts = []
+        self.gets = []
+        self.seeks = []
+        self.nexts = 0
+
+    class _It:
+        def __init__(self, outer):
+            self.outer = outer
+            self.valid = True
+
+        def next(self):
+            self.outer.nexts += 1
+            return True
+
+        def close(self):
+            pass
+
+        def key(self):
+            return b""
+
+        def value(self):
+            return b""
+
+    def put(self, key, value):
+        self.puts.append(key)
+
+    def get(self, key):
+        self.gets.append(key)
+        return b"x"
+
+    def delete(self, key):
+        pass
+
+    def seek(self, key):
+        self.seeks.append(key)
+        return self._It(self)
+
+    def stats(self):
+        from repro.engines.base import StoreStats
+
+        return StoreStats()
+
+
+class _FakeStorage:
+    def __init__(self):
+        from repro.sim.clock import SimClock
+
+        self.clock = SimClock()
+
+
+def run_counting(workload: YcsbWorkload, ops=4000, records=2000):
+    db = CountingStore()
+    runner = YcsbRunner(db, _FakeStorage(), record_count=records, value_size=64)
+    runner._inserted = records  # skip the load phase
+    runner.run(workload, ops)
+    return db
+
+
+class TestOperationMixes:
+    def test_workload_a_half_reads_half_updates(self):
+        db = run_counting(YCSB_WORKLOADS["A"])
+        total = len(db.gets) + len(db.puts)
+        assert total == 4000
+        assert 0.45 < len(db.gets) / total < 0.55
+
+    def test_workload_b_mostly_reads(self):
+        db = run_counting(YCSB_WORKLOADS["B"])
+        assert len(db.gets) / 4000 > 0.9
+        assert 0.02 < len(db.puts) / 4000 < 0.09
+
+    def test_workload_c_only_reads(self):
+        db = run_counting(YCSB_WORKLOADS["C"])
+        assert len(db.puts) == 0
+        assert len(db.gets) == 4000
+
+    def test_workload_e_mostly_scans(self):
+        db = run_counting(YCSB_WORKLOADS["E"])
+        assert len(db.seeks) / 4000 > 0.9
+        # Scan lengths are uniform 1..100: mean next()/seek ~ 50.
+        mean_scan = db.nexts / len(db.seeks)
+        assert 35 < mean_scan < 65
+
+    def test_workload_f_rmw_pairs_reads_and_writes(self):
+        db = run_counting(YCSB_WORKLOADS["F"])
+        # 50% plain reads + 50% RMW (get+put): puts ~ 2000, gets ~ 4000.
+        assert 0.4 < len(db.puts) / 4000 < 0.6
+        assert len(db.gets) > len(db.puts) * 1.5
+
+
+class TestRequestSkew:
+    def test_zipfian_workloads_have_hot_keys(self):
+        db = run_counting(YCSB_WORKLOADS["A"], ops=6000)
+        counts = {}
+        for key in db.gets + db.puts:
+            counts[key] = counts.get(key, 0) + 1
+        total = sum(counts.values())
+        top = sorted(counts.values(), reverse=True)[: max(1, len(counts) // 100)]
+        assert sum(top) / total > 0.05, "zipfian stream must concentrate requests"
+
+    def test_latest_workload_prefers_recent_records(self):
+        db = run_counting(YCSB_WORKLOADS["D"], ops=6000, records=2000)
+        runner_codec = YcsbRunner(
+            CountingStore(), _FakeStorage(), record_count=2000
+        ).codec
+        recent = sum(1 for k in db.gets if runner_codec.decode(k) >= 1500)
+        assert recent / max(1, len(db.gets)) > 0.5
+
+    def test_inserts_are_new_keys(self):
+        db = run_counting(YCSB_WORKLOADS["D"], ops=4000, records=1000)
+        codec = YcsbRunner(CountingStore(), _FakeStorage(), record_count=1000).codec
+        fresh = [k for k in db.puts if codec.decode(k) >= 1000]
+        assert len(fresh) == len(db.puts), "workload D writes are inserts"
+
+
+class TestEndToEndDeterminism:
+    def test_same_seed_same_results(self):
+        results = []
+        for _ in range(2):
+            run = fresh_run("pebblesdb", standard_config(num_keys=500, value_size=128, seed=4))
+            ycsb = run.ycsb()
+            ycsb.load()
+            r = ycsb.run(YCSB_WORKLOADS["A"], 200)
+            results.append((r.kops, r.device_bytes_written, run.env.now))
+        assert results[0] == results[1]
