@@ -1142,7 +1142,7 @@ class PebblesDBStore(LSMStoreBase):
         largest = max(guard.files, key=lambda f: f.file_size)
         acct = self.storage.foreground_account(self.prefix + "maintenance")
         reader = self._get_reader(largest.number, acct)
-        boundaries = reader._index_keys
+        boundaries = reader.index_keys
         if len(boundaries) < 2:
             return None
         mid = boundaries[len(boundaries) // 2].user_key

@@ -21,7 +21,12 @@ from repro.errors import InvalidArgumentError, StoreClosedError
 from repro.memtable import Memtable
 from repro.sim.executor import BackgroundExecutor, Job
 from repro.sim.storage import IoAccount, SimulatedStorage
-from repro.sstable import SSTableBuilder, SSTableReader, merging_iterator
+from repro.sstable import (
+    DecodedBlockCache,
+    SSTableBuilder,
+    SSTableReader,
+    merging_iterator,
+)
 from repro.util.keys import KIND_DELETE, KIND_PUT, InternalKey
 from repro.version import (
     ManifestReader,
@@ -57,7 +62,17 @@ class StoreStats:
     memory_bytes: int = 0
     sstable_count: int = 0
     level_sizes: List[int] = field(default_factory=list)
+    #: Host-side decoded-block cache counters (wall-clock memoization;
+    #: these never influence any simulated metric).
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
+    block_cache_bytes: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def block_cache_hit_rate(self) -> float:
+        total = self.block_cache_hits + self.block_cache_misses
+        return self.block_cache_hits / total if total else 0.0
 
     @property
     def write_amplification(self) -> float:
@@ -228,6 +243,14 @@ class LSMStoreBase(KeyValueStore):
         self._wal: Optional[LogWriter] = None
         self._manifest: Optional[ManifestWriter] = None
         self._table_cache: "OrderedDict[int, SSTableReader]" = OrderedDict()
+        #: Host-side memoization of parsed data blocks, shared by every
+        #: reader this store opens (keyed by sstable file number).  None
+        #: when disabled; simulated metrics are identical either way.
+        self._block_cache: Optional[DecodedBlockCache] = (
+            DecodedBlockCache(self.options.block_cache_bytes)
+            if self.options.block_cache_bytes > 0
+            else None
+        )
         self._file_refs: Dict[int, int] = {}
         self._doomed_files: set = set()
         self._snapshots: List[int] = []
@@ -445,6 +468,10 @@ class LSMStoreBase(KeyValueStore):
         s.memory_bytes = self.memory_bytes()
         s.sstable_count = len(self.sstable_file_numbers())
         s.level_sizes = self.level_sizes()
+        if self._block_cache is not None:
+            s.block_cache_hits = self._block_cache.stats.hits
+            s.block_cache_misses = self._block_cache.stats.misses
+            s.block_cache_bytes = self._block_cache.size_bytes
         return s
 
     def memory_bytes(self) -> int:
@@ -506,6 +533,16 @@ class LSMStoreBase(KeyValueStore):
             return layout() if layout else None
         if name == "repro.approximate-memory-usage":
             return str(self.memory_bytes())
+        if name == "repro.block-cache":
+            if self._block_cache is None:
+                return "disabled"
+            bc = self._block_cache.stats
+            return (
+                f"hits={bc.hits} misses={bc.misses} "
+                f"hit-rate={bc.hit_rate:.3f} "
+                f"bytes={self._block_cache.size_bytes} "
+                f"blocks={len(self._block_cache)} evictions={bc.evictions}"
+            )
         if name.startswith("repro.num-files-at-level"):
             try:
                 level = int(name[len("repro.num-files-at-level"):])
@@ -719,6 +756,8 @@ class LSMStoreBase(KeyValueStore):
             self._sst_name(number),
             account,
             load_bloom=self.options.enable_sstable_bloom,
+            block_cache=self._block_cache,
+            cache_key=number,
         )
         cache[number] = reader
         while len(cache) > self.options.table_cache_size:
@@ -747,6 +786,8 @@ class LSMStoreBase(KeyValueStore):
 
     def _drop_table_file(self, number: int) -> None:
         self._table_cache.pop(number, None)
+        if self._block_cache is not None:
+            self._block_cache.drop_file(number)
         name = self._sst_name(number)
         if self.storage.exists(name):
             self.storage.delete(name)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Tuple
+from typing import Dict, Hashable, Set, Tuple
 
 PAGE_SIZE = 4096
 
@@ -32,13 +32,21 @@ class CacheStats:
 
 
 class PageCache:
-    """A byte-budgeted LRU cache of 4 KiB pages."""
+    """A byte-budgeted LRU cache of 4 KiB pages.
+
+    Range operations are batched: one pass over the interval's pages with
+    bulk stat updates and a single end-of-batch eviction sweep, instead of
+    a per-page method call with its own eviction loop.  A per-file page
+    index makes ``drop_file`` proportional to the dropped file's resident
+    pages rather than to everything cached.
+    """
 
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes < 0:
             raise ValueError("cache capacity must be >= 0")
         self.capacity_bytes = capacity_bytes
         self._pages: "OrderedDict[Tuple[Hashable, int], None]" = OrderedDict()
+        self._file_pages: Dict[Hashable, Set[int]] = {}
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -50,6 +58,21 @@ class PageCache:
     @property
     def max_pages(self) -> int:
         return self.capacity_bytes // PAGE_SIZE
+
+    def _evict_over_budget(self) -> None:
+        pages = self._pages
+        file_pages = self._file_pages
+        max_pages = self.max_pages
+        evictions = 0
+        while len(pages) > max_pages:
+            file_id, page = pages.popitem(last=False)[0]
+            resident = file_pages.get(file_id)
+            if resident is not None:
+                resident.discard(page)
+                if not resident:
+                    del file_pages[file_id]
+            evictions += 1
+        self.stats.evictions += evictions
 
     def access(self, file_id: Hashable, page: int, *, insert: bool = True) -> bool:
         """Touch one page; returns True on hit.
@@ -66,9 +89,8 @@ class PageCache:
         self.stats.misses += 1
         if insert and self.max_pages > 0:
             self._pages[key] = None
-            while len(self._pages) > self.max_pages:
-                self._pages.popitem(last=False)
-                self.stats.evictions += 1
+            self._file_pages.setdefault(file_id, set()).add(page)
+            self._evict_over_budget()
         return False
 
     def access_range(
@@ -82,12 +104,35 @@ class PageCache:
             return (0, 0)
         first = offset // PAGE_SIZE
         last = (offset + length - 1) // PAGE_SIZE
-        hits = misses = 0
-        for page in range(first, last + 1):
-            if self.access(file_id, page, insert=insert):
-                hits += 1
-            else:
-                misses += 1
+        npages = last - first + 1
+        pages = self._pages
+        hits = 0
+        max_pages = self.max_pages
+        if insert and max_pages > 0:
+            resident = self._file_pages.setdefault(file_id, set())
+            for page in range(first, last + 1):
+                key = (file_id, page)
+                if key in pages:
+                    pages.move_to_end(key)
+                    hits += 1
+                else:
+                    pages[key] = None
+                    resident.add(page)
+            if len(pages) > max_pages:
+                self._evict_over_budget()
+                if not self._file_pages.get(file_id):
+                    # Everything just inserted was immediately evicted again
+                    # (range larger than the whole cache).
+                    self._file_pages.pop(file_id, None)
+        else:
+            for page in range(first, last + 1):
+                key = (file_id, page)
+                if key in pages:
+                    pages.move_to_end(key)
+                    hits += 1
+        misses = npages - hits
+        self.stats.hits += hits
+        self.stats.misses += misses
         return (hits, misses)
 
     def populate_range(self, file_id: Hashable, offset: int, length: int) -> None:
@@ -96,20 +141,30 @@ class PageCache:
             return
         first = offset // PAGE_SIZE
         last = (offset + length - 1) // PAGE_SIZE
+        pages = self._pages
+        resident = self._file_pages.setdefault(file_id, set())
         for page in range(first, last + 1):
             key = (file_id, page)
-            self._pages[key] = None
-            self._pages.move_to_end(key)
-        while len(self._pages) > self.max_pages:
-            self._pages.popitem(last=False)
-            self.stats.evictions += 1
+            if key in pages:
+                pages.move_to_end(key)
+            else:
+                pages[key] = None
+                resident.add(page)
+        if len(pages) > self.max_pages:
+            self._evict_over_budget()
+            if not self._file_pages.get(file_id):
+                self._file_pages.pop(file_id, None)
 
     def drop_file(self, file_id: Hashable) -> None:
         """Evict all pages of a deleted file."""
-        stale = [key for key in self._pages if key[0] == file_id]
-        for key in stale:
-            del self._pages[key]
+        resident = self._file_pages.pop(file_id, None)
+        if not resident:
+            return
+        pages = self._pages
+        for page in resident:
+            del pages[(file_id, page)]
 
     def clear(self) -> None:
         """Drop everything (used to model a cold cache after remount)."""
         self._pages.clear()
+        self._file_pages.clear()

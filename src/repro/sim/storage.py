@@ -206,9 +206,51 @@ class SimulatedStorage:
     ) -> bytes:
         """Read bytes; device time is charged only for page-cache misses."""
         f = self._file(name)
+        self._charge_read(
+            f, offset, length, account, sequential=sequential, cache_insert=cache_insert
+        )
+        return bytes(f.data[offset : offset + length])
+
+    def charge_read(
+        self,
+        name: str,
+        offset: int,
+        length: int,
+        account: IoAccount,
+        *,
+        sequential: bool = False,
+        cache_insert: bool = True,
+    ) -> None:
+        """Charge exactly what :meth:`read` would, without returning bytes.
+
+        Used by host-side memoization (the decoded-block cache): a caller
+        that already holds the parsed contents must still pay the same
+        simulated device time, page-cache accounting, and IO statistics
+        the raw read would have, so every simulated metric is identical
+        whether the memo hit or not.
+        """
+        self._charge_read(
+            self._file(name),
+            offset,
+            length,
+            account,
+            sequential=sequential,
+            cache_insert=cache_insert,
+        )
+
+    def _charge_read(
+        self,
+        f: _SimFile,
+        offset: int,
+        length: int,
+        account: IoAccount,
+        *,
+        sequential: bool,
+        cache_insert: bool,
+    ) -> None:
         if offset < 0 or offset + length > len(f.data):
             raise StorageError(
-                f"read out of bounds: {name}[{offset}:{offset + length}] "
+                f"read out of bounds: {f.name}[{offset}:{offset + length}] "
                 f"(size {len(f.data)})"
             )
         hits, misses = self.cache.access_range(
@@ -223,7 +265,6 @@ class SimulatedStorage:
             self.stats.note_read(account.name, nbytes)
         if hits:
             account.charge(self.cpu.charge("block_decode", hits * self.cpu.block_decode))
-        return bytes(f.data[offset : offset + length])
 
     def sync(self, name: str, account: IoAccount) -> None:
         """Make all bytes of ``name`` durable."""

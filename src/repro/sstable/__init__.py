@@ -14,9 +14,11 @@ from repro.sstable.format import (
     Footer,
     IndexEntry,
     decode_block,
+    decode_block_with_keys,
     decode_index,
     encode_index,
 )
+from repro.sstable.block_cache import BlockCacheStats, DecodedBlock, DecodedBlockCache
 from repro.sstable.builder import SSTableBuilder, TableProperties
 from repro.sstable.reader import SSTableReader
 from repro.sstable.merger import merging_iterator, compaction_iterator
@@ -24,9 +26,13 @@ from repro.sstable.merger import merging_iterator, compaction_iterator
 __all__ = [
     "FOOTER_SIZE",
     "BlockBuilder",
+    "BlockCacheStats",
+    "DecodedBlock",
+    "DecodedBlockCache",
     "Footer",
     "IndexEntry",
     "decode_block",
+    "decode_block_with_keys",
     "decode_index",
     "encode_index",
     "SSTableBuilder",

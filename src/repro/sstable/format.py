@@ -95,12 +95,25 @@ def seal_block(payload: bytes) -> bytes:
 
 def decode_block(data: bytes) -> List[Tuple[InternalKey, bytes]]:
     """Verify and parse one data block into ``(internal key, value)``s."""
+    return decode_block_with_keys(data)[0]
+
+
+def decode_block_with_keys(
+    data: bytes,
+) -> Tuple[List[Tuple[InternalKey, bytes]], List[InternalKey]]:
+    """Verify and parse one data block, returning entries and key array.
+
+    The key array (``[key for key, _ in entries]``) is built during the
+    same parse pass; the decoded-block cache stores it alongside the
+    entries so point lookups bisect without rebuilding it per probe.
+    """
     if len(data) < BLOCK_TRAILER_SIZE:
         raise CorruptionError("data block shorter than its checksum")
     payload, trailer = data[:-BLOCK_TRAILER_SIZE], data[-BLOCK_TRAILER_SIZE:]
     if crc32c(payload) != unmask_crc(int.from_bytes(trailer, "little")):
         raise CorruptionError("data block checksum mismatch")
     out: List[Tuple[InternalKey, bytes]] = []
+    keys: List[InternalKey] = []
     offset = 0
     end = len(payload)
     data = payload
@@ -114,8 +127,9 @@ def decode_block(data: bytes) -> List[Tuple[InternalKey, bytes]]:
         if offset + vlen > end:
             raise CorruptionError("data block value overruns block")
         out.append((key, data[offset : offset + vlen]))
+        keys.append(key)
         offset += vlen
-    return out
+    return out, keys
 
 
 @dataclass

@@ -6,19 +6,66 @@ engines keep a bounded table cache of open readers, so stores with many
 small sstables miss that cache more often).  ``get`` consults the bloom
 filter first — the PebblesDB optimization of section 4.1 — and reads at
 most one data block on a negative filter answer avoided.
+
+All data-block access funnels through :meth:`SSTableReader._decoded_block`,
+which consults the engine's host-side :class:`DecodedBlockCache` when one
+is attached.  A cache hit skips the CRC check and varint re-parse but
+still charges the *identical* simulated costs (page-cache accounting,
+device time, IO statistics) via ``SimulatedStorage.charge_read`` — the
+cache saves wall-clock only, never simulated time.  Compaction scans
+(``cache_insert=False``) bypass the decoded cache entirely, matching how
+they bypass page-cache insertion.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterator, List, Optional, Tuple
+from typing import Hashable, Iterator, List, Optional, Tuple
 
 from repro.bloom import BloomFilter
 from repro.errors import CorruptionError
 from repro.memtable.memtable import GetResult
 from repro.sim.storage import IoAccount, SimulatedStorage
-from repro.sstable.format import FOOTER_SIZE, Footer, IndexEntry, decode_block, decode_index
+from repro.sstable.block_cache import DecodedBlock, DecodedBlockCache
+from repro.sstable.format import (
+    FOOTER_SIZE,
+    Footer,
+    IndexEntry,
+    decode_block,
+    decode_block_with_keys,
+    decode_index,
+)
 from repro.util.keys import KIND_DELETE, KIND_PUT, MAX_SEQUENCE, InternalKey
+
+#: Sentinel "offset" under which a table's parsed metadata lives in the
+#: decoded cache.  Real block offsets are non-negative, so it can't collide.
+_META_OFFSET = -1
+
+#: Rough per-index-entry host overhead when budgeting cached metadata.
+_INDEX_ENTRY_OVERHEAD = 96
+
+
+class _TableMeta:
+    """Parsed footer + index + bloom of one sstable, decoded-cache resident.
+
+    Lets a table-cache miss reopen a reader without re-running
+    ``decode_index``/``BloomFilter.decode``; the reopen still charges the
+    exact simulated reads ``open`` would issue.
+    """
+
+    __slots__ = ("footer", "index", "index_keys", "bloom", "load_bloom", "nbytes")
+
+    def __init__(self, footer, index, index_keys, bloom, load_bloom) -> None:
+        self.footer = footer
+        self.index = index
+        self.index_keys = index_keys
+        self.bloom = bloom
+        self.load_bloom = load_bloom
+        self.nbytes = (
+            footer.index_size
+            + footer.filter_size
+            + _INDEX_ENTRY_OVERHEAD * len(index)
+        )
 
 
 class SSTableReader:
@@ -32,14 +79,23 @@ class SSTableReader:
         index: List[IndexEntry],
         bloom: Optional[BloomFilter],
         file_size: int,
+        block_cache: Optional[DecodedBlockCache] = None,
+        cache_key: Optional[Hashable] = None,
+        index_keys: Optional[List[InternalKey]] = None,
     ) -> None:
         self._storage = storage
         self.name = name
         self._footer = footer
         self._index = index
-        self._index_keys = [entry.last_key for entry in index]
+        self._index_keys = (
+            index_keys if index_keys is not None else [entry.last_key for entry in index]
+        )
         self.bloom = bloom
         self.file_size = file_size
+        self._block_cache = block_cache
+        #: Decoded-cache namespace for this table (the engine passes its
+        #: file number); defaults to the file name for standalone readers.
+        self._cache_key: Hashable = cache_key if cache_key is not None else name
 
     # ------------------------------------------------------------------
     @classmethod
@@ -50,11 +106,42 @@ class SSTableReader:
         account: IoAccount,
         *,
         load_bloom: bool = True,
+        block_cache: Optional[DecodedBlockCache] = None,
+        cache_key: Optional[Hashable] = None,
     ) -> "SSTableReader":
-        """Read footer + index (+ bloom) and return a ready reader."""
+        """Read footer + index (+ bloom) and return a ready reader.
+
+        When the engine's decoded cache holds this table's parsed
+        metadata (a previous open cached it before the table cache
+        evicted the reader), the reopen skips ``decode_index`` and
+        ``BloomFilter.decode`` — but still charges the identical
+        simulated footer/index/filter reads through ``charge_read``.
+        """
         size = storage.size(name)
         if size < FOOTER_SIZE:
             raise CorruptionError(f"sstable too small: {name}")
+        ckey: Hashable = cache_key if cache_key is not None else name
+        if block_cache is not None:
+            meta = block_cache.get(ckey, _META_OFFSET)
+            if meta is not None and meta.load_bloom == load_bloom:
+                footer = meta.footer
+                storage.charge_read(name, size - FOOTER_SIZE, FOOTER_SIZE, account)
+                storage.charge_read(name, footer.index_offset, footer.index_size, account)
+                if load_bloom and footer.filter_size:
+                    storage.charge_read(
+                        name, footer.filter_offset, footer.filter_size, account
+                    )
+                return cls(
+                    storage,
+                    name,
+                    footer,
+                    meta.index,
+                    meta.bloom,
+                    size,
+                    block_cache=block_cache,
+                    cache_key=ckey,
+                    index_keys=meta.index_keys,
+                )
         footer = Footer.decode(storage.read(name, size - FOOTER_SIZE, FOOTER_SIZE, account))
         index_raw = storage.read(name, footer.index_offset, footer.index_size, account)
         index = decode_index(index_raw)
@@ -64,7 +151,23 @@ class SSTableReader:
                 name, footer.filter_offset, footer.filter_size, account
             )
             bloom = BloomFilter.decode(filter_raw)
-        return cls(storage, name, footer, index, bloom, size)
+        reader = cls(
+            storage,
+            name,
+            footer,
+            index,
+            bloom,
+            size,
+            block_cache=block_cache,
+            cache_key=ckey,
+        )
+        if block_cache is not None:
+            block_cache.put(
+                ckey,
+                _META_OFFSET,
+                _TableMeta(footer, index, reader._index_keys, bloom, load_bloom),
+            )
+        return reader
 
     # ------------------------------------------------------------------
     @property
@@ -76,8 +179,17 @@ class SSTableReader:
         return len(self._index)
 
     @property
+    def index_keys(self) -> List[InternalKey]:
+        """The last internal key of each data block, in file order."""
+        return self._index_keys
+
+    @property
     def memory_bytes(self) -> int:
-        """Resident footprint: parsed index + bloom (Table 5.4 input)."""
+        """Resident footprint: parsed index + bloom (Table 5.4 input).
+
+        Deliberately excludes any decoded-block cache share: that cache is
+        host-side memoization invisible to the simulated memory accounting.
+        """
         index_bytes = sum(len(e.last_key.user_key) + 24 for e in self._index)
         bloom_bytes = self.bloom.size_bytes if self.bloom is not None else 0
         return index_bytes + bloom_bytes
@@ -91,11 +203,45 @@ class SSTableReader:
         return self.bloom.may_contain(user_key)
 
     # ------------------------------------------------------------------
-    def _read_block(self, entry: IndexEntry, account: IoAccount, *, sequential: bool = False):
+    def _decoded_block(
+        self,
+        entry: IndexEntry,
+        account: IoAccount,
+        *,
+        sequential: bool = False,
+        cache_insert: bool = True,
+    ) -> DecodedBlock:
+        """The parsed form of one data block, memoized when cacheable.
+
+        Simulated accounting is identical on both paths: a decoded-cache
+        hit charges through ``charge_read`` exactly what the raw ``read``
+        below would charge (same page-cache touches, same device time,
+        same IO statistics).
+        """
+        cache = self._block_cache
+        if cache is not None and cache_insert:
+            block = cache.get(self._cache_key, entry.offset)
+            if block is not None:
+                self._storage.charge_read(
+                    self.name, entry.offset, entry.size, account, sequential=sequential
+                )
+                return block
         raw = self._storage.read(
-            self.name, entry.offset, entry.size, account, sequential=sequential
+            self.name,
+            entry.offset,
+            entry.size,
+            account,
+            sequential=sequential,
+            cache_insert=cache_insert,
         )
-        return decode_block(raw)
+        if cache is not None and cache_insert:
+            entries, keys = decode_block_with_keys(raw)
+            block = DecodedBlock(entries, len(raw), keys)
+            cache.put(self._cache_key, entry.offset, block)
+            return block
+        # Not retained: skip the key-array pass (scans never bisect, and
+        # a one-shot probe bisects with ``key=`` instead).
+        return DecodedBlock(decode_block(raw), len(raw))
 
     def get(self, user_key: bytes, snapshot: int, account: IoAccount) -> GetResult:
         """Newest visible version of ``user_key`` in this table."""
@@ -104,9 +250,11 @@ class SSTableReader:
         probe = InternalKey(user_key, min(snapshot, MAX_SEQUENCE), KIND_PUT)
         idx = bisect_left(self._index_keys, probe)
         while idx < len(self._index):
-            block = self._read_block(self._index[idx], account)
-            pos = bisect_left([k for k, _ in block], probe)
-            for key, value in block[pos:]:
+            block = self._decoded_block(self._index[idx], account)
+            pos = block.bisect(probe)
+            entries = block.entries
+            for i in range(pos, len(entries)):
+                key, value = entries[i]
                 if key.user_key != user_key:
                     return GetResult(False, False, None)
                 if key.sequence <= snapshot:
@@ -124,16 +272,10 @@ class SSTableReader:
     ]:
         """Scan every entry in order (compactions use cache_insert=False)."""
         for entry in self._index:
-            raw = self._storage.read(
-                self.name,
-                entry.offset,
-                entry.size,
-                account,
-                sequential=True,
-                cache_insert=cache_insert,
+            block = self._decoded_block(
+                entry, account, sequential=True, cache_insert=cache_insert
             )
-            for item in decode_block(raw):
-                yield item
+            yield from block.entries
 
     def seek(self, probe: InternalKey, account: IoAccount) -> Iterator[
         Tuple[InternalKey, bytes]
@@ -144,13 +286,13 @@ class SSTableReader:
         idx = bisect_left(self._index_keys, probe)
         first = True
         for entry in self._index[idx:]:
-            block = self._read_block(entry, account)
+            block = self._decoded_block(entry, account)
             if first:
-                pos = bisect_left([k for k, _ in block], probe)
-                block = block[pos:]
+                pos = block.bisect(probe)
+                yield from block.entries[pos:]
                 first = False
-            for item in block:
-                yield item
+            else:
+                yield from block.entries
 
     def seek_user_key(self, user_key: bytes, account: IoAccount) -> Iterator[
         Tuple[InternalKey, bytes]
@@ -177,8 +319,8 @@ class SSTableReader:
             ):
                 # Every key in this block exceeds the bound.
                 continue
-            block = self._read_block(self._index[idx], account)
-            for key, value in reversed(block):
+            block = self._decoded_block(self._index[idx], account)
+            for key, value in reversed(block.entries):
                 if max_user_key is not None and key.user_key > max_user_key:
                     continue
                 yield key, value

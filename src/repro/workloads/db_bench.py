@@ -101,11 +101,13 @@ class DBBench:
             stats.device_bytes_read,
             stats.user_bytes_written,
             stats.stall_seconds,
+            stats.block_cache_hits,
+            stats.block_cache_misses,
         )
 
     def _result(self, name: str, ops: int, before) -> BenchResult:
         after = self._snapshot()
-        return BenchResult(
+        result = BenchResult(
             name=name,
             ops=ops,
             elapsed_seconds=after[0] - before[0],
@@ -114,6 +116,15 @@ class DBBench:
             user_bytes_written=after[3] - before[3],
             stall_seconds=after[4] - before[4],
         )
+        # Decoded-block cache traffic during this phase (host-side
+        # wall-clock memoization; no bearing on the simulated numbers).
+        hits = after[5] - before[5]
+        misses = after[6] - before[6]
+        if hits or misses:
+            result.extra["block_cache_hits"] = hits
+            result.extra["block_cache_misses"] = misses
+            result.extra["block_cache_hit_rate"] = hits / (hits + misses)
+        return result
 
     def _value(self, index: int) -> bytes:
         return value_bytes(index + self._value_version * self.num_keys, self.value_size)

@@ -1,0 +1,221 @@
+"""Decoded-block cache: LRU behavior, invalidation, metrics neutrality.
+
+The cache is host-side memoization of parsed sstable blocks — it must
+change wall-clock only, never a simulated number.  The tests here cover
+the cache data structure itself, its wiring into the engines (eviction
+on compaction, stats surfacing), the PageCache per-file index it rides
+along with, and the headline invariant: byte-identical simulated metrics
+with the cache on or off.
+"""
+
+import pytest
+
+from repro.harness import fresh_run, standard_config
+from repro.sim.cache import PAGE_SIZE, PageCache
+from repro.sstable.block_cache import DecodedBlock, DecodedBlockCache
+from repro.util.keys import KIND_PUT, InternalKey
+
+
+def _block(nbytes: int) -> DecodedBlock:
+    """A dummy decoded block charging exactly ``nbytes`` to the budget."""
+    return DecodedBlock([], nbytes)
+
+
+def _entries(*user_keys: bytes):
+    return [(InternalKey(k, 10, KIND_PUT), b"v-" + k) for k in user_keys]
+
+
+class TestDecodedBlock:
+    def test_nbytes_includes_entry_overhead(self):
+        block = DecodedBlock(_entries(b"a", b"b"), 100)
+        assert block.nbytes > 100
+
+    def test_keys_lazy_and_memoized(self):
+        block = DecodedBlock(_entries(b"a", b"b", b"c"), 10)
+        keys = block.keys
+        assert [k.user_key for k in keys] == [b"a", b"b", b"c"]
+        assert block.keys is keys
+
+    def test_bisect_matches_key_array(self):
+        block = DecodedBlock(_entries(b"a", b"c", b"e"), 10)
+        probe = InternalKey(b"c", 2**56 - 1, KIND_PUT)
+        without_keys = block.bisect(probe)
+        block.keys  # materialize, then bisect again via the array
+        assert block.bisect(probe) == without_keys == 1
+
+
+class TestDecodedBlockCache:
+    def test_hit_and_miss_counters(self):
+        cache = DecodedBlockCache(1024)
+        assert cache.get(7, 0) is None
+        cache.put(7, 0, _block(100))
+        assert cache.get(7, 0) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.insertions == 1
+
+    def test_lru_eviction_under_byte_budget(self):
+        cache = DecodedBlockCache(1000)
+        cache.put(1, 0, _block(400))
+        cache.put(1, 4096, _block(400))
+        cache.get(1, 0)  # refresh the first block
+        cache.put(1, 8192, _block(400))  # budget forces one eviction
+        assert cache.stats.evictions == 1
+        assert cache.get(1, 0) is not None  # refreshed, survived
+        assert cache.get(1, 4096) is None  # LRU victim
+        assert cache.size_bytes <= 1000
+
+    def test_oversized_item_is_not_cached(self):
+        cache = DecodedBlockCache(100)
+        cache.put(1, 0, _block(101))
+        assert len(cache) == 0
+        assert cache.get(1, 0) is None
+
+    def test_replace_same_key_adjusts_size(self):
+        cache = DecodedBlockCache(1000)
+        cache.put(1, 0, _block(300))
+        cache.put(1, 0, _block(500))
+        assert len(cache) == 1
+        assert cache.size_bytes == 500
+
+    def test_drop_file_invalidates_only_that_file(self):
+        cache = DecodedBlockCache(10_000)
+        cache.put(1, 0, _block(100))
+        cache.put(1, 4096, _block(100))
+        cache.put(2, 0, _block(100))
+        cache.drop_file(1)
+        assert cache.get(1, 0) is None
+        assert cache.get(1, 4096) is None
+        assert cache.get(2, 0) is not None
+        assert cache.cached_files() == {2}
+        assert cache.size_bytes == 100
+
+    def test_eviction_keeps_file_index_consistent(self):
+        cache = DecodedBlockCache(1000)
+        for file_id in range(10):
+            cache.put(file_id, 0, _block(250))  # evicts as it goes
+        assert cache.size_bytes <= 1000
+        # Every indexed file must still have its block resident.
+        for file_id in cache.cached_files():
+            assert cache.get(file_id, 0) is not None
+        # drop_file on an evicted file is a no-op, not an error.
+        cache.drop_file(0)
+
+
+class TestPageCacheFileIndex:
+    def test_drop_file_with_many_files_cached(self):
+        cache = PageCache(10_000 * PAGE_SIZE)
+        for file_id in range(200):
+            cache.populate_range(file_id, 0, 4 * PAGE_SIZE)
+        cache.drop_file(137)
+        for page in range(4):
+            assert not cache.access(137, page, insert=False)
+        assert cache.access(136, 0, insert=False)
+        assert cache.access(138, 3, insert=False)
+        assert cache.size_bytes == 199 * 4 * PAGE_SIZE
+
+    def test_index_consistent_after_evictions(self):
+        cache = PageCache(16 * PAGE_SIZE)
+        for file_id in range(20):
+            cache.populate_range(file_id, 0, 4 * PAGE_SIZE)
+        indexed = sum(len(pages) for pages in cache._file_pages.values())
+        assert indexed == len(cache._pages) == 16
+        for file_id in range(20):
+            cache.drop_file(file_id)
+        assert cache.size_bytes == 0
+        assert not cache._file_pages
+
+
+def _warmed_run(engine="pebblesdb", **option_overrides):
+    cfg = standard_config(
+        num_keys=2500,
+        value_size=256,
+        seed=11,
+        option_overrides={engine: option_overrides} if option_overrides else {},
+    )
+    run = fresh_run(engine, cfg)
+    run.bench.fill_random()
+    run.db.wait_idle()
+    return run
+
+
+class TestStoreIntegration:
+    def test_stats_and_property_surface_cache_traffic(self):
+        run = _warmed_run()
+        run.bench.read_random(400)
+        stats = run.db.stats()
+        assert stats.block_cache_hits + stats.block_cache_misses > 0
+        assert 0.0 <= stats.block_cache_hit_rate <= 1.0
+        prop = run.db.get_property("repro.block-cache")
+        assert prop is not None and prop.startswith("hits=")
+        run.db.close()
+
+    def test_disabled_cache_reports_disabled(self):
+        run = _warmed_run(block_cache_bytes=0)
+        run.bench.read_random(100)
+        stats = run.db.stats()
+        assert stats.block_cache_hits == 0
+        assert stats.block_cache_misses == 0
+        assert run.db.get_property("repro.block-cache") == "disabled"
+        run.db.close()
+
+    def test_compaction_invalidates_dead_files(self):
+        run = _warmed_run()
+        run.bench.read_random(400)  # warm the decoded cache
+        cache = run.db._block_cache
+        assert cache is not None and len(cache) > 0
+        run.db.compact_all()
+        run.db.wait_idle()
+        live = set(run.db.sstable_file_numbers())
+        assert cache.cached_files() <= live
+        # Reads after invalidation still return every key.
+        result = run.bench.read_random(400)
+        assert result.extra["found_fraction"] == 1.0
+        run.db.close()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            _warmed_run(block_cache_bytes=-1)
+
+
+class TestMetricsNeutrality:
+    """The acceptance invariant: the cache never moves a simulated number."""
+
+    @pytest.mark.parametrize("engine", ["pebblesdb", "leveldb"])
+    def test_simulated_metrics_identical_cache_on_vs_off(self, engine):
+        def observe(block_cache_bytes):
+            # A tiny table cache forces reader reopens, exercising the
+            # metadata-memoization path in SSTableReader.open as well.
+            run = _warmed_run(
+                engine,
+                block_cache_bytes=block_cache_bytes,
+                table_cache_size=4,
+            )
+            run.db.compact_all()
+            read = run.bench.read_random(800)
+            seek = run.bench.seek_random(200, nexts=5)
+            run.db.wait_idle()
+            storage = run.env.storage
+            observed = (
+                run.env.clock.now,
+                storage.stats.bytes_read,
+                storage.stats.bytes_written,
+                storage.stats.read_ops,
+                storage.stats.write_ops,
+                dict(storage.stats.read_by_account),
+                storage.cache.stats.hits,
+                storage.cache.stats.misses,
+                storage.cache.stats.evictions,
+                read.elapsed_seconds,
+                read.extra["found_fraction"],
+                seek.elapsed_seconds,
+            )
+            hit_traffic = run.db.stats().block_cache_hits
+            run.db.close()
+            return observed, hit_traffic
+
+        with_cache, hits_on = observe(32 * 1024 * 1024)
+        without_cache, hits_off = observe(0)
+        assert hits_on > 0, "cache must actually serve hits for this to test anything"
+        assert hits_off == 0
+        assert with_cache == without_cache
