@@ -1,0 +1,246 @@
+"""Fault-sweep acceptance benchmark: inject a fault at the k-th storage
+operation for a sweep of k and verify the store's contract every time.
+
+For each fault configuration (transient/persistent x sstable/WAL/MANIFEST,
+plus torn WAL appends) and each k in the sweep, the store must:
+
+1. **never serve wrong data** — every read during and after the fault
+   either raises or returns exactly the acknowledged value;
+2. **recover or degrade** — it either absorbs the fault (retries) or
+   enters degraded read-only mode with the cause surfaced through the
+   ``repro.background-error`` property;
+3. **resume** — once the fault plan is detached, ``resume()`` restores
+   full write service and every acknowledged write is still present;
+4. **stay crash-consistent** — a clean crash after the episode recovers
+   exactly the acknowledged writes (the workload uses ``sync_writes``);
+5. **stay deterministic** — re-running one configuration yields the
+   identical outcome, fault count, and simulated clock.
+
+Results land in ``BENCH_faults.json`` at the repo root.  ``--smoke``
+shrinks the sweep for CI; any contract violation exits non-zero.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_faults.py [--smoke]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import repro
+from repro.engines.options import StoreOptions
+from repro.errors import ReproError
+from repro.sim.faults import FaultInjector, FaultPlan
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+#: Fault configurations swept: (label, op, file pattern, kind, torn).
+CONFIGS = [
+    ("transient-sstable-append", "append", "db/*.sst", "transient", None),
+    ("persistent-sstable-append", "append", "db/*.sst", "persistent", None),
+    ("transient-wal-sync", "sync", "db/*.log", "transient", None),
+    ("torn-wal-append", "append", "db/*.log", "transient", 0.5),
+    ("persistent-manifest-append", "append", "db/MANIFEST-*", "persistent", None),
+    ("transient-any-read", "read", "db/*", "transient", None),
+]
+
+
+def _options() -> StoreOptions:
+    base = StoreOptions.for_preset("pebblesdb")
+    return dataclasses.replace(
+        base,
+        memtable_bytes=4 * 1024,
+        level1_max_bytes=16 * 1024,
+        target_file_bytes=8 * 1024,
+        sync_writes=True,
+    )
+
+
+def _open(env):
+    return repro.open_store("pebblesdb", env.storage, options=_options(), prefix="db/")
+
+
+class ContractViolation(AssertionError):
+    pass
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ContractViolation(message)
+
+
+def _run_episode(config, k: int, num_ops: int) -> Dict[str, object]:
+    """One fault episode; returns its outcome record (raises on violation)."""
+    label, op, pattern, kind, torn = config
+    env = repro.Environment(cache_bytes=1 << 20)
+    db = _open(env)
+    plan = FaultPlan.fail_nth(
+        k, op=op, name_pattern=pattern, kind=kind, torn_fraction=torn
+    )
+    env.storage.set_fault_injector(FaultInjector(plan))
+
+    model: Dict[bytes, bytes] = {}
+    write_errors = 0
+    for i in range(num_ops):
+        key, value = b"key%04d" % (i % 300), b"val%06d" % i
+        try:
+            db.put(key, value)
+            model[key] = value
+        except ReproError:
+            write_errors += 1
+    try:
+        db.flush_memtable()
+        db.wait_idle()
+    except ReproError:
+        pass
+
+    # Contract 2: healthy, or degraded with the cause surfaced.
+    health = db.get_property("repro.health")
+    if health == "degraded":
+        _require(
+            bool(db.get_property("repro.background-error")),
+            f"{label} k={k}: degraded without a surfaced background error",
+        )
+    else:
+        _require(health == "ok", f"{label} k={k}: unknown health {health!r}")
+
+    # Contract 1: no read may ever return a wrong value.
+    probe = list(model.items())[:: max(1, len(model) // 50)]
+    for key, value in probe:
+        try:
+            got = db.get(key)
+        except ReproError:
+            continue
+        _require(
+            got == value,
+            f"{label} k={k}: wrong data {key!r} -> {got!r} (want {value!r})",
+        )
+
+    # Contract 3: with the cause gone, resume restores write service.
+    env.storage.set_fault_injector(None)
+    resumed = db.resume()
+    _require(resumed, f"{label} k={k}: resume() failed after plan detached")
+    db.put(b"post-resume", b"ok")
+    model[b"post-resume"] = b"ok"
+    for key, value in probe:
+        _require(
+            db.get(key) == value,
+            f"{label} k={k}: acknowledged write lost after resume ({key!r})",
+        )
+    stats = db.stats()
+
+    # Contract 4: a clean crash recovers exactly the acknowledged state.
+    env.storage.crash()
+    db2 = _open(env)
+    got = dict(db2.scan())
+    _require(
+        got == model,
+        f"{label} k={k}: post-crash state diverged "
+        f"({len(got)} keys vs {len(model)} acknowledged)",
+    )
+    db2.check_invariants()
+    db2.close()
+
+    fstats = env.storage.faults.stats if env.storage.faults else None
+    return {
+        "k": k,
+        "write_errors": write_errors,
+        "degraded": health == "degraded",
+        "retries": stats.transient_fault_retries,
+        "background_errors": stats.background_errors,
+        "resumes": stats.resumes,
+        "acknowledged": len(model),
+        "sim_seconds": round(env.clock.now, 6),
+    }
+
+
+def _determinism_probe(num_ops: int) -> bool:
+    """The same probabilistic plan twice -> identical everything."""
+
+    def run():
+        plan = FaultPlan.probabilistic(0.01, seed=23)
+        env = repro.Environment(cache_bytes=1 << 20, faults=FaultInjector(plan))
+        db = _open(env)
+        outcomes = []
+        for i in range(num_ops):
+            try:
+                db.put(b"k%05d" % i, b"v")
+                outcomes.append(1)
+            except ReproError:
+                outcomes.append(0)
+        stats = env.storage.faults.stats
+        return (
+            tuple(outcomes),
+            stats.ops_seen,
+            stats.faults_injected,
+            round(env.clock.now, 9),
+        )
+
+    return run() == run()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="reduced sweep for CI smoke runs"
+    )
+    parser.add_argument("--num-ops", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    num_ops = args.num_ops or (250 if args.smoke else 700)
+    ks = [0, 1, 3, 10] if args.smoke else [0, 1, 2, 3, 5, 10, 25, 60, 140]
+
+    t0 = time.perf_counter()
+    sweep: List[Dict[str, object]] = []
+    episodes = degraded = 0
+    try:
+        for config in CONFIGS:
+            for k in ks:
+                record = _run_episode(config, k, num_ops)
+                record["config"] = config[0]
+                sweep.append(record)
+                episodes += 1
+                degraded += int(bool(record["degraded"]))
+            print(
+                f"{config[0]:<28} swept k={ks}: "
+                f"{sum(1 for r in sweep if r['config'] == config[0] and r['degraded'])}"
+                f"/{len(ks)} degraded, all recovered"
+            )
+        deterministic = _determinism_probe(num_ops)
+        if not deterministic:
+            raise ContractViolation("fault storm was not deterministic")
+    except ContractViolation as exc:
+        print(f"FAULT SWEEP FAILED: {exc}", file=sys.stderr)
+        return 1
+
+    wall = time.perf_counter() - t0
+    payload = {
+        "benchmark": "fault_sweep",
+        "smoke": args.smoke,
+        "num_ops": num_ops,
+        "sweep_points": ks,
+        "episodes": episodes,
+        "episodes_degraded": degraded,
+        "episodes_recovered": episodes,  # every episode passed all contracts
+        "deterministic": deterministic,
+        "wall_seconds": round(wall, 3),
+        "sweep": sweep,
+    }
+    _JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print("-" * 70)
+    print(
+        f"{episodes} episodes: every fault point recovered or degraded "
+        f"gracefully ({degraded} degraded), zero wrong reads, "
+        f"deterministic={deterministic}"
+    )
+    print(f"results -> {_JSON_PATH.name} ({wall:.1f}s wall)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,9 @@ from repro.sim import (
     BackgroundExecutor,
     CpuCosts,
     DeviceModel,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
     PageCache,
     SimClock,
     SimulatedStorage,
@@ -60,6 +63,9 @@ __all__ = [
     "PageCache",
     "CpuCosts",
     "BackgroundExecutor",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
 ]
 
 
@@ -74,11 +80,17 @@ class Environment:
     device: DeviceModel = field(default_factory=DeviceModel.ssd_raid0)
     cache_bytes: int = 64 * 1024 * 1024
     clock: SimClock = field(default_factory=SimClock)
+    #: Optional fault injector attached to the storage (see
+    #: :mod:`repro.sim.faults`); also settable later via
+    #: ``env.storage.set_fault_injector``.
+    faults: Optional[FaultInjector] = None
 
     def __post_init__(self) -> None:
         self.cpu = CpuCosts()
         self.cache = PageCache(self.cache_bytes)
-        self.storage = SimulatedStorage(self.clock, self.device, self.cache, self.cpu)
+        self.storage = SimulatedStorage(
+            self.clock, self.device, self.cache, self.cpu, faults=self.faults
+        )
 
     @property
     def now(self) -> float:

@@ -221,7 +221,8 @@ class PebblesDBStore(LSMStoreBase):
         self.executor.wait_all()
         if any(f.overlaps(lo, hi) for f in self._level0):
             if self._levels_free(0, 1):
-                self._submit_level0_compaction()
+                if not self._submit_level0_protected():
+                    return
                 self.executor.wait_all()
         for level in range(1, self.options.num_levels):
             guarded = self._guarded[level]
@@ -232,7 +233,8 @@ class PebblesDBStore(LSMStoreBase):
                 if not any(f.overlaps(lo, hi) for f in guard.files):
                     continue
                 if self._levels_free(level, min(level + 1, self.options.num_levels - 1)):
-                    self._submit_guard_compaction(level, guard)
+                    if not self._submit_guard_protected(level, guard):
+                        return
                     self.executor.wait_all()
             self.executor.wait_all()
 
@@ -503,6 +505,8 @@ class PebblesDBStore(LSMStoreBase):
     # Compaction (paper sections 3.4, 4.2)
     # ==================================================================
     def _schedule_compactions(self) -> None:
+        if self._background_error is not None:
+            return
         for _ in range(64):
             if not self._pick_and_submit():
                 break
@@ -518,8 +522,7 @@ class PebblesDBStore(LSMStoreBase):
             and not any(f.number in self._busy for f in self._level0)
             and self._levels_free(0, 1)
         ):
-            self._submit_level0_compaction()
-            return True
+            return self._submit_level0_protected()
         # Priority 2: over-full guards (max_sstables_per_guard, section 3.5).
         trigger = max(2, opts.max_sstables_per_guard)
         for level in range(1, opts.num_levels):
@@ -529,8 +532,7 @@ class PebblesDBStore(LSMStoreBase):
             assert guarded is not None
             for guard in guarded.guards():
                 if guard.num_files >= trigger and not self._guard_busy(guard):
-                    self._submit_guard_compaction(level, guard)
-                    return True
+                    return self._submit_guard_protected(level, guard)
         # Priority 3: level size targets.
         sizes = self.level_sizes()
         for level in range(1, opts.num_levels - 1):
@@ -539,14 +541,56 @@ class PebblesDBStore(LSMStoreBase):
             if sizes[level] >= opts.level_target_bytes(level) * opts.compaction_eagerness:
                 guard = self._largest_idle_guard(level)
                 if guard is not None:
-                    self._submit_guard_compaction(level, guard)
-                    return True
+                    return self._submit_guard_protected(level, guard)
         # Priority 4: seek-triggered work.
         if self._seek_compaction_due:
             self._seek_compaction_due = False
             if self._submit_seek_compactions(sizes):
                 return True
         return False
+
+    # ------------------------------------------------------------------
+    # Fault-protected submission (see LSMStoreBase._run_protected)
+    # ------------------------------------------------------------------
+    def _submit_level0_protected(self) -> bool:
+        self._run_protected("compaction", self._submit_level0_compaction)
+        return self._background_error is None
+
+    def _submit_guard_protected(self, level: int, guard: Guard) -> bool:
+        self._run_protected(
+            "compaction", lambda: self._submit_guard_compaction(level, guard)
+        )
+        return self._background_error is None
+
+    def _capture_background_state(self):
+        # Everything a compaction submit mutates before its job is queued:
+        # busy files, level locks, the guard-commit bookkeeping, and the
+        # seek-compaction inputs.
+        return (
+            set(self._busy),
+            set(self._inflight_levels),
+            [set(keys) for keys in self._uncommitted],
+            set(self._committing),
+            list(self._touched_guards),
+            set(self._pending_guard_deletions),
+            self._seek_compaction_due,
+        )
+
+    def _restore_background_state(self, snapshot) -> None:
+        (
+            self._busy,
+            self._inflight_levels,
+            self._uncommitted,
+            self._committing,
+            self._touched_guards,
+            self._pending_guard_deletions,
+            self._seek_compaction_due,
+        ) = snapshot
+
+    def _reset_scheduling_state(self) -> None:
+        # resume() runs after wait_all(): any remaining marker is stale.
+        self._busy.clear()
+        self._inflight_levels.clear()
 
     def _guard_busy(self, guard: Guard) -> bool:
         return any(f.number in self._busy for f in guard.files)
@@ -584,7 +628,8 @@ class PebblesDBStore(LSMStoreBase):
                 and not self._guard_busy(guard)
                 and self._levels_free(level, min(level + 1, self.options.num_levels - 1))
             ):
-                self._submit_guard_compaction(level, guard)
+                if not self._submit_guard_protected(level, guard):
+                    return submitted
                 submitted = True
         # Aggressive level compaction: push small levels down.
         if opts.enable_aggressive_seek_compaction:
@@ -598,7 +643,8 @@ class PebblesDBStore(LSMStoreBase):
                     assert guarded is not None
                     for guard in list(guarded.non_empty_guards()):
                         if not self._guard_busy(guard) and self._levels_free(level, level + 1):
-                            self._submit_guard_compaction(level, guard)
+                            if not self._submit_guard_protected(level, guard):
+                                return submitted
                             submitted = True
                     break
         return submitted
@@ -974,6 +1020,12 @@ class PebblesDBStore(LSMStoreBase):
         bytes_written = sum(m.file_size for _, _, m in placements)
 
         def apply() -> None:
+            # MANIFEST first: whether the edit became durable decides
+            # whether the consumed inputs may be deleted (a non-durable
+            # edit means crash recovery replays the old version, which
+            # still references them — deletion then waits for resume()).
+            manifest_acct = self.storage.background_account(self.prefix + "manifest")
+            durable = self._append_manifest(edit, manifest_acct)
             for key in new_keys:
                 level = [lvl for lvl, k in edit.new_guards if k == key][0]
                 self._add_guard_live(level, key)
@@ -981,14 +1033,11 @@ class PebblesDBStore(LSMStoreBase):
             for meta in consumed:
                 self._detach_file(meta)
                 self._busy.discard(meta.number)
-                self._retire_file(meta.number)
+                self._retire_or_defer(meta.number, durable)
             for level, guard_key, meta in placements:
                 guarded = self._guarded[level]
                 assert guarded is not None
                 guarded.add_file(meta)
-            manifest_acct = self.storage.background_account(self.prefix + "manifest")
-            assert self._manifest is not None
-            self._manifest.append(edit, manifest_acct)
             if locked_levels:
                 self._inflight_levels.difference_update(locked_levels)
             self._stats.compactions += 1
@@ -1056,8 +1105,8 @@ class PebblesDBStore(LSMStoreBase):
             self._uncommitted_discard(key)
         if changed:
             acct = self.storage.background_account(self.prefix + "manifest")
-            assert self._manifest is not None
-            self._manifest.append(edit, acct)
+            # Metadata-only; on failure the edit queues for resume().
+            self._append_manifest(edit, acct)
 
     def _uncommitted_discard(self, key: bytes) -> None:
         for pending in self._uncommitted:
@@ -1089,7 +1138,8 @@ class PebblesDBStore(LSMStoreBase):
                     if self._levels_free(
                         level, min(level + 1, self.options.num_levels - 1)
                     ):
-                        self._submit_guard_compaction(level, guard)
+                        if not self._submit_guard_protected(level, guard):
+                            return
                         self.executor.wait_all()
             self.executor.wait_all()
 

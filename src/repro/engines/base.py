@@ -17,7 +17,14 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import InvalidArgumentError, StoreClosedError
+from repro.errors import (
+    BackgroundError,
+    CorruptionError,
+    InvalidArgumentError,
+    StorageError,
+    StoreClosedError,
+    TransientIOError,
+)
 from repro.memtable import Memtable
 from repro.sim.executor import BackgroundExecutor, Job
 from repro.sim.storage import IoAccount, SimulatedStorage
@@ -67,6 +74,14 @@ class StoreStats:
     block_cache_hits: int = 0
     block_cache_misses: int = 0
     block_cache_bytes: int = 0
+    #: Fault handling: transient retries that succeeded or were attempted,
+    #: sticky background errors declared, successful resume() calls, and
+    #: the current degraded-read-only state.
+    transient_fault_retries: int = 0
+    background_errors: int = 0
+    resumes: int = 0
+    degraded: bool = False
+    background_error: str = ""
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -186,6 +201,18 @@ class KeyValueStore(ABC):
     def check_invariants(self) -> None:
         """Raise AssertionError on internal inconsistency."""
 
+    def get_property(self, name: str) -> Optional[str]:
+        """Textual store properties, LevelDB-style; None when unknown.
+
+        Every engine understands ``repro.health`` (``ok``/``degraded``)
+        and ``repro.background-error``; LSM engines add more.
+        """
+        if name == "repro.health":
+            return "degraded" if self.stats().degraded else "ok"
+        if name == "repro.background-error":
+            return self.stats().background_error
+        return None
+
     # Convenience built on the primitives -------------------------------
     def write_batch(self, ops: List[Tuple[int, bytes, bytes]]) -> None:
         """Apply ``(kind, key, value)`` ops atomically where supported."""
@@ -255,6 +282,25 @@ class LSMStoreBase(KeyValueStore):
         self._doomed_files: set = set()
         self._snapshots: List[int] = []
         self._closed = False
+        #: Sticky background error (RocksDB's SetBackgroundError model).
+        #: Set when a background flush/compaction/MANIFEST write fails
+        #: beyond retry; while set, writes raise BackgroundError, reads
+        #: keep serving the last consistent state, and no new background
+        #: work is scheduled.  Cleared only by a successful resume().
+        self._background_error: Optional[BackgroundError] = None
+        #: Version edits already applied in memory whose MANIFEST append
+        #: failed; resume() persists them into a fresh MANIFEST.
+        self._pending_manifest_edits: List[VersionEdit] = []
+        #: Once a MANIFEST append fails, the file may end in a torn or
+        #: unsynced record; further appends would be shadowed behind it at
+        #: recovery, so they queue instead until resume() rotates the file.
+        self._manifest_suspect = False
+        #: Input sstables whose deleting edit is not yet durable: crash
+        #: recovery would replay the old version, which still references
+        #: them, so deletion waits for resume().
+        self._deferred_retirements: List[int] = []
+        #: WAL files whose reclaiming flush edit is not yet durable.
+        self._deferred_wal_deletions: List[str] = []
 
         self._stats = StoreStats(preset=self.options.preset)
         self._open_or_recover()
@@ -426,8 +472,12 @@ class LSMStoreBase(KeyValueStore):
             self._rotate_memtable()
         while self._imm:
             self._maybe_schedule_flush()
-            if self._flush_job is not None:
-                self.executor.wait_for(self._flush_job)
+            if self._flush_job is None:
+                # Degraded mode: the flush cannot be scheduled; report
+                # instead of spinning forever on the unflushable memtable.
+                self._raise_if_degraded()
+                break
+            self.executor.wait_for(self._flush_job)
         self.executor.drain()
 
     def compact_all(self) -> None:
@@ -451,7 +501,12 @@ class LSMStoreBase(KeyValueStore):
             return
         self.executor.wait_all()
         if self._wal is not None:
-            self._wal.sync(self._wal_acct)
+            try:
+                self._wal.sync(self._wal_acct)
+            except StorageError:
+                # Closing anyway: unsynced tail records are lost exactly as
+                # an ordinary crash would lose them, which recovery handles.
+                pass
         self._closed = True
 
     # ------------------------------------------------------------------
@@ -472,6 +527,10 @@ class LSMStoreBase(KeyValueStore):
             s.block_cache_hits = self._block_cache.stats.hits
             s.block_cache_misses = self._block_cache.stats.misses
             s.block_cache_bytes = self._block_cache.size_bytes
+        s.degraded = self._background_error is not None
+        s.background_error = (
+            str(self._background_error) if self._background_error is not None else ""
+        )
         return s
 
     def memory_bytes(self) -> int:
@@ -510,6 +569,8 @@ class LSMStoreBase(KeyValueStore):
 
         Supported names: ``repro.stats``, ``repro.levels``,
         ``repro.sstables``, ``repro.approximate-memory-usage``,
+        ``repro.health`` (``ok``/``degraded``), ``repro.background-error``
+        (empty when healthy),
         ``repro.num-files-at-level<N>``, plus engine extras (PebblesDB
         adds ``repro.guards``, ``repro.empty-guards``,
         ``repro.uncommitted-guards``).  Returns None for unknown names.
@@ -543,6 +604,10 @@ class LSMStoreBase(KeyValueStore):
                 f"bytes={self._block_cache.size_bytes} "
                 f"blocks={len(self._block_cache)} evictions={bc.evictions}"
             )
+        if name == "repro.health":
+            return "degraded" if self._background_error is not None else "ok"
+        if name == "repro.background-error":
+            return "" if self._background_error is None else str(self._background_error)
         if name.startswith("repro.num-files-at-level"):
             try:
                 level = int(name[len("repro.num-files-at-level"):])
@@ -572,13 +637,26 @@ class LSMStoreBase(KeyValueStore):
         for _, key, _ in ops:
             _validate_key(key)
         self.executor.drain()
+        self._raise_if_degraded()
         self._make_room()
+        # Stall waits run background apply callbacks, which may have just
+        # moved the store into degraded mode.
+        self._raise_if_degraded()
         seq = self._last_sequence + 1
         opts = self.options
         if opts.wal_enabled:
             payload = encode_batch(seq, ops)
             assert self._wal is not None
-            self._wal.append(payload, self._wal_acct, sync=opts.sync_writes)
+            try:
+                self._wal.append(payload, self._wal_acct, sync=opts.sync_writes)
+            except StorageError:
+                # The failed append may have left a torn record; a later
+                # record appended after it would be unreachable at replay
+                # (the reader stops at the first bad record), so no
+                # acknowledged write may ever land in this file again.
+                # The memtable was not touched: the write fails cleanly.
+                self._switch_wal_file()
+                raise
             self._wal_acct.charge(
                 self.cpu.charge("wal_record", self.cpu.wal_record * len(ops))
             )
@@ -649,9 +727,15 @@ class LSMStoreBase(KeyValueStore):
         """
         if self._flush_job is not None or not self._imm:
             return
-        imm, imm_wal = self._imm[0]
+        if self._background_error is not None:
+            return
+        imm, _ = self._imm[0]
         acct = self.storage.background_account(self.prefix + "flush")
-        metas = self._write_sstables(iter(imm), acct, split_bytes=None)
+        metas = self._run_protected(
+            "flush", lambda: self._write_sstables(iter(imm), acct, split_bytes=None)
+        )
+        if metas is None:  # degraded: the sstable could not be written
+            return
         edit = VersionEdit(
             last_sequence=imm.max_sequence,
             next_file_number=self._next_file_number,
@@ -665,18 +749,277 @@ class LSMStoreBase(KeyValueStore):
 
         def apply() -> None:
             self._install_flush(metas, edit)
-            assert self._manifest is not None
             manifest_acct = self.storage.background_account(self.prefix + "manifest")
-            self._manifest.append(edit, manifest_acct)
+            durable = self._append_manifest(edit, manifest_acct)
             self._imm.pop(0)
             self._flush_job = None
-            if self.options.wal_enabled and self.storage.exists(self._wal_name(imm_wal)):
-                self.storage.delete(self._wal_name(imm_wal))
+            if self.options.wal_enabled:
+                self._reclaim_wals(edit.log_number, durable)
             self._stats.flushes += 1
             self._maybe_schedule_flush()
             self._schedule_compactions()
 
         self._flush_job = self.executor.submit("flush", acct.seconds, apply)
+
+    def _reclaim_wals(self, log_number: Optional[int], durable: bool) -> None:
+        """Delete WALs superseded by a flush whose edit is in the MANIFEST.
+
+        All logs numbered below the edit's ``log_number`` are obsolete
+        (this also reclaims files abandoned by :meth:`_switch_wal_file`).
+        When the edit did *not* reach the MANIFEST the files are kept and
+        queued instead: crash recovery would replay the old version, drop
+        the flushed sstable as an orphan, and need the WAL as the only
+        remaining copy of the data.
+        """
+        if log_number is None:
+            return
+        for name in self.storage.list_files(self.prefix):
+            if not name.endswith(".log"):
+                continue
+            try:
+                number = int(name[len(self.prefix) : -4])
+            except ValueError:
+                continue
+            if number >= log_number:
+                continue
+            if durable:
+                if self.storage.exists(name):
+                    self.storage.delete(name)
+            elif name not in self._deferred_wal_deletions:
+                self._deferred_wal_deletions.append(name)
+
+    # ==================================================================
+    # Fault handling and graceful degradation
+    # ==================================================================
+    @property
+    def is_degraded(self) -> bool:
+        """True while a sticky background error blocks writes."""
+        return self._background_error is not None
+
+    def background_error(self) -> Optional[BackgroundError]:
+        """The sticky background error, or None when healthy."""
+        return self._background_error
+
+    def _raise_if_degraded(self) -> None:
+        if self._background_error is not None:
+            raise self._background_error
+
+    def _set_background_error(self, kind: str, exc: Exception) -> None:
+        """Declare a sticky background error (first failure wins)."""
+        if self._background_error is None:
+            self._background_error = BackgroundError(
+                f"store degraded to read-only: background {kind} failed: {exc}",
+                cause=exc,
+            )
+            self._stats.background_errors += 1
+
+    def _run_protected(self, kind: str, compute: Callable):
+        """Run a background compute step with retries and state rollback.
+
+        On a :class:`TransientIOError` the attempt's partially written
+        sstables are deleted, engine scheduling state is restored from a
+        pre-attempt snapshot, the simulated clock advances by a capped
+        exponential backoff, and the step reruns.  A persistent fault,
+        corruption, or an exhausted retry budget sets the sticky
+        background error instead and returns None.
+        """
+        opts = self.options
+        attempt = 0
+        while True:
+            start_number = self._next_file_number
+            snapshot = self._capture_background_state()
+            try:
+                return compute()
+            except TransientIOError as exc:
+                self._discard_attempt(start_number)
+                self._restore_background_state(snapshot)
+                if attempt >= opts.fault_retry_limit:
+                    self._set_background_error(kind, exc)
+                    return None
+                self._stats.transient_fault_retries += 1
+                self.clock.advance(
+                    min(
+                        opts.fault_retry_base_delay * (2 ** attempt),
+                        opts.fault_retry_max_delay,
+                    )
+                )
+                attempt += 1
+            except (CorruptionError, StorageError) as exc:
+                self._discard_attempt(start_number)
+                self._restore_background_state(snapshot)
+                self._set_background_error(kind, exc)
+                return None
+
+    def _discard_attempt(self, start_number: int) -> None:
+        """Delete sstables written by a failed compute attempt.
+
+        File numbers stay monotonic — the counter is *not* rewound — so a
+        stale table- or block-cache entry keyed by number can never alias
+        a different file written later under the same number.
+        """
+        for number in range(start_number, self._next_file_number):
+            self._table_cache.pop(number, None)
+            if self._block_cache is not None:
+                self._block_cache.drop_file(number)
+            name = self._sst_name(number)
+            if self.storage.exists(name):
+                self.storage.delete(name)
+
+    def _capture_background_state(self):
+        """Snapshot engine scheduling state a failed attempt must restore."""
+        return None
+
+    def _restore_background_state(self, snapshot) -> None:
+        """Restore the :meth:`_capture_background_state` snapshot."""
+
+    def _reset_scheduling_state(self) -> None:
+        """Drop stale busy/in-flight markers after resume()."""
+
+    def _append_manifest(self, edit: VersionEdit, account: IoAccount) -> bool:
+        """Append an edit to the MANIFEST, retrying transient faults.
+
+        Returns False when the append did not durably reach storage: the
+        edit is queued (resume() persists the queue into a fresh MANIFEST)
+        and the sticky background error is set.  Callers must then keep
+        any on-storage state the *persisted* MANIFEST still references —
+        input sstables and WALs — until resume() makes the edit durable.
+        """
+        assert self._manifest is not None
+        if self._manifest_suspect:
+            self._pending_manifest_edits.append(edit)
+            return False
+        opts = self.options
+        name = self._manifest.name
+        error: Optional[Exception] = None
+        for attempt in range(opts.fault_retry_limit + 1):
+            size_before = self.storage.size(name)
+            try:
+                self._manifest.append(edit, account)
+                return True
+            except TransientIOError as exc:
+                error = exc
+                if self.storage.size(name) != size_before:
+                    # Bytes landed despite the failure (a torn record, or a
+                    # full record whose sync failed).  Appending after it
+                    # could shadow or duplicate edits at recovery; stop and
+                    # let resume() rotate to a fresh MANIFEST.
+                    break
+                if attempt < opts.fault_retry_limit:
+                    self._stats.transient_fault_retries += 1
+                    self.clock.advance(
+                        min(
+                            opts.fault_retry_base_delay * (2 ** attempt),
+                            opts.fault_retry_max_delay,
+                        )
+                    )
+            except (CorruptionError, StorageError) as exc:
+                error = exc
+                break
+        assert error is not None
+        self._manifest_suspect = True
+        self._pending_manifest_edits.append(edit)
+        self._set_background_error("MANIFEST append", error)
+        return False
+
+    def _rotate_manifest(self, acct: IoAccount) -> None:
+        """Persist queued edits by rewriting the MANIFEST.
+
+        The old file may end in a torn or unsynced record, so queued edits
+        cannot simply be appended — at recovery the reader stops at the
+        bad record and everything behind it would be lost.  Instead the
+        old file's intact records and the queued edits are written to a
+        fresh MANIFEST and CURRENT flips atomically.
+        """
+        assert self._manifest is not None
+        old_name = self._manifest.name
+        # strict: losing an *intact durable* record here would silently
+        # rewrite history; a damaged one must fail the resume instead.
+        records = list(LogReader(self.storage, old_name).records(acct, strict=True))
+        pending = [edit.encode() for edit in self._pending_manifest_edits]
+        if pending and records and records[-1] == pending[0]:
+            # The "failed" append actually reached storage completely
+            # (only its sync failed); don't write the edit twice.
+            pending.pop(0)
+        new_name = f"{self.prefix}MANIFEST-{self._alloc_file_number():06d}"
+        try:
+            log = LogWriter(self.storage, new_name)
+            for payload in records + pending:
+                log.append(payload, acct)
+            log.sync(acct)
+            set_current(self.storage, new_name, acct, self.prefix)
+        except (CorruptionError, StorageError):
+            if self.storage.exists(new_name):
+                self.storage.delete(new_name)
+            raise
+        self._manifest = ManifestWriter(self.storage, new_name)
+        self._pending_manifest_edits.clear()
+        self._manifest_suspect = False
+        self.storage.delete(old_name)
+
+    def resume(self) -> bool:
+        """Attempt to leave degraded mode (RocksDB's ``Resume``).
+
+        Waits out in-flight background work, re-verifies that every live
+        sstable still opens cleanly, persists any queued version edits
+        into a fresh MANIFEST, completes deferred file deletions, then
+        clears the error and re-schedules background work.  Returns True
+        when the store is healthy again; on failure the store stays
+        degraded (reads keep working) and resume() may be called again.
+        """
+        self._check_open()
+        self.executor.wait_all()
+        if self._background_error is None:
+            return True
+        acct = self.storage.foreground_account(self.prefix + "recover")
+        try:
+            for number in self.sstable_file_numbers():
+                # Opening checks footer magic and index/filter checksums.
+                self._get_reader(number, acct)
+            if self._pending_manifest_edits or self._manifest_suspect:
+                self._rotate_manifest(acct)
+            for number in self._deferred_retirements:
+                self._retire_file(number)
+            self._deferred_retirements.clear()
+            for name in self._deferred_wal_deletions:
+                if self.storage.exists(name):
+                    self.storage.delete(name)
+            self._deferred_wal_deletions.clear()
+        except (CorruptionError, StorageError) as exc:
+            self._background_error = BackgroundError(
+                f"store degraded to read-only: resume failed: {exc}", cause=exc
+            )
+            return False
+        self._background_error = None
+        self._stats.resumes += 1
+        self._reset_scheduling_state()
+        # Rescheduled work may hit the same fault and re-degrade the
+        # store immediately; report the post-reschedule health honestly.
+        self._maybe_schedule_flush()
+        self._schedule_compactions()
+        self.executor.drain()
+        return self._background_error is None
+
+    def _retire_or_defer(self, number: int, durable: bool) -> None:
+        """Retire an input file, or hold it until its edit is durable."""
+        if durable:
+            self._retire_file(number)
+        else:
+            self._deferred_retirements.append(number)
+
+    def _switch_wal_file(self) -> None:
+        """Abandon the current WAL file after a failed append.
+
+        The memtable's earlier records stay readable in the old file (the
+        reader stops exactly at the failed record, which was never
+        acknowledged); subsequent records go to a fresh file.  The flush
+        that makes this memtable durable reclaims both files.
+        """
+        try:
+            number = self._alloc_file_number()
+            self._wal = LogWriter(self.storage, self._wal_name(number))
+            self._wal_number = number
+        except StorageError as exc:  # pragma: no cover - create is not faulted
+            self._set_background_error("WAL rotation", exc)
 
     # ------------------------------------------------------------------
     # Shared sstable writing
@@ -751,14 +1094,22 @@ class LSMStoreBase(KeyValueStore):
         if reader is not None:
             cache.move_to_end(number)
             return reader
-        reader = SSTableReader.open(
-            self.storage,
-            self._sst_name(number),
-            account,
-            load_bloom=self.options.enable_sstable_bloom,
-            block_cache=self._block_cache,
-            cache_key=number,
-        )
+        try:
+            reader = SSTableReader.open(
+                self.storage,
+                self._sst_name(number),
+                account,
+                load_bloom=self.options.enable_sstable_bloom,
+                block_cache=self._block_cache,
+                cache_key=number,
+            )
+        except (CorruptionError, StorageError):
+            # A failed open may have cached partial metadata for this
+            # file; evict so a later retry starts from storage, not from
+            # a half-populated cache entry.
+            if self._block_cache is not None:
+                self._block_cache.drop_file(number)
+            raise
         cache[number] = reader
         while len(cache) > self.options.table_cache_size:
             cache.popitem(last=False)
@@ -939,7 +1290,17 @@ class LSMStoreBase(KeyValueStore):
         self._remove_orphans()
 
     def _replay_wals(self, log_number: int, acct: IoAccount) -> None:
-        """Replay live WALs into the memtable and flush them to Level 0."""
+        """Replay live WALs into the memtable and flush them to Level 0.
+
+        With ``sync_writes`` (or ``strict_wal_recovery``) the reader runs
+        in strict mode: every acknowledged record was synced, so a bad
+        record *below* the durable boundary means acknowledged data was
+        damaged and recovery raises :class:`CorruptionError` instead of
+        silently truncating (a torn unsynced tail still stops normally).
+        """
+        strict = self.options.strict_wal_recovery
+        if strict is None:
+            strict = self.options.sync_writes
         wal_names = []
         for name in self.storage.list_files(self.prefix):
             if name.endswith(".log"):
@@ -949,7 +1310,7 @@ class LSMStoreBase(KeyValueStore):
         wal_names.sort()
         recovered = 0
         for _, name in wal_names:
-            for record in LogReader(self.storage, name).records(acct):
+            for record in LogReader(self.storage, name).records(acct, strict=strict):
                 seq, ops = decode_batch(record)
                 for i, (kind, key, value) in enumerate(ops):
                     op_seq = seq + i

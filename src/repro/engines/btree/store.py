@@ -14,7 +14,14 @@ from typing import Iterator, Optional, Tuple
 
 from repro.engines.base import DBIterator, KeyValueStore, StoreStats
 from repro.engines.btree.bptree import PAGE_SIZE, BPlusTree
-from repro.errors import InvalidArgumentError, StoreClosedError
+from repro.errors import (
+    BackgroundError,
+    InvalidArgumentError,
+    PersistentIOError,
+    StorageError,
+    StoreClosedError,
+    TransientIOError,
+)
 from repro.sim.storage import SimulatedStorage
 from repro.wal import LogWriter, encode_batch
 from repro.util.keys import KIND_DELETE, KIND_PUT
@@ -42,6 +49,11 @@ class BPlusTreeStore(KeyValueStore):
         self._journal = LogWriter(storage, self._journal_name)
         self._stats = StoreStats(preset="btree")
         self._closed = False
+        #: Sticky error: set when the journal may hold a torn record or a
+        #: persistent fault hit the write path.  Writes then raise
+        #: BackgroundError; reads keep serving; resume() rewrites the
+        #: journal as a clean checkpoint of the in-memory tree.
+        self._background_error: Optional[BackgroundError] = None
         if recovering:
             self._recover()
 
@@ -51,18 +63,32 @@ class BPlusTreeStore(KeyValueStore):
 
     def _write_pages(self, page_ids) -> None:
         for page_id in sorted(page_ids):
-            self.storage.write_at(
-                self._data_file,
-                self._page_offset(page_id),
-                b"\x00" * PAGE_SIZE,
-                self._acct,
-            )
+            try:
+                self.storage.write_at(
+                    self._data_file,
+                    self._page_offset(page_id),
+                    b"\x00" * PAGE_SIZE,
+                    self._acct,
+                )
+            except TransientIOError:
+                # The journal already holds the operation; the page image
+                # is rebuilt from it at recovery, so a transient writeback
+                # failure costs nothing but the retry a real pager would do.
+                continue
+            except PersistentIOError as exc:
+                self._set_background_error("page writeback", exc)
+                return
 
     def _read_pages(self, page_ids) -> None:
         for page_id in page_ids:
             offset = self._page_offset(page_id)
             if offset + PAGE_SIZE <= self.storage.size(self._data_file):
-                self.storage.read(self._data_file, offset, PAGE_SIZE, self._acct)
+                try:
+                    self.storage.read(self._data_file, offset, PAGE_SIZE, self._acct)
+                except StorageError:
+                    # Reads serve from the in-memory tree; a faulted page
+                    # read only loses its simulated cache accounting.
+                    continue
 
     def _recover(self) -> None:
         """Rebuild the tree from the journal after a reopen or crash."""
@@ -88,11 +114,83 @@ class BPlusTreeStore(KeyValueStore):
             raise InvalidArgumentError(f"keys must be non-empty bytes: {key!r}")
 
     # ------------------------------------------------------------------
+    # Degraded mode and resume (mirrors LSMStoreBase's state machine)
+    # ------------------------------------------------------------------
+    @property
+    def is_degraded(self) -> bool:
+        return self._background_error is not None
+
+    def background_error(self) -> Optional[BackgroundError]:
+        return self._background_error
+
+    def _set_background_error(self, kind: str, exc: Exception) -> None:
+        if self._background_error is None:
+            self._background_error = BackgroundError(
+                f"store degraded to read-only: {kind} failed: {exc}", cause=exc
+            )
+            self._stats.background_errors += 1
+
+    def _journal_append(self, payload: bytes) -> None:
+        """Journal one operation; the journal precedes every tree mutation.
+
+        A failed append that left bytes behind may have torn the record: a
+        later record appended after the tear would be unreadable at
+        recovery even though it was acknowledged, so the store degrades
+        until resume() rewrites the journal.  A failure that left nothing
+        behind is a clean, retryable foreground error.
+        """
+        if self._background_error is not None:
+            raise self._background_error
+        size_before = self.storage.size(self._journal_name)
+        try:
+            self._journal.append(payload, self._acct)
+        except StorageError as exc:
+            if (
+                self.storage.size(self._journal_name) != size_before
+                or isinstance(exc, PersistentIOError)
+            ):
+                self._set_background_error("journal append", exc)
+            raise
+
+    def resume(self) -> bool:
+        """Rewrite the journal as a checkpoint and re-enable writes.
+
+        The in-memory tree is the authoritative state (every acknowledged
+        operation reached it), so the new journal is simply one PUT record
+        per live pair, synced, then atomically renamed over the suspect
+        file.  Returns True when the store is healthy again.
+        """
+        self._check_open()
+        if self._background_error is None:
+            return True
+        acct = self.storage.foreground_account(self.prefix + "recover")
+        tmp = self._journal_name + ".new"
+        try:
+            if self.storage.exists(tmp):
+                self.storage.delete(tmp)
+            checkpoint = LogWriter(self.storage, tmp)
+            for key, value, _ in self._tree.iterate_from(b"\x00"):
+                checkpoint.append(encode_batch(0, [(KIND_PUT, key, value)]), acct)
+            checkpoint.sync(acct)
+            self.storage.rename(tmp, self._journal_name)
+        except StorageError as exc:
+            if self.storage.exists(tmp):
+                self.storage.delete(tmp)
+            self._background_error = BackgroundError(
+                f"store degraded to read-only: resume failed: {exc}", cause=exc
+            )
+            return False
+        self._journal = LogWriter(self.storage, self._journal_name)
+        self._background_error = None
+        self._stats.resumes += 1
+        return True
+
+    # ------------------------------------------------------------------
     def put(self, key: bytes, value: bytes) -> None:
         self._check_open()
         self._validate(key)
         key, value = bytes(key), bytes(value)
-        self._journal.append(encode_batch(0, [(KIND_PUT, key, value)]), self._acct)
+        self._journal_append(encode_batch(0, [(KIND_PUT, key, value)]))
         path = self._tree.put(key, value)
         self._read_pages(path[:-1])  # interior pages consulted on the way down
         self._write_pages(self._tree.take_dirty())
@@ -104,7 +202,7 @@ class BPlusTreeStore(KeyValueStore):
         self._check_open()
         self._validate(key)
         key = bytes(key)
-        self._journal.append(encode_batch(0, [(KIND_DELETE, key, b"")]), self._acct)
+        self._journal_append(encode_batch(0, [(KIND_DELETE, key, b"")]))
         removed, path = self._tree.delete(key)
         self._read_pages(path[:-1])
         if removed:
@@ -152,6 +250,10 @@ class BPlusTreeStore(KeyValueStore):
         )
         s.sstable_count = 0
         s.memory_bytes = len(self._tree) * 64
+        s.degraded = self._background_error is not None
+        s.background_error = (
+            str(self._background_error) if self._background_error is not None else ""
+        )
         return s
 
     def check_invariants(self) -> None:
@@ -159,5 +261,9 @@ class BPlusTreeStore(KeyValueStore):
 
     def close(self) -> None:
         if not self._closed:
-            self._journal.sync(self._acct)
+            try:
+                self._journal.sync(self._acct)
+            except StorageError:
+                # Closing anyway; the unsynced tail is an ordinary crash loss.
+                pass
             self._closed = True

@@ -89,7 +89,8 @@ class LeveledLSMStore(LSMStoreBase):
                 next_inputs = self._overlapping(level + 1, inputs)
                 if any(f.number in self._busy for f in next_inputs):
                     break
-                self._submit_compaction(level, inputs, next_inputs)
+                if not self._submit_protected(level, inputs, next_inputs):
+                    return
                 self.executor.wait_all()
 
     # ==================================================================
@@ -274,6 +275,8 @@ class LeveledLSMStore(LSMStoreBase):
     # Compaction
     # ==================================================================
     def _schedule_compactions(self) -> None:
+        if self._background_error is not None:
+            return
         for _ in range(len(self._levels) * 2):
             if not self._pick_and_submit():
                 break
@@ -283,8 +286,35 @@ class LeveledLSMStore(LSMStoreBase):
         if spec is None:
             return False
         level, inputs, next_inputs = spec
-        self._submit_compaction(level, inputs, next_inputs)
-        return True
+        return self._submit_protected(level, inputs, next_inputs)
+
+    def _submit_protected(
+        self,
+        level: int,
+        inputs: List[FileMetadata],
+        next_inputs: List[FileMetadata],
+    ) -> bool:
+        """Submit a compaction with fault retries; False once degraded."""
+        self._run_protected(
+            "compaction", lambda: self._submit_compaction(level, inputs, next_inputs)
+        )
+        return self._background_error is None
+
+    # --- fault-rollback hooks (see LSMStoreBase._run_protected) ---------
+    def _capture_background_state(self):
+        return (
+            set(self._busy),
+            dict(self._compact_pointer),
+            list(self._seek_overflow),
+        )
+
+    def _restore_background_state(self, snapshot) -> None:
+        self._busy, self._compact_pointer, self._seek_overflow = snapshot
+
+    def _reset_scheduling_state(self) -> None:
+        # resume() runs after wait_all(): no job is in flight, so any
+        # remaining busy marker is stale.
+        self._busy.clear()
 
     def _pick_compaction(
         self,
@@ -468,8 +498,8 @@ class LeveledLSMStore(LSMStoreBase):
                 insort(self._levels[target], meta, key=lambda f: f.smallest)
                 self._busy.discard(meta.number)
             manifest_acct = self.storage.background_account(self.prefix + "manifest")
-            assert self._manifest is not None
-            self._manifest.append(edit, manifest_acct)
+            # Metadata-only: no file moves, so nothing to defer on failure.
+            self._append_manifest(edit, manifest_acct)
             self._stats.compactions += 1
             self._schedule_compactions()
 
@@ -485,16 +515,18 @@ class LeveledLSMStore(LSMStoreBase):
         edit: VersionEdit,
     ) -> None:
         manifest_acct = self.storage.background_account(self.prefix + "manifest")
-        assert self._manifest is not None
-        self._manifest.append(edit, manifest_acct)
+        # The edit must reach the MANIFEST before any input file dies: if
+        # it does not, crash recovery replays the old version, which still
+        # references the inputs, so their deletion is deferred to resume().
+        durable = self._append_manifest(edit, manifest_acct)
         for meta in inputs:
             self._remove_from_level(level, meta.number)
             self._busy.discard(meta.number)
-            self._retire_file(meta.number)
+            self._retire_or_defer(meta.number, durable)
         for meta in next_inputs:
             self._remove_from_level(target, meta.number)
             self._busy.discard(meta.number)
-            self._retire_file(meta.number)
+            self._retire_or_defer(meta.number, durable)
         for meta in metas:
             insort(self._levels[target], meta, key=lambda f: f.smallest)
 
@@ -527,7 +559,8 @@ class LeveledLSMStore(LSMStoreBase):
                 next_inputs = self._overlapping(level + 1, inputs)
                 if any(f.number in self._busy for f in next_inputs):
                     break
-                self._submit_compaction(level, inputs, next_inputs)
+                if not self._submit_protected(level, inputs, next_inputs):
+                    return
                 self.executor.wait_all()
 
     # ==================================================================

@@ -95,6 +95,20 @@ class StoreOptions:
     #: Seeks allowed against a file before it is scheduled for compaction.
     seek_compaction_enabled: bool = True
 
+    # --- fault handling ---------------------------------------------------
+    #: Retries a background flush/compaction attempts after a transient
+    #: I/O fault before declaring a sticky background error.
+    fault_retry_limit: int = 3
+    #: First retry backoff in simulated seconds; doubles per retry.
+    fault_retry_base_delay: float = 1.0e-3
+    #: Backoff cap in simulated seconds.
+    fault_retry_max_delay: float = 50.0e-3
+    #: Treat corruption found mid-WAL (before the durable boundary) as an
+    #: error during recovery instead of silently stopping replay.  None =
+    #: follow ``sync_writes`` (with synchronous writes every acknowledged
+    #: record is durable, so mid-log corruption means acknowledged loss).
+    strict_wal_recovery: "bool | None" = None
+
     # --- FLSM / PebblesDB -----------------------------------------------
     #: Consecutive set LSBs of murmur(key) required to guard Level 1.
     top_level_bits: int = 13

@@ -38,6 +38,38 @@ class StorageError(ReproError):
     """The simulated storage device rejected an operation."""
 
 
+class TransientIOError(StorageError):
+    """An injected I/O fault that may succeed if the operation is retried.
+
+    Models the recoverable failures real devices and file systems produce
+    (EINTR, momentary controller resets, NFS hiccups).  Engines retry
+    these with capped exponential backoff before giving up.
+    """
+
+
+class PersistentIOError(StorageError):
+    """An injected I/O fault that retrying cannot fix.
+
+    Models hard failures (ENOSPC, a dying disk, a revoked lease).  A
+    persistent fault on a background path moves the store into degraded
+    read-only mode (see :class:`BackgroundError`).
+    """
+
+
+class BackgroundError(ReproError):
+    """The store is in degraded read-only mode after a background failure.
+
+    Raised by write operations while a sticky background error is set
+    (flush/compaction/MANIFEST failure that retries could not clear).
+    Reads keep serving from the last consistent state; ``resume()``
+    re-verifies and restores write service once the cause is gone.
+    """
+
+    def __init__(self, message: str, cause: "Exception | None" = None) -> None:
+        super().__init__(message)
+        self.cause = cause
+
+
 class CrashInjected(ReproError):
     """Raised by crash-injection hooks in tests to simulate power failure.
 

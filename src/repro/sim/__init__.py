@@ -17,13 +17,33 @@ deterministic simulation (see DESIGN.md section 2):
 * :mod:`repro.sim.executor` — background worker timelines modelling
   flush/compaction threads; write stalls emerge when compaction debt grows.
 * :mod:`repro.sim.cpu` — the per-operation CPU cost table.
+* :mod:`repro.sim.faults` — deterministic fault injection: plans of
+  transient/persistent I/O errors replayed against the operation stream,
+  plus the torn/garbage/bit-flip crash modes of ``crash()``.
 """
 
 from repro.sim.clock import SimClock
 from repro.sim.cpu import CpuCosts
 from repro.sim.device import DeviceModel
 from repro.sim.cache import PageCache
-from repro.sim.storage import IoAccount, SimulatedStorage, StorageStats
+from repro.sim.faults import (
+    PERSISTENT,
+    TRANSIENT,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultStats,
+)
+from repro.sim.storage import (
+    CRASH_BITFLIP,
+    CRASH_CLEAN,
+    CRASH_GARBAGE,
+    CRASH_MODES,
+    CRASH_TORN,
+    IoAccount,
+    SimulatedStorage,
+    StorageStats,
+)
 from repro.sim.executor import BackgroundExecutor, Job
 
 __all__ = [
@@ -36,4 +56,15 @@ __all__ = [
     "StorageStats",
     "BackgroundExecutor",
     "Job",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultStats",
+    "TRANSIENT",
+    "PERSISTENT",
+    "CRASH_CLEAN",
+    "CRASH_TORN",
+    "CRASH_GARBAGE",
+    "CRASH_BITFLIP",
+    "CRASH_MODES",
 ]

@@ -1,0 +1,295 @@
+"""Deterministic fault injection for the simulated storage layer.
+
+Real devices fail in richer ways than clean power loss: an fsync returns
+EIO once and then works again, a disk runs out of spare blocks and every
+write fails from then on, a torn write leaves half a record on the platter.
+This module describes such failures as data — a :class:`FaultPlan` of
+:class:`FaultSpec` entries — and :class:`FaultInjector` replays the plan
+deterministically against every storage operation.
+
+:class:`repro.sim.storage.SimulatedStorage` consults the injector (when
+one is attached) on every ``append``, ``write_at``, ``read``, ``sync``,
+and ``rename``.  A firing spec raises
+:class:`repro.errors.TransientIOError` or
+:class:`repro.errors.PersistentIOError` *before* the operation mutates
+any state, so a failed operation is atomic — except for appends with a
+``torn_fraction``, where a prefix of the payload lands first (a torn
+write).
+
+Determinism: triggering is driven only by per-spec match counters and a
+RNG seeded from the plan, so a fixed plan yields the identical fault
+sequence — and identical simulated metrics — on every run.  Decoded-block
+cache hits consult the injector through the same chokepoint as raw reads
+(``SimulatedStorage._charge_read``), so host-side memoization never
+changes which operation a fault lands on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional
+
+from repro.errors import PersistentIOError, TransientIOError
+
+#: Fault kinds.
+TRANSIENT = "transient"
+PERSISTENT = "persistent"
+
+#: Operations the storage layer reports to the injector.
+OPS = ("append", "write_at", "read", "sync", "rename")
+
+
+@dataclass
+class FaultSpec:
+    """One rule describing when a storage operation should fail.
+
+    A spec *matches* an operation by name (``op``, ``"*"`` for any) and
+    file-name glob (``name_pattern``).  Among matching operations it
+    *fires* either on the ``at_op``-th match (0-based, counted per spec)
+    or independently with ``probability`` per match, at most ``times``
+    times (None = unlimited).
+    """
+
+    op: str = "*"
+    name_pattern: str = "*"
+    kind: str = TRANSIENT
+    #: Fire on the k-th matching operation (0-based); None = probabilistic.
+    at_op: Optional[int] = None
+    #: Per-matching-operation firing probability (used when at_op is None).
+    probability: float = 0.0
+    #: Maximum number of firings; None = unlimited.
+    times: Optional[int] = 1
+    #: For ``append`` faults: fraction of the payload written before the
+    #: error is raised (a torn write).  None = nothing is written.
+    torn_fraction: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.op != "*" and self.op not in OPS:
+            raise ValueError(f"unknown fault op: {self.op!r} (have {OPS})")
+        if self.kind not in (TRANSIENT, PERSISTENT):
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"bad fault probability: {self.probability}")
+        if self.torn_fraction is not None and not 0.0 <= self.torn_fraction <= 1.0:
+            raise ValueError(f"bad torn fraction: {self.torn_fraction}")
+
+    def matches(self, op: str, name: str) -> bool:
+        if self.op != "*" and self.op != op:
+            return False
+        return fnmatchcase(name, self.name_pattern)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, ordered collection of fault specs."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def fail_nth(
+        cls,
+        n: int,
+        *,
+        op: str = "*",
+        name_pattern: str = "*",
+        kind: str = TRANSIENT,
+        times: Optional[int] = 1,
+        torn_fraction: Optional[float] = None,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Fail the ``n``-th (0-based) matching operation."""
+        return cls(
+            [
+                FaultSpec(
+                    op=op,
+                    name_pattern=name_pattern,
+                    kind=kind,
+                    at_op=n,
+                    times=times,
+                    torn_fraction=torn_fraction,
+                )
+            ],
+            seed=seed,
+        )
+
+    @classmethod
+    def probabilistic(
+        cls,
+        probability: float,
+        *,
+        op: str = "*",
+        name_pattern: str = "*",
+        kind: str = TRANSIENT,
+        times: Optional[int] = None,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Fail each matching operation independently with ``probability``."""
+        return cls(
+            [
+                FaultSpec(
+                    op=op,
+                    name_pattern=name_pattern,
+                    kind=kind,
+                    probability=probability,
+                    times=times,
+                )
+            ],
+            seed=seed,
+        )
+
+    @classmethod
+    def from_string(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse a plan from CLI syntax.
+
+        One spec is ``kind:op:pattern:trigger[:times=N][:torn=F]`` where
+        ``trigger`` is ``at=K`` or ``p=X``; specs are separated by ``;``.
+        Examples::
+
+            transient:sync:db/*.log:at=5
+            persistent:append:*.sst:at=40
+            transient:*:*:p=0.001;persistent:rename:*:at=2
+        """
+        specs: List[FaultSpec] = []
+        for part in text.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            fields = part.split(":")
+            if len(fields) < 4:
+                raise ValueError(
+                    f"bad fault spec {part!r} "
+                    "(want kind:op:pattern:trigger[:times=N][:torn=F])"
+                )
+            kind, op, pattern, trigger = fields[:4]
+            kwargs: Dict[str, object] = {}
+            if trigger.startswith("at="):
+                kwargs["at_op"] = int(trigger[3:])
+            elif trigger.startswith("p="):
+                kwargs["probability"] = float(trigger[2:])
+                kwargs["times"] = None
+            else:
+                raise ValueError(f"bad fault trigger {trigger!r} (want at=K or p=X)")
+            for extra in fields[4:]:
+                if extra.startswith("times="):
+                    value = extra[6:]
+                    kwargs["times"] = None if value in ("inf", "*") else int(value)
+                elif extra.startswith("torn="):
+                    kwargs["torn_fraction"] = float(extra[5:])
+                else:
+                    raise ValueError(f"bad fault spec field {extra!r}")
+            specs.append(FaultSpec(op=op, name_pattern=pattern, kind=kind, **kwargs))
+        return cls(specs, seed=seed)
+
+
+@dataclass
+class FaultStats:
+    """What the injector has seen and done (deterministic counters)."""
+
+    ops_seen: int = 0
+    faults_injected: int = 0
+    transient_injected: int = 0
+    persistent_injected: int = 0
+    by_op: Dict[str, int] = field(default_factory=dict)
+
+
+class _SpecState:
+    __slots__ = ("matched", "fired")
+
+    def __init__(self) -> None:
+        self.matched = 0
+        self.fired = 0
+
+
+class InjectedFault:
+    """The injector's verdict for one operation: which spec fired."""
+
+    __slots__ = ("spec", "op", "name", "op_index")
+
+    def __init__(self, spec: FaultSpec, op: str, name: str, op_index: int) -> None:
+        self.spec = spec
+        self.op = op
+        self.name = name
+        self.op_index = op_index
+
+    @property
+    def torn_fraction(self) -> Optional[float]:
+        return self.spec.torn_fraction
+
+    def make_error(self) -> Exception:
+        message = (
+            f"injected {self.spec.kind} fault: {self.op}({self.name}) "
+            f"[storage op #{self.op_index}]"
+        )
+        if self.spec.kind == PERSISTENT:
+            return PersistentIOError(message)
+        return TransientIOError(message)
+
+
+class FaultInjector:
+    """Replays a :class:`FaultPlan` against the storage operation stream."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._states = [_SpecState() for _ in plan.specs]
+        self.stats = FaultStats()
+
+    # ------------------------------------------------------------------
+    def poll(self, op: str, name: str) -> Optional[InjectedFault]:
+        """Consult the plan for one operation; None means 'proceed'.
+
+        Every matching probabilistic spec draws from the seeded RNG even
+        when an earlier spec already fired, so adding a spec never shifts
+        another spec's random sequence mid-plan.
+        """
+        stats = self.stats
+        op_index = stats.ops_seen
+        stats.ops_seen += 1
+        fired: Optional[FaultSpec] = None
+        for spec, state in zip(self.plan.specs, self._states):
+            if not spec.matches(op, name):
+                continue
+            index = state.matched
+            state.matched += 1
+            if spec.at_op is not None:
+                should_fire = index >= spec.at_op
+            else:
+                should_fire = (
+                    spec.probability > 0.0
+                    and self._rng.random() < spec.probability
+                )
+            if not should_fire:
+                continue
+            if spec.times is not None and state.fired >= spec.times:
+                continue
+            state.fired += 1
+            if fired is None:
+                fired = spec
+        if fired is None:
+            return None
+        stats.faults_injected += 1
+        stats.by_op[op] = stats.by_op.get(op, 0) + 1
+        if fired.kind == PERSISTENT:
+            stats.persistent_injected += 1
+        else:
+            stats.transient_injected += 1
+        return InjectedFault(fired, op, name, op_index)
+
+    def check(self, op: str, name: str) -> Optional[InjectedFault]:
+        """Poll and raise immediately unless the fault is a torn append.
+
+        Torn appends are returned to the storage layer instead so it can
+        write the surviving prefix before raising.
+        """
+        fault = self.poll(op, name)
+        if fault is None:
+            return None
+        if op == "append" and fault.torn_fraction is not None:
+            return fault
+        raise fault.make_error()

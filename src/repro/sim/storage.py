@@ -12,10 +12,24 @@ file; ``crash()`` truncates every file to its synced length and forgets
 never-synced files.  Renames are modelled as atomic and durable (the
 engines only rename the small CURRENT pointer, and real stores sync the
 directory around that rename).
+
+Beyond clean power loss, two failure dimensions are modelled:
+
+* **Operation faults** — when a :class:`repro.sim.faults.FaultInjector`
+  is attached (``storage.faults``), every ``append`` / ``write_at`` /
+  ``read`` / ``sync`` / ``rename`` consults it first and may raise
+  :class:`TransientIOError` / :class:`PersistentIOError`.  A faulted
+  operation mutates nothing, except torn appends which write a prefix of
+  the payload before raising.
+* **Crash modes** — ``crash(mode=...)`` supports ``torn`` (a random
+  prefix of each unsynced tail survives), ``garbage`` (random bytes past
+  the synced length), and ``bitflip`` (one bit flips inside durable
+  data), in addition to the default ``clean`` truncation.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -24,6 +38,14 @@ from repro.sim.cache import PAGE_SIZE, PageCache
 from repro.sim.clock import SimClock
 from repro.sim.cpu import CpuCosts
 from repro.sim.device import DeviceModel
+from repro.sim.faults import FaultInjector
+
+#: Crash modes accepted by :meth:`SimulatedStorage.crash`.
+CRASH_CLEAN = "clean"
+CRASH_TORN = "torn"
+CRASH_GARBAGE = "garbage"
+CRASH_BITFLIP = "bitflip"
+CRASH_MODES = (CRASH_CLEAN, CRASH_TORN, CRASH_GARBAGE, CRASH_BITFLIP)
 
 
 class IoAccount:
@@ -99,14 +121,22 @@ class SimulatedStorage:
         device: Optional[DeviceModel] = None,
         cache: Optional[PageCache] = None,
         cpu: Optional[CpuCosts] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.device = device if device is not None else DeviceModel.ssd_raid0()
         self.cache = cache if cache is not None else PageCache(64 * 1024 * 1024)
         self.cpu = cpu if cpu is not None else CpuCosts()
+        #: Optional fault injector; every data/durability operation asks it
+        #: for permission first.  Assign None to stop injecting.
+        self.faults = faults
         self.stats = StorageStats()
         self._files: Dict[str, _SimFile] = {}
         self._next_file_id = 1
+
+    def set_fault_injector(self, faults: Optional[FaultInjector]) -> None:
+        """Attach (or detach, with None) a fault injector."""
+        self.faults = faults
 
     # ------------------------------------------------------------------
     # Accounts
@@ -161,6 +191,8 @@ class SimulatedStorage:
 
     def rename(self, old: str, new: str) -> None:
         """Atomically rename ``old`` to ``new`` (replacing ``new``)."""
+        if self.faults is not None:
+            self.faults.check("rename", old)
         f = self._files.pop(old, None)
         if f is None:
             raise StorageError(f"no such file: {old}")
@@ -174,8 +206,24 @@ class SimulatedStorage:
     # Data operations
     # ------------------------------------------------------------------
     def append(self, name: str, data: bytes, account: IoAccount) -> None:
-        """Append ``data``; charged as a sequential write."""
+        """Append ``data``; charged as a sequential write.
+
+        An injected fault normally leaves the file untouched; a fault
+        with a ``torn_fraction`` first appends that prefix of the payload
+        (charging device time and statistics for the bytes that landed),
+        modelling a torn write.
+        """
         f = self._file(name)
+        if self.faults is not None:
+            fault = self.faults.check("append", name)
+            if fault is not None:  # torn append: a prefix survives
+                torn = data[: int(len(data) * fault.torn_fraction)]
+                if torn:
+                    self._append_bytes(f, torn, account)
+                raise fault.make_error()
+        self._append_bytes(f, data, account)
+
+    def _append_bytes(self, f: _SimFile, data: bytes, account: IoAccount) -> None:
         offset = len(f.data)
         f.data.extend(data)
         device_bytes = int(len(data) * f.charge_factor)
@@ -186,6 +234,8 @@ class SimulatedStorage:
     def write_at(self, name: str, offset: int, data: bytes, account: IoAccount) -> None:
         """Overwrite in place (B+tree page writes); charged as random write."""
         f = self._file(name)
+        if self.faults is not None:
+            self.faults.check("write_at", name)
         end = offset + len(data)
         if end > len(f.data):
             f.data.extend(b"\x00" * (end - len(f.data)))
@@ -253,6 +303,12 @@ class SimulatedStorage:
                 f"read out of bounds: {f.name}[{offset}:{offset + length}] "
                 f"(size {len(f.data)})"
             )
+        # The fault check sits on the shared charge path so that a
+        # decoded-block-cache hit (charge_read) consults the injector at
+        # the same operation index a raw read would — fault placement is
+        # identical with host-side memoization on or off.
+        if self.faults is not None:
+            self.faults.check("read", f.name)
         hits, misses = self.cache.access_range(
             f.file_id, offset, length, insert=cache_insert
         )
@@ -269,20 +325,62 @@ class SimulatedStorage:
     def sync(self, name: str, account: IoAccount) -> None:
         """Make all bytes of ``name`` durable."""
         f = self._file(name)
+        if self.faults is not None:
+            self.faults.check("sync", name)
         f.synced_len = len(f.data)
         self.stats.sync_ops += 1
         account.charge(self.device.seq_request_latency)
 
+    def synced_size(self, name: str) -> int:
+        """Bytes of ``name`` known durable (the last synced length).
+
+        Recovery code uses this as the acknowledged-data boundary: with
+        synchronous writes, corruption *below* it means acknowledged data
+        was damaged, while corruption at or past it is a normal torn tail.
+        """
+        return self._file(name).synced_len
+
     # ------------------------------------------------------------------
     # Crash simulation
     # ------------------------------------------------------------------
-    def crash(self) -> None:
-        """Simulate power loss: discard everything not yet synced."""
+    def crash(self, mode: str = CRASH_CLEAN, seed: int = 0) -> None:
+        """Simulate power loss; ``mode`` picks how messy the loss is.
+
+        * ``clean`` — every file truncates exactly to its synced length
+          and never-synced files vanish (the classic model).
+        * ``torn`` — a random prefix of each unsynced tail survives, so
+          recovery sees partially-written records.
+        * ``garbage`` — the surviving unsynced tail bytes are replaced
+          with random garbage (uninitialized sectors), so recovery sees
+          data that fails checksums rather than merely stopping short.
+        * ``bitflip`` — clean truncation, then one random bit flips
+          inside the *synced* region of one file: latent media corruption
+          that strict recovery must detect as acknowledged-data loss.
+
+        ``seed`` makes the torn/garbage/bitflip randomness reproducible.
+        """
+        if mode not in CRASH_MODES:
+            raise StorageError(f"unknown crash mode: {mode!r} (have {CRASH_MODES})")
+        rng = random.Random(seed)
         doomed = [n for n, f in self._files.items() if f.synced_len == 0]
         for name in doomed:
             self.delete(name)
-        for f in self._files.values():
-            del f.data[f.synced_len :]
+        for f in sorted(self._files.values(), key=lambda f: f.name):
+            unsynced = len(f.data) - f.synced_len
+            if unsynced <= 0 or mode == CRASH_CLEAN or mode == CRASH_BITFLIP:
+                del f.data[f.synced_len :]
+                continue
+            keep = rng.randrange(unsynced + 1)
+            del f.data[f.synced_len + keep :]
+            if mode == CRASH_GARBAGE and keep:
+                garbage = bytes(rng.getrandbits(8) for _ in range(keep))
+                f.data[f.synced_len :] = garbage
+        if mode == CRASH_BITFLIP:
+            victims = [f for f in self._files.values() if f.synced_len > 0]
+            if victims:
+                victim = rng.choice(sorted(victims, key=lambda f: f.name))
+                bit = rng.randrange(victim.synced_len * 8)
+                victim.data[bit // 8] ^= 1 << (bit % 8)
         self.cache.clear()
 
     # ------------------------------------------------------------------

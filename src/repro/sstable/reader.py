@@ -235,7 +235,14 @@ class SSTableReader:
             cache_insert=cache_insert,
         )
         if cache is not None and cache_insert:
-            entries, keys = decode_block_with_keys(raw)
+            try:
+                entries, keys = decode_block_with_keys(raw)
+            except CorruptionError:
+                # Never leave a partially-decoded table in the cache: a
+                # later open of the same file number must re-read the
+                # device, not trust host-side state from a bad block.
+                cache.drop_file(self._cache_key)
+                raise
             block = DecodedBlock(entries, len(raw), keys)
             cache.put(self._cache_key, entry.offset, block)
             return block

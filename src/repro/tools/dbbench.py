@@ -17,9 +17,11 @@ import sys
 from typing import List, Optional
 
 from repro.engines.registry import ENGINES
+from repro.errors import ReproError
 from repro.harness import fresh_run, standard_config
 from repro.sim.aging import FilesystemAging
 from repro.sim.device import DeviceModel
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.workloads.db_bench import BenchResult
 
 #: Benchmarks the CLI understands, in db_bench naming.
@@ -71,6 +73,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--device", choices=("ssd", "ssd-raid0", "hdd"), default="ssd-raid0")
     parser.add_argument("--aged-fs", action="store_true", help="age the file system first")
     parser.add_argument(
+        "--fault-plan",
+        default=None,
+        help="inject storage faults while benchmarking; one or more "
+        "';'-separated specs 'kind:op:pattern:trigger[:times=N][:torn=F]' "
+        "with trigger 'at=K' or 'p=X', e.g. "
+        "'transient:sync:db/*.log:at=5' or 'persistent:append:*.sst:p=0.001' "
+        "(see repro.sim.faults.FaultPlan.from_string)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for probabilistic fault triggers (plans are deterministic)",
+    )
+    parser.add_argument(
         "--benchmarks",
         default="fillrandom,readrandom,seekrandom",
         help="comma-separated list from: " + ",".join(BENCHMARKS),
@@ -103,6 +120,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if bad:
         print(f"unknown engines: {', '.join(bad)}", file=sys.stderr)
         return 2
+    if args.fault_plan is not None:
+        try:
+            FaultPlan.from_string(args.fault_plan, seed=args.fault_seed)
+        except ValueError as exc:
+            print(f"bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
     if len(engines) > 1:
         rc = 0
         for engine in engines:
@@ -129,47 +152,56 @@ def _run_one(engine: str, names: List[str], args) -> int:
         option_overrides=overrides,
     )
     run = fresh_run(engine, cfg)
+    if args.fault_plan is not None:
+        # Attached after the store opens: setup IO is never faulted, the
+        # benchmark phases run entirely under the plan.
+        plan = FaultPlan.from_string(args.fault_plan, seed=args.fault_seed)
+        run.env.storage.set_fault_injector(FaultInjector(plan))
     bench = run.bench
     reads = args.reads if args.reads is not None else max(1, args.num // 4)
     seeks = args.seeks if args.seeks is not None else max(1, args.num // 8)
 
     print(f"engine={engine} keys={args.num} value={args.value_size}B "
           f"threads={args.threads} cache={cfg.effective_cache_bytes() // 1024}KB "
-          f"device={args.device}")
+          f"device={args.device}"
+          + (f" fault-plan={args.fault_plan!r}" if args.fault_plan else ""))
     print("-" * 78)
+    phases = {
+        "fillseq": lambda: bench.fill_seq(),
+        "fillrandom": lambda: bench.fill_random(),
+        "fillsync": lambda: bench.fill_sync(),
+        "overwrite": lambda: bench.overwrite(),
+        "readrandom": lambda: bench.read_random(reads),
+        "readmissing": lambda: bench.read_missing(reads),
+        "readhot": lambda: bench.read_hot(reads),
+        "readseq": lambda: bench.read_seq(reads),
+        "seekrandom": lambda: bench.seek_random(seeks),
+        "rangequery": lambda: bench.seek_random(seeks, nexts=args.nexts),
+        "deleterandom": lambda: bench.delete_random(),
+        "mixed": lambda: bench.mixed_read_write(reads, reads),
+    }
     results: List[BenchResult] = []
     for name in names:
-        if name == "fillseq":
-            results.append(bench.fill_seq())
-        elif name == "fillrandom":
-            results.append(bench.fill_random())
-        elif name == "fillsync":
-            results.append(bench.fill_sync())
-        elif name == "overwrite":
-            results.append(bench.overwrite())
-        elif name == "readrandom":
-            results.append(bench.read_random(reads))
-        elif name == "readmissing":
-            results.append(bench.read_missing(reads))
-        elif name == "readhot":
-            results.append(bench.read_hot(reads))
-        elif name == "readseq":
-            results.append(bench.read_seq(reads))
-        elif name == "seekrandom":
-            results.append(bench.seek_random(seeks))
-        elif name == "rangequery":
-            results.append(bench.seek_random(seeks, nexts=args.nexts))
-        elif name == "deleterandom":
-            results.append(bench.delete_random())
-        elif name == "mixed":
-            results.append(bench.mixed_read_write(reads, reads))
-        elif name == "compact":
-            run.db.compact_all()
-            print(f"{'compact':<16} store compacted")
+        if name == "compact":
+            try:
+                run.db.compact_all()
+                print(f"{'compact':<16} store compacted")
+            except ReproError as exc:
+                print(f"{'compact':<16} FAILED: {exc}")
+            continue
+        try:
+            results.append(phases[name]())
+        except ReproError as exc:
+            # An injected fault (or the degraded state it caused) stopped
+            # the phase; report it and keep benchmarking.
+            print(f"{name:<16} FAILED: {exc}")
             continue
         print(results[-1].row())
 
-    run.db.wait_idle()
+    try:
+        run.db.wait_idle()
+    except ReproError:
+        pass
     stats = run.db.stats()
     print("-" * 78)
     print(
@@ -187,6 +219,20 @@ def _run_one(engine: str, names: List[str], args) -> int:
             f"({stats.block_cache_hits} hit / {stats.block_cache_misses} miss, "
             f"{stats.block_cache_bytes / 1e6:.1f} MB resident)"
         )
+    faults = run.env.storage.faults
+    if faults is not None:
+        fs = faults.stats
+        health = run.db.get_property("repro.health")
+        print(
+            f"faults: {fs.faults_injected} injected over {fs.ops_seen} storage "
+            f"ops ({fs.transient_injected} transient / "
+            f"{fs.persistent_injected} persistent) | "
+            f"retries {stats.transient_fault_retries} | "
+            f"background errors {stats.background_errors} | "
+            f"resumes {stats.resumes} | health {health}"
+        )
+        if stats.degraded:
+            print(f"background error: {run.db.get_property('repro.background-error')}")
     run.db.close()
     return 0
 

@@ -163,15 +163,23 @@ class ManifestWriter:
 
 
 class ManifestReader:
-    """Replays the version edits of a MANIFEST file."""
+    """Replays the version edits of a MANIFEST file.
+
+    Replay is *strict* by default: every committed edit is synced before
+    its installation is acknowledged, so a corrupt record below the
+    file's durable boundary means version metadata was lost — silently
+    stopping there would recover a stale-but-plausible version and serve
+    old data.  Damage at or past the boundary is a torn tail from a
+    crash mid-append and ends replay normally.
+    """
 
     def __init__(self, storage: SimulatedStorage, name: str) -> None:
         self._storage = storage
         self.name = name
 
-    def edits(self, account: IoAccount):
+    def edits(self, account: IoAccount, *, strict: bool = True):
         reader = LogReader(self._storage, self.name)
-        for record in reader.records(account):
+        for record in reader.records(account, strict=strict):
             yield VersionEdit.decode(record)
 
 

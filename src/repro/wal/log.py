@@ -91,15 +91,22 @@ class LogWriter:
         self._block_offset = storage.size(name) % BLOCK_SIZE
 
     def append(self, payload: bytes, account: IoAccount, *, sync: bool = False) -> None:
-        """Write one logical record (fragmenting across blocks as needed)."""
+        """Write one logical record (fragmenting across blocks as needed).
+
+        The block offset is committed only after the storage append
+        succeeds, so a failed (or torn) append leaves the writer's view of
+        the file consistent with what actually landed and a retried append
+        frames its record correctly.
+        """
         out = bytearray()
         remaining = payload
         first = True
+        block_offset = self._block_offset
         while True:
-            leftover = BLOCK_SIZE - self._block_offset
+            leftover = BLOCK_SIZE - block_offset
             if leftover < _HEADER_SIZE:
                 out += b"\x00" * leftover
-                self._block_offset = 0
+                block_offset = 0
                 leftover = BLOCK_SIZE
             avail = leftover - _HEADER_SIZE
             fragment = remaining[:avail]
@@ -117,11 +124,12 @@ class LogWriter:
             out += len(fragment).to_bytes(2, "little")
             out.append(rec_type)
             out += fragment
-            self._block_offset += _HEADER_SIZE + len(fragment)
+            block_offset += _HEADER_SIZE + len(fragment)
             first = False
             if not remaining:
                 break
         self._storage.append(self.name, bytes(out), account)
+        self._block_offset = block_offset
         if sync:
             self._storage.sync(self.name, account)
 
@@ -136,8 +144,22 @@ class LogReader:
         self._storage = storage
         self.name = name
 
-    def records(self, account: IoAccount) -> Iterator[bytes]:
-        """Yield logical records until EOF or the first corruption."""
+    def records(self, account: IoAccount, *, strict: bool = False) -> Iterator[bytes]:
+        """Yield logical records until EOF or the first corruption.
+
+        In ``strict`` mode, a corrupt or truncated record that starts
+        *below* the file's durable (synced) boundary raises
+        :class:`CorruptionError` instead of silently stopping: syncs
+        happen at logical record boundaries, so everything below the
+        boundary was acknowledged as durable and must parse cleanly.  A
+        bad record at or past the boundary is the ordinary torn tail a
+        crash leaves and stops replay normally in both modes.
+        """
+        durable = self._storage.synced_size(self.name) if strict else 0
+
+        def damaged(reason: str, at: int) -> bool:
+            return strict and at < durable
+
         data = self._storage.read(
             self.name, 0, self._storage.size(self.name), account, sequential=True
         )
@@ -157,9 +179,19 @@ class LogReader:
             start = offset + _HEADER_SIZE
             end = start + length
             if end > len(data):
+                if damaged("truncated record", offset):
+                    raise CorruptionError(
+                        f"{self.name}: record at offset {offset} truncated "
+                        f"inside the synced region (0..{durable})"
+                    )
                 return  # torn tail
             fragment = data[start:end]
             if crc32c(bytes([rec_type]) + fragment) != stored_crc:
+                if damaged("checksum mismatch", offset):
+                    raise CorruptionError(
+                        f"{self.name}: record at offset {offset} fails its "
+                        f"checksum inside the synced region (0..{durable})"
+                    )
                 return  # corrupt tail: stop replay
             offset = end
             if rec_type == _FULL:
@@ -169,13 +201,28 @@ class LogReader:
                 pending = bytearray(fragment)
             elif rec_type == _MIDDLE:
                 if pending is None:
+                    if damaged("orphan MIDDLE fragment", start):
+                        raise CorruptionError(
+                            f"{self.name}: orphan record fragment at offset "
+                            f"{start} inside the synced region (0..{durable})"
+                        )
                     return
                 pending += fragment
             elif rec_type == _LAST:
                 if pending is None:
+                    if damaged("orphan LAST fragment", start):
+                        raise CorruptionError(
+                            f"{self.name}: orphan record fragment at offset "
+                            f"{start} inside the synced region (0..{durable})"
+                        )
                     return
                 pending += fragment
                 yield bytes(pending)
                 pending = None
             else:
+                if damaged("unknown record type", offset):
+                    raise CorruptionError(
+                        f"{self.name}: unknown record type {rec_type} at "
+                        f"offset {offset} inside the synced region (0..{durable})"
+                    )
                 return

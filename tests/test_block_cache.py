@@ -13,7 +13,7 @@ import pytest
 from repro.harness import fresh_run, standard_config
 from repro.sim.cache import PAGE_SIZE, PageCache
 from repro.sstable.block_cache import DecodedBlock, DecodedBlockCache
-from repro.util.keys import KIND_PUT, InternalKey
+from repro.util.keys import KIND_PUT, MAX_SEQUENCE, InternalKey
 
 
 def _block(nbytes: int) -> DecodedBlock:
@@ -219,3 +219,58 @@ class TestMetricsNeutrality:
         assert hits_on > 0, "cache must actually serve hits for this to test anything"
         assert hits_off == 0
         assert with_cache == without_cache
+
+
+class TestEvictionOnError:
+    """A decode failure must purge the file from the decoded cache: stale
+    host-side entries for a corrupt or replaced file can never be served."""
+
+    def _table(self):
+        from repro.sim.storage import SimulatedStorage
+        from repro.sstable import SSTableBuilder, SSTableReader
+
+        storage = SimulatedStorage(cache=PageCache(1 << 20))
+        acct = storage.foreground_account()
+        builder = SSTableBuilder(block_size=256)
+        for i in range(200):
+            builder.add(InternalKey(b"key%04d" % i, i + 1, KIND_PUT), b"v" * 20)
+        blob, _, _ = builder.finish()
+        storage.create("t.sst")
+        storage.append("t.sst", blob, acct)
+        storage.sync("t.sst", acct)
+        cache = DecodedBlockCache(1 << 20)
+        reader = SSTableReader.open(
+            storage, "t.sst", acct, block_cache=cache, cache_key=7
+        )
+        return storage, acct, cache, reader
+
+    def test_corrupt_block_purges_whole_file(self):
+        from repro.errors import CorruptionError
+
+        storage, acct, cache, reader = self._table()
+        reader.get(b"key0000", MAX_SEQUENCE, acct)  # caches early blocks
+        assert 7 in cache.cached_files()
+        # Corrupt the last data block (not yet decoded or cached).
+        last = reader._index[-1]
+        storage.write_at("t.sst", last.offset + 5, b"\xff", acct)
+        storage.cache.clear()  # force a device read of the corrupt bytes
+        with pytest.raises(CorruptionError):
+            reader.get(b"key0199", MAX_SEQUENCE, acct)
+        assert 7 not in cache.cached_files(), (
+            "decode failure must drop every cached entry of the file"
+        )
+
+    def test_corrupt_open_leaves_no_metadata_cached(self):
+        from repro.errors import CorruptionError
+        from repro.sstable import SSTableReader
+
+        storage, acct, cache, reader = self._table()
+        # Sever the footer of a *different* copy and open it against the
+        # same cache: nothing of it may be cached after the failure.
+        size = storage.size("t.sst")
+        blob = storage.read("t.sst", 0, size, acct)
+        storage.create("u.sst")
+        storage.append("u.sst", blob[: size - 3], acct)
+        with pytest.raises(CorruptionError):
+            SSTableReader.open(storage, "u.sst", acct, block_cache=cache, cache_key=8)
+        assert 8 not in cache.cached_files()

@@ -87,7 +87,10 @@ class TestSstableCorruption:
                 )
             _flip(env.storage, victim, offset)  # restore
 
-    def test_wal_corruption_truncates_replay(self, env):
+    def test_wal_corruption_below_sync_boundary_raises(self, env):
+        """With sync_writes=True every record was acknowledged durable, so
+        damage below the synced boundary is data loss and recovery refuses
+        to silently truncate (strict mode follows sync_writes)."""
         db = make_store("pebblesdb", env, sync_writes=True)
         for i in range(30):
             db.put(b"k%02d" % i, b"v")
@@ -95,7 +98,20 @@ class TestSstableCorruption:
         assert logs
         _flip(env.storage, logs[0], 40)
         env.storage.crash()
-        db2 = make_store("pebblesdb", env, sync_writes=True)
+        with pytest.raises(CorruptionError):
+            make_store("pebblesdb", env, sync_writes=True)
+
+    def test_wal_corruption_truncates_replay_when_lenient(self, env):
+        db = make_store("pebblesdb", env, sync_writes=True)
+        for i in range(30):
+            db.put(b"k%02d" % i, b"v")
+        logs = [n for n in env.storage.list_files("db/") if n.endswith(".log")]
+        assert logs
+        _flip(env.storage, logs[0], 40)
+        env.storage.crash()
+        db2 = make_store(
+            "pebblesdb", env, sync_writes=True, strict_wal_recovery=False
+        )
         # Replay stops at the corrupt record; everything before it and
         # nothing bogus afterwards.
         got = dict(db2.scan())

@@ -111,3 +111,97 @@ class TestLogFraming:
         for p in payloads:
             writer.append(p, acct)
         assert replay(storage, "wal") == payloads
+
+
+def replay_strict(storage, name):
+    return list(
+        LogReader(storage, name).records(storage.foreground_account(), strict=True)
+    )
+
+
+class TestStrictMode:
+    """strict=True: damage below the synced boundary is acknowledged-data
+    loss and must raise; damage past it is an ordinary torn tail."""
+
+    def test_synced_corruption_raises(self, storage):
+        acct = storage.foreground_account()
+        writer = LogWriter(storage, "wal")
+        writer.append(b"one", acct, sync=True)
+        writer.append(b"two", acct, sync=True)
+        storage.write_at("wal", 8, b"\xff", acct)  # inside record one
+        with pytest.raises(CorruptionError):
+            replay_strict(storage, "wal")
+        # Lenient mode still just stops (the pre-existing contract).
+        assert replay(storage, "wal") == []
+
+    def test_unsynced_tail_corruption_stops_quietly(self, storage):
+        acct = storage.foreground_account()
+        writer = LogWriter(storage, "wal")
+        writer.append(b"one", acct, sync=True)
+        writer.append(b"two", acct)  # past the durable boundary
+        size = storage.size("wal")
+        storage.write_at("wal", size - 2, b"\xff", acct)
+        assert replay_strict(storage, "wal") == [b"one"]
+
+    def test_synced_truncation_raises(self, storage):
+        acct = storage.foreground_account()
+        writer = LogWriter(storage, "wal")
+        writer.append(b"payload-payload", acct, sync=True)
+        # Model media loss: the file claims a synced length it cannot back.
+        storage._files["wal"].data = storage._files["wal"].data[:-4]
+        with pytest.raises(CorruptionError):
+            replay_strict(storage, "wal")
+
+    def test_orphan_fragment_below_boundary_raises(self, storage):
+        acct = storage.foreground_account()
+        writer = LogWriter(storage, "wal")
+        big = b"x" * (BLOCK_SIZE + 100)  # FIRST + LAST fragments
+        writer.append(big, acct, sync=True)
+        # Corrupt the FIRST fragment: the LAST fragment becomes an orphan.
+        storage.write_at("wal", 8, b"\xff", acct)
+        with pytest.raises(CorruptionError):
+            replay_strict(storage, "wal")
+        assert replay(storage, "wal") == []
+
+    def test_clean_synced_log_replays_identically(self, storage):
+        acct = storage.foreground_account()
+        writer = LogWriter(storage, "wal")
+        payloads = [b"a", b"b" * 500, b"c" * (BLOCK_SIZE * 2)]
+        for p in payloads:
+            writer.append(p, acct, sync=True)
+        assert replay_strict(storage, "wal") == payloads
+
+
+class TestAppendAtomicity:
+    def test_failed_append_does_not_misframe_later_records(self, storage):
+        """A failed append must not advance the writer's block offset —
+        otherwise the next record lands misaligned and replay breaks."""
+        from repro.sim.faults import FaultInjector, FaultPlan
+
+        acct = storage.foreground_account()
+        writer = LogWriter(storage, "wal")
+        writer.append(b"first", acct)
+        storage.set_fault_injector(
+            FaultInjector(FaultPlan.fail_nth(0, op="append"))
+        )
+        from repro.errors import TransientIOError
+
+        with pytest.raises(TransientIOError):
+            writer.append(b"failed", acct)
+        writer.append(b"retried", acct)  # times=1: injector is spent
+        assert replay(storage, "wal") == [b"first", b"retried"]
+
+    def test_torn_append_keeps_earlier_records_readable(self, storage):
+        from repro.sim.faults import FaultInjector, FaultPlan
+        from repro.errors import TransientIOError
+
+        acct = storage.foreground_account()
+        writer = LogWriter(storage, "wal")
+        writer.append(b"first", acct, sync=True)
+        storage.set_fault_injector(
+            FaultInjector(FaultPlan.fail_nth(0, op="append", torn_fraction=0.5))
+        )
+        with pytest.raises(TransientIOError):
+            writer.append(b"second-record-payload", acct)
+        # The torn half-record stops replay; "first" survives.
+        assert replay(storage, "wal") == [b"first"]
