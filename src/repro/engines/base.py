@@ -647,6 +647,7 @@ class LSMStoreBase(KeyValueStore):
         if opts.wal_enabled:
             payload = encode_batch(seq, ops)
             assert self._wal is not None
+            size_before = self.storage.size(self._wal.name)
             try:
                 self._wal.append(payload, self._wal_acct, sync=opts.sync_writes)
             except StorageError:
@@ -655,6 +656,15 @@ class LSMStoreBase(KeyValueStore):
                 # (the reader stops at the first bad record), so no
                 # acknowledged write may ever land in this file again.
                 # The memtable was not touched: the write fails cleanly.
+                if self.storage.size(self._wal.name) != size_before:
+                    # Bytes landed despite the failure — a torn record, or
+                    # a *complete* record whose sync failed.  A complete
+                    # record replays at recovery, so burn its sequence
+                    # numbers: were a later acknowledged write to reuse
+                    # them, replay would apply this phantom record first
+                    # and skip the acknowledged one as a duplicate,
+                    # silently replacing acknowledged data.
+                    self._last_sequence = seq + len(ops) - 1
                 self._switch_wal_file()
                 raise
             self._wal_acct.charge(
@@ -945,6 +955,13 @@ class LSMStoreBase(KeyValueStore):
             log = LogWriter(self.storage, new_name)
             for payload in records + pending:
                 log.append(payload, acct)
+            # Persist the counter advanced by allocating the new MANIFEST's
+            # own number; without this a post-crash recovery could re-bump
+            # the counter to below it and a later rotation would append
+            # onto the live MANIFEST, duplicating every edit.
+            log.append(
+                VersionEdit(next_file_number=self._next_file_number).encode(), acct
+            )
             log.sync(acct)
             set_current(self.storage, new_name, acct, self.prefix)
         except (CorruptionError, StorageError):
@@ -1276,7 +1293,14 @@ class LSMStoreBase(KeyValueStore):
         for name in self.storage.list_files(self.prefix):
             if name.endswith((".sst", ".log")):
                 number = int(name[len(self.prefix) : -4])
-                self._next_file_number = max(self._next_file_number, number + 1)
+            elif name.startswith(self.prefix + "MANIFEST-"):
+                # The live MANIFEST's number is allocated at rotation time;
+                # counting it here keeps the counter ahead of it even when
+                # the crash landed before that allocation was persisted.
+                number = int(name[len(self.prefix) + len("MANIFEST-") :])
+            else:
+                continue
+            self._next_file_number = max(self._next_file_number, number + 1)
         self._replay_wals(log_number, acct)
         self._wal_number = self._alloc_file_number()
         if self.options.wal_enabled:

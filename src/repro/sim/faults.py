@@ -246,12 +246,16 @@ class FaultInjector:
 
         Every matching probabilistic spec draws from the seeded RNG even
         when an earlier spec already fired, so adding a spec never shifts
-        another spec's random sequence mid-plan.
+        another spec's random sequence mid-plan.  Only the spec whose
+        error is actually raised consumes its ``times`` budget: a spec
+        suppressed by an earlier-listed spec on the same operation keeps
+        its budget and can still fire on a later match.
         """
         stats = self.stats
         op_index = stats.ops_seen
         stats.ops_seen += 1
         fired: Optional[FaultSpec] = None
+        fired_state: Optional[_SpecState] = None
         for spec, state in zip(self.plan.specs, self._states):
             if not spec.matches(op, name):
                 continue
@@ -268,11 +272,12 @@ class FaultInjector:
                 continue
             if spec.times is not None and state.fired >= spec.times:
                 continue
-            state.fired += 1
             if fired is None:
                 fired = spec
-        if fired is None:
+                fired_state = state
+        if fired is None or fired_state is None:
             return None
+        fired_state.fired += 1
         stats.faults_injected += 1
         stats.by_op[op] = stats.by_op.get(op, 0) + 1
         if fired.kind == PERSISTENT:

@@ -111,6 +111,19 @@ class TestFaultInjector:
         fired = sum(1 for _ in range(10) if inj.poll("read", "f") is not None)
         assert fired == 2
 
+    def test_suppressed_spec_keeps_its_times_budget(self):
+        """When two specs land on the same operation only the raised one
+        consumes its ``times`` budget; the suppressed spec still fires on
+        a later matching operation instead of being silently swallowed."""
+        inj = FaultInjector(
+            FaultPlan([FaultSpec(op="sync", at_op=0), FaultSpec(op="sync", at_op=0)])
+        )
+        first = inj.poll("sync", "f")
+        assert first is not None and first.spec is inj.plan.specs[0]
+        second = inj.poll("sync", "f")
+        assert second is not None and second.spec is inj.plan.specs[1]
+        assert inj.poll("sync", "f") is None  # both budgets spent
+
     def test_check_raises_kind_specific_errors(self):
         inj = FaultInjector(
             FaultPlan(
@@ -294,6 +307,40 @@ class TestForegroundWalFaults:
             assert dict(db2.scan()) == model, f"diverged for k={k}"
             db2.check_invariants()
 
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            # Record fully lands, only its sync fails.
+            FaultPlan.fail_nth(0, op="sync", name_pattern="db/*.log"),
+            # The whole record lands as a "torn" prefix.
+            FaultPlan.fail_nth(
+                0, op="append", name_pattern="db/*.log", torn_fraction=1.0
+            ),
+        ],
+        ids=["sync-fails", "fully-torn"],
+    )
+    def test_landed_failed_record_never_shadows_acknowledged_write(self, plan):
+        """A WAL record that lands despite a failed write is a phantom: it
+        may replay at recovery, so its sequence numbers must be burned.
+        Were a later acknowledged write to reuse them, replay would apply
+        the phantom first and skip the acknowledged record as a duplicate,
+        silently replacing acknowledged data with the failed payload."""
+        for seed in range(8):
+            env = repro.Environment(cache_bytes=1 << 20)
+            db = make_store("pebblesdb", env, sync_writes=True)
+            db.put(b"k", b"old")
+            _attach(env, plan)
+            with pytest.raises(TransientIOError):
+                db.put(b"k", b"phantom")  # bytes landed, write failed
+            _detach(env)
+            db.put(b"k", b"acknowledged")
+            # A torn crash may keep any prefix of the abandoned WAL's
+            # unsynced tail — including the complete phantom record.
+            env.storage.crash(mode="torn", seed=seed)
+            db2 = make_store("pebblesdb", env, sync_writes=True)
+            assert db2.get(b"k") == b"acknowledged", f"seed={seed}"
+            db2.check_invariants()
+
 
 # ======================================================================
 # Engine state machine: background failures, degrade, resume
@@ -419,6 +466,59 @@ class TestBackgroundFaults:
         model[b"tail"] = b"t"
         assert dict(db2.scan()) == model
         db2.check_invariants()
+
+    def test_rotated_manifest_number_survives_crash(self, env):
+        """The file number allocated for a rotated MANIFEST must stay
+        covered by the persisted counter across a crash: were the counter
+        to fall below the live MANIFEST's number, a later rotation could
+        re-allocate it and append onto the live file, duplicating every
+        edit at the next recovery."""
+
+        def degrade_and_resume(db):
+            _attach(
+                env,
+                FaultPlan(
+                    [
+                        FaultSpec(
+                            op="append",
+                            name_pattern="db/MANIFEST-*",
+                            kind="persistent",
+                            at_op=0,
+                            times=None,
+                        )
+                    ]
+                ),
+            )
+            db.flush_memtable()
+            db.wait_idle()
+            assert db.is_degraded
+            # A resume attempt while the device still fails burns a file
+            # number for the MANIFEST it could not write, so the eventual
+            # successful rotation gets a number no surviving .sst/.log
+            # name accounts for.
+            assert db.resume() is False
+            _detach(env)
+            assert db.resume() is True  # rotates to a freshly numbered MANIFEST
+
+        db = make_store("pebblesdb", env, sync_writes=True)
+        model = _fill(db, 60)
+        degrade_and_resume(db)
+        env.storage.crash()
+        db2 = make_store("pebblesdb", env, sync_writes=True)
+        live = max(
+            int(name.rsplit("MANIFEST-", 1)[1])
+            for name in env.storage.list_files("db/")
+            if "MANIFEST-" in name
+        )
+        assert db2._next_file_number > live
+        # A second faulted rotation after the crash must land in a fresh
+        # file, and the doubly-rotated state must survive another crash.
+        model.update(_fill(db2, 60, start=1000))
+        degrade_and_resume(db2)
+        env.storage.crash()
+        db3 = make_store("pebblesdb", env, sync_writes=True)
+        assert dict(db3.scan()) == model
+        db3.check_invariants()
 
     def test_degraded_store_keeps_files_needed_after_crash(self, env):
         """Crashing while degraded (before resume) must still recover every
