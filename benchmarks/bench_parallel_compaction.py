@@ -1,0 +1,186 @@
+"""Guard-parallel compaction acceptance benchmark: fillrandom under a
+workers sweep.
+
+Runs the same seeded fillrandom workload against PebblesDB with 1, 2, 4,
+and 8 background workers under the guard-granularity conflict-map
+scheduler (plus a 4-worker run with the level-serial scheduler for
+comparison) and verifies the acceptance contract:
+
+1. **speedup** — simulated fillrandom throughput at 4 workers must be at
+   least 1.5x the single-worker run (independent guard compactions
+   overlap on worker timelines instead of queueing behind each other);
+2. **write amplification** — parallelism must not buy throughput with
+   extra rewrites: the 4-worker write amplification must stay within
+   ±5% of the single-worker value (in-flight outflow accounting keeps
+   size triggers from over-compacting);
+3. **parallelism** — the 4-worker run must actually overlap jobs
+   (``compactions_parallel_peak > 1``);
+4. **determinism** — repeating the 4-worker run yields an identical
+   simulated clock and identical compaction counters.
+
+Results land in ``BENCH_parallel_compaction.json`` at the repo root.
+``--smoke`` shrinks the workload for CI; any contract violation exits
+non-zero.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_parallel_compaction.py [--smoke]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import repro
+from repro.engines.options import StoreOptions
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel_compaction.json"
+
+WORKER_SWEEP = (1, 2, 4, 8)
+VALUE_SIZE = 512
+KEY_SPACE = 3000
+SEED = 7
+
+
+def _options(workers: int, scheduler: str) -> StoreOptions:
+    base = StoreOptions.for_preset("pebblesdb")
+    return dataclasses.replace(
+        base,
+        memtable_bytes=8 * 1024,
+        level1_max_bytes=32 * 1024,
+        target_file_bytes=8 * 1024,
+        background_workers=workers,
+        compaction_scheduler=scheduler,
+        # Dense guards so independent guard jobs exist to parallelize.
+        top_level_bits=6,
+        bit_decrement=1,
+    )
+
+
+def _fill_random(workers: int, scheduler: str, num_ops: int) -> Dict[str, object]:
+    env = repro.Environment(cache_bytes=1 << 20)
+    db = repro.open_store(
+        "pebblesdb", env.storage, options=_options(workers, scheduler), prefix="db/"
+    )
+    rng = random.Random(SEED)
+    value = b"v" * VALUE_SIZE
+    wall0 = time.perf_counter()
+    for _ in range(num_ops):
+        db.put(b"key%06d" % rng.randrange(KEY_SPACE), value)
+    db.wait_idle()
+    wall = time.perf_counter() - wall0
+    db.check_invariants()
+    stats = db.stats()
+    sim = env.clock.now
+    record = {
+        "workers": workers,
+        "scheduler": scheduler,
+        "sim_seconds": round(sim, 6),
+        "kops_per_sec": round(num_ops / sim / 1000.0, 3) if sim else 0.0,
+        "write_amplification": round(stats.write_amplification, 4),
+        "stall_seconds": round(stats.stall_seconds, 6),
+        "conflict_stall_seconds": round(stats.conflict_stall_seconds, 6),
+        "compactions": stats.compactions,
+        "compaction_conflicts": stats.compaction_conflicts,
+        "compactions_parallel_peak": stats.compactions_parallel_peak,
+        "wall_seconds": round(wall, 3),
+    }
+    db.close()
+    return record
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="reduced workload for CI smoke runs"
+    )
+    parser.add_argument("--num-ops", type=int, default=None)
+    args = parser.parse_args(argv)
+    num_ops = args.num_ops or (3000 if args.smoke else 8000)
+
+    t0 = time.perf_counter()
+    sweep: List[Dict[str, object]] = []
+    for workers in WORKER_SWEEP:
+        record = _fill_random(workers, "guard", num_ops)
+        sweep.append(record)
+        print(
+            f"workers={workers} scheduler=guard: "
+            f"{record['kops_per_sec']:>8.1f} KOps/s  "
+            f"wa={record['write_amplification']:.2f}  "
+            f"peak={record['compactions_parallel_peak']}  "
+            f"stall={record['stall_seconds']:.3f}s"
+        )
+    level_serial = _fill_random(4, "level", num_ops)
+    sweep.append(level_serial)
+    print(
+        f"workers=4 scheduler=level: "
+        f"{level_serial['kops_per_sec']:>8.1f} KOps/s  "
+        f"wa={level_serial['write_amplification']:.2f}  "
+        f"peak={level_serial['compactions_parallel_peak']}"
+    )
+
+    by_workers = {r["workers"]: r for r in sweep if r["scheduler"] == "guard"}
+    speedup = by_workers[1]["sim_seconds"] / by_workers[4]["sim_seconds"]
+    wa_ratio = (
+        by_workers[4]["write_amplification"] / by_workers[1]["write_amplification"]
+    )
+    repeat = _fill_random(4, "guard", num_ops)
+    deterministic = all(
+        repeat[key] == by_workers[4][key]
+        for key in (
+            "sim_seconds",
+            "write_amplification",
+            "compactions",
+            "compaction_conflicts",
+            "compactions_parallel_peak",
+        )
+    )
+
+    failures = []
+    if speedup < 1.5:
+        failures.append(f"speedup {speedup:.2f}x at 4 workers (need >= 1.5x)")
+    if abs(wa_ratio - 1.0) > 0.05:
+        failures.append(
+            f"write amplification drifted {wa_ratio:.3f}x at 4 workers (need ±5%)"
+        )
+    if by_workers[4]["compactions_parallel_peak"] < 2:
+        failures.append("4-worker run never overlapped compactions")
+    if not deterministic:
+        failures.append("repeated 4-worker run diverged")
+
+    wall = time.perf_counter() - t0
+    payload = {
+        "benchmark": "parallel_compaction",
+        "smoke": args.smoke,
+        "num_ops": num_ops,
+        "value_size": VALUE_SIZE,
+        "key_space": KEY_SPACE,
+        "speedup_4_vs_1": round(speedup, 3),
+        "write_amp_ratio_4_vs_1": round(wa_ratio, 4),
+        "deterministic": deterministic,
+        "passed": not failures,
+        "failures": failures,
+        "wall_seconds": round(wall, 3),
+        "sweep": sweep,
+    }
+    _JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print("-" * 70)
+    print(
+        f"4 workers vs 1: {speedup:.2f}x simulated throughput, "
+        f"write-amp ratio {wa_ratio:.3f}, deterministic={deterministic}"
+    )
+    print(f"results -> {_JSON_PATH.name} ({wall:.1f}s wall)")
+    if failures:
+        for failure in failures:
+            print(f"CONTRACT VIOLATION: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -138,14 +138,23 @@ class PebblesDBStore(LSMStoreBase):
         self._seek_compaction_due = False
         self._touched_guards: List[Tuple[int, Optional[bytes]]] = []
         self.guards_selected = 0
-        # Levels with an in-flight compaction.  Jobs reading or moving a
-        # level's guard boundaries are serialized per level: guard commits
-        # apply at job completion, so a concurrent job partitioning by the
-        # same level's boundaries could fragment across a guard key that
-        # is about to exist.  (The paper's artifact likewise runs
-        # level-granularity compaction; guard-parallel compaction is
-        # listed as future work.)
-        self._inflight_levels: Set[int] = set()
+        # Conflict map for in-flight compactions.  Each job holds one
+        # claim per level it touches, a half-open key range ``(level, lo,
+        # hi)`` with None as the open end; a new job may only start when
+        # none of its claims overlaps a held claim on the same level.
+        # Guard commits apply at job completion, so a job's target claim
+        # is widened to the *committed-guard boundaries* covering its
+        # range — any guard the job may commit, split, or force-merge
+        # falls inside the claim, and disjointly-claimed guard jobs can
+        # run concurrently on separate worker timelines.  With
+        # ``compaction_scheduler="level"`` claims degrade to whole-level
+        # ranges, reproducing the historical per-level serialization.
+        self._claims: dict = {}
+        self._claim_seq = 0
+        # Bytes an in-flight job will remove from its source level when
+        # it applies; size triggers subtract this so several workers do
+        # not over-compact the same level (write-amp stability).
+        self._inflight_outflow: dict = {}
         super().__init__(storage, opts, prefix=prefix, seed=seed)
 
     # ==================================================================
@@ -220,7 +229,7 @@ class PebblesDBStore(LSMStoreBase):
         self.flush_memtable()
         self.executor.wait_all()
         if any(f.overlaps(lo, hi) for f in self._level0):
-            if self._levels_free(0, 1):
+            if self._claims_available(self._level0_claims()):
                 if not self._submit_level0_protected():
                     return
                 self.executor.wait_all()
@@ -232,7 +241,7 @@ class PebblesDBStore(LSMStoreBase):
                     continue
                 if not any(f.overlaps(lo, hi) for f in guard.files):
                     continue
-                if self._levels_free(level, min(level + 1, self.options.num_levels - 1)):
+                if self._claims_available(self._guard_claims(level, guard)):
                     if not self._submit_guard_protected(level, guard):
                         return
                     self.executor.wait_all()
@@ -516,38 +525,87 @@ class PebblesDBStore(LSMStoreBase):
         # Guard deletions are metadata-only; process them first.
         if self._pending_guard_deletions:
             self._apply_guard_deletions()
+        self._l0_conflict_blocked = False
+        if not self._has_parallel_slot():
+            # Every slot is busy; note when a due Level-0 compaction is
+            # the work being held back (stall attribution).
+            if (
+                len(self._level0) >= opts.level0_compaction_trigger
+                and not any(f.number in self._busy for f in self._level0)
+            ):
+                self._l0_conflict_blocked = True
+            return False
+        candidates = self._collect_candidates()
+        if not candidates:
+            # Priority 4: seek-triggered work.
+            if self._seek_compaction_due:
+                self._seek_compaction_due = False
+                return self._submit_seek_compactions(self.level_sizes())
+            return False
+        idx = 0
+        if self._dispatch_policy is not None:
+            idx = self._dispatch_policy(candidates) % len(candidates)
+        kind, level, guard, _reason = candidates[idx]
+        if kind == "level0":
+            return self._submit_level0_protected()
+        return self._submit_guard_protected(level, guard)
+
+    def _collect_candidates(self) -> List[Tuple[str, int, Optional[Guard], str]]:
+        """Runnable compaction candidates, in deterministic priority order.
+
+        Each entry is ``(kind, level, guard, reason)``.  A candidate is
+        listed only when its conflict-map claims are free, so whichever
+        one the dispatch policy picks can be submitted immediately; work
+        that is due but claim-blocked bumps ``compaction_conflicts`` and
+        is re-picked once the blocking job applies.
+        """
+        opts = self.options
+        candidates: List[Tuple[str, int, Optional[Guard], str]] = []
         # Priority 1: Level 0 file count.
         if (
             len(self._level0) >= opts.level0_compaction_trigger
             and not any(f.number in self._busy for f in self._level0)
-            and self._levels_free(0, 1)
         ):
-            return self._submit_level0_protected()
+            if self._claims_available(self._level0_claims()):
+                candidates.append(("level0", 0, None, "level0"))
+            else:
+                self._l0_conflict_blocked = True
+                self._stats.compaction_conflicts += 1
         # Priority 2: over-full guards (max_sstables_per_guard, section 3.5).
         trigger = max(2, opts.max_sstables_per_guard)
+        seen: Set[Tuple[int, Optional[bytes]]] = set()
         for level in range(1, opts.num_levels):
-            if not self._levels_free(level, min(level + 1, opts.num_levels - 1)):
-                continue
             guarded = self._guarded[level]
             assert guarded is not None
             for guard in guarded.guards():
                 if guard.num_files >= trigger and not self._guard_busy(guard):
-                    return self._submit_guard_protected(level, guard)
-        # Priority 3: level size targets.
+                    if self._claims_available(self._guard_claims(level, guard)):
+                        candidates.append(("guard", level, guard, "overfull"))
+                        seen.add((level, guard.key))
+                    else:
+                        self._stats.compaction_conflicts += 1
+        # Priority 3: level size targets, net of in-flight outflow.
         sizes = self.level_sizes()
         for level in range(1, opts.num_levels - 1):
-            if not self._levels_free(level, level + 1):
-                continue
-            if sizes[level] >= opts.level_target_bytes(level) * opts.compaction_eagerness:
+            effective = sizes[level] - self._inflight_outflow.get(level, 0)
+            if effective >= opts.level_target_bytes(level) * opts.compaction_eagerness:
                 guard = self._largest_idle_guard(level)
-                if guard is not None:
-                    return self._submit_guard_protected(level, guard)
-        # Priority 4: seek-triggered work.
-        if self._seek_compaction_due:
-            self._seek_compaction_due = False
-            if self._submit_seek_compactions(sizes):
-                return True
-        return False
+                if guard is not None and (level, guard.key) not in seen:
+                    candidates.append(("guard", level, guard, "size"))
+        if self._l0_conflict_blocked and candidates:
+            # A due Level-0 compaction is waiting on the conflict map;
+            # submitting more work over the ranges it needs would starve
+            # it, so only disjoint candidates stay runnable.
+            l0_claims = self._level0_claims()
+            candidates = [
+                c
+                for c in candidates
+                if c[2] is not None
+                and not self._claims_conflict(
+                    self._guard_claims(c[1], c[2]), l0_claims
+                )
+            ]
+        return candidates
 
     # ------------------------------------------------------------------
     # Fault-protected submission (see LSMStoreBase._run_protected)
@@ -564,11 +622,13 @@ class PebblesDBStore(LSMStoreBase):
 
     def _capture_background_state(self):
         # Everything a compaction submit mutates before its job is queued:
-        # busy files, level locks, the guard-commit bookkeeping, and the
-        # seek-compaction inputs.
+        # busy files, conflict-map claims and outflow accounting, the
+        # guard-commit bookkeeping, and the seek-compaction inputs.
         return (
             set(self._busy),
-            set(self._inflight_levels),
+            dict(self._claims),
+            dict(self._inflight_outflow),
+            self._compactions_inflight,
             [set(keys) for keys in self._uncommitted],
             set(self._committing),
             list(self._touched_guards),
@@ -579,7 +639,9 @@ class PebblesDBStore(LSMStoreBase):
     def _restore_background_state(self, snapshot) -> None:
         (
             self._busy,
-            self._inflight_levels,
+            self._claims,
+            self._inflight_outflow,
+            self._compactions_inflight,
             self._uncommitted,
             self._committing,
             self._touched_guards,
@@ -590,21 +652,143 @@ class PebblesDBStore(LSMStoreBase):
     def _reset_scheduling_state(self) -> None:
         # resume() runs after wait_all(): any remaining marker is stale.
         self._busy.clear()
-        self._inflight_levels.clear()
+        self._claims.clear()
+        self._inflight_outflow.clear()
+        self._compactions_inflight = 0
 
     def _guard_busy(self, guard: Guard) -> bool:
         return any(f.number in self._busy for f in guard.files)
 
-    def _levels_free(self, *levels: int) -> bool:
-        return not any(level in self._inflight_levels for level in levels)
+    # ------------------------------------------------------------------
+    # Conflict map: per-(level, key-range) claims held by in-flight jobs
+    # ------------------------------------------------------------------
+    def _scheduler_mode(self) -> str:
+        return self.options.compaction_scheduler
+
+    def _max_parallel_compactions(self) -> int:
+        cap = self.options.max_parallel_compactions
+        return cap if cap is not None else self.executor.workers
+
+    def _has_parallel_slot(self) -> bool:
+        return len(self._claims) < self._max_parallel_compactions()
+
+    @staticmethod
+    def _ranges_overlap(
+        lo1: Optional[bytes],
+        hi1: Optional[bytes],
+        lo2: Optional[bytes],
+        hi2: Optional[bytes],
+    ) -> bool:
+        """Half-open range intersection test; None is an open end."""
+        if hi1 is not None and lo2 is not None and hi1 <= lo2:
+            return False
+        if hi2 is not None and lo1 is not None and hi2 <= lo1:
+            return False
+        return True
+
+    def _claims_conflict(self, a, b) -> bool:
+        return any(
+            la == lb and self._ranges_overlap(loa, hia, lob, hib)
+            for la, loa, hia in a
+            for lb, lob, hib in b
+        )
+
+    def _claims_available(self, claims) -> bool:
+        """True when no in-flight job holds an overlapping claim."""
+        return not any(
+            self._claims_conflict(held, claims)
+            for held, _, _ in self._claims.values()
+        )
+
+    def _acquire_claims(self, claims, source_level: int, outflow: int) -> int:
+        """Register a job's claims; returns the token its apply releases."""
+        self._claim_seq += 1
+        token = self._claim_seq
+        self._claims[token] = (tuple(claims), source_level, outflow)
+        self._inflight_outflow[source_level] = (
+            self._inflight_outflow.get(source_level, 0) + outflow
+        )
+        self._note_compaction_inflight(1)
+        return token
+
+    def _release_claims(self, token: Optional[int]) -> None:
+        if token is None:
+            return
+        entry = self._claims.pop(token, None)
+        if entry is None:
+            return  # reset_scheduling_state already dropped it
+        _, source_level, outflow = entry
+        remaining = self._inflight_outflow.get(source_level, 0) - outflow
+        if remaining > 0:
+            self._inflight_outflow[source_level] = remaining
+        else:
+            self._inflight_outflow.pop(source_level, None)
+        self._note_compaction_inflight(-1)
+
+    def _level0_claims(self):
+        """A Level-0 compaction may touch any key: whole-level claims.
+
+        Level-0 files overlap arbitrarily and the job commits guards
+        across all of Level 1, so it claims both levels end to end.
+        """
+        return [(0, None, None), (1, None, None)]
+
+    def _guard_claims(self, level: int, guard: Guard):
+        """Claims for compacting ``guard`` at ``level`` into ``level+1``.
+
+        The source claim is the guard's own range.  The target claim is
+        that range *widened to the committed-guard boundaries covering
+        it*: guard commits, straddler consumption, forced merges with
+        full guards, and the splits `_add_guard_live` performs at apply
+        all stay inside the covering guards of the source range, so two
+        jobs with disjoint widened claims cannot touch the same target
+        guard.  A range end that is itself a committed target boundary
+        needs no widening — which is what lets adjacent source guards
+        compact concurrently once their shared boundary is committed.
+        """
+        opts = self.options
+        last = opts.num_levels - 1
+        if opts.compaction_scheduler == "level":
+            if level == last:
+                return [(level, None, None)]
+            return [(level, None, None), (level + 1, None, None)]
+        guarded = self._guarded[level]
+        assert guarded is not None
+        lo, hi = guarded.guard_range(guard)
+        claims = [(level, lo, hi)]
+        if level == last:
+            # Rewrite-in-place touches only the guard itself.
+            return claims
+        target_guarded = self._guarded[level + 1]
+        assert target_guarded is not None
+        if lo is None:
+            lo_t: Optional[bytes] = None
+        else:
+            lo_t = target_guarded.guard_range(target_guarded.find_guard(lo))[0]
+        if hi is None:
+            hi_t: Optional[bytes] = None
+        elif target_guarded.has_guard(hi):
+            hi_t = hi
+        else:
+            hi_t = target_guarded.guard_range(target_guarded.find_guard(hi))[1]
+        claims.append((level + 1, lo_t, hi_t))
+        return claims
 
     def _largest_idle_guard(self, level: int) -> Optional[Guard]:
         guarded = self._guarded[level]
         assert guarded is not None
-        candidates = [
-            g for g in guarded.guards() if g.files and not self._guard_busy(g)
-        ]
+        candidates = []
+        blocked = 0
+        for g in guarded.guards():
+            if not g.files or self._guard_busy(g):
+                continue
+            if self._claims_available(self._guard_claims(level, g)):
+                candidates.append(g)
+            else:
+                blocked += 1
         if not candidates:
+            if blocked:
+                self._stats.compaction_conflicts += 1
             return None
         return max(candidates, key=lambda g: g.size_bytes)
 
@@ -626,7 +810,8 @@ class PebblesDBStore(LSMStoreBase):
             if (
                 guard.num_files > 1
                 and not self._guard_busy(guard)
-                and self._levels_free(level, min(level + 1, self.options.num_levels - 1))
+                and self._has_parallel_slot()
+                and self._claims_available(self._guard_claims(level, guard))
             ):
                 if not self._submit_guard_protected(level, guard):
                     return submitted
@@ -637,12 +822,16 @@ class PebblesDBStore(LSMStoreBase):
                 if not sizes[level] or not sizes[level + 1]:
                     continue
                 if sizes[level] >= opts.aggressive_compaction_ratio * sizes[level + 1]:
-                    if not self._levels_free(level, level + 1):
-                        continue
                     guarded = self._guarded[level]
                     assert guarded is not None
                     for guard in list(guarded.non_empty_guards()):
-                        if not self._guard_busy(guard) and self._levels_free(level, level + 1):
+                        if (
+                            not self._guard_busy(guard)
+                            and self._has_parallel_slot()
+                            and self._claims_available(
+                                self._guard_claims(level, guard)
+                            )
+                        ):
                             if not self._submit_guard_protected(level, guard):
                                 return submitted
                             submitted = True
@@ -656,8 +845,9 @@ class PebblesDBStore(LSMStoreBase):
         inputs = list(self._level0)
         for meta in inputs:
             self._busy.add(meta.number)
-        locked = {0, 1}
-        self._inflight_levels.update(locked)
+        token = self._acquire_claims(
+            self._level0_claims(), 0, sum(f.file_size for f in inputs)
+        )
         acct = self.storage.background_account(self.prefix + "compaction")
         edit = VersionEdit()
         new_keys, straddlers = self._commit_target_guards(1, None, None, edit)
@@ -665,7 +855,7 @@ class PebblesDBStore(LSMStoreBase):
             inputs, 1, acct, edit, extra_inputs=straddlers, new_keys=new_keys
         )
         self._finalize_compaction_job(
-            0, inputs + straddlers + merged_away, placements, edit, acct, new_keys, locked
+            0, inputs + straddlers + merged_away, placements, edit, acct, new_keys, token
         )
 
     # ------------------------------------------------------------------
@@ -676,10 +866,12 @@ class PebblesDBStore(LSMStoreBase):
         inputs = list(guard.files)
         if not inputs:
             return
+        claims = self._guard_claims(level, guard)
         for meta in inputs:
             self._busy.add(meta.number)
-        locked = {level, min(level + 1, opts.num_levels - 1)}
-        self._inflight_levels.update(locked)
+        token = self._acquire_claims(
+            claims, level, sum(f.file_size for f in inputs)
+        )
         acct = self.storage.background_account(self.prefix + "compaction")
         edit = VersionEdit()
         last = opts.num_levels - 1
@@ -687,7 +879,7 @@ class PebblesDBStore(LSMStoreBase):
         if level == last:
             # Last level: rewrite the guard in place as one sstable.
             placements = self._rewrite_guard_in_place(level, inputs, acct)
-            self._finalize_compaction_job(level, inputs, placements, edit, acct, [], locked)
+            self._finalize_compaction_job(level, inputs, placements, edit, acct, [], token)
             return
 
         target = level + 1
@@ -706,7 +898,7 @@ class PebblesDBStore(LSMStoreBase):
                 self._rollback_guard_commit(target, new_keys, straddlers, edit)
                 placements = self._rewrite_guard_in_place(level, inputs, acct)
                 self._finalize_compaction_job(
-                    level, inputs, placements, edit, acct, [], locked
+                    level, inputs, placements, edit, acct, [], token
                 )
                 return
 
@@ -714,7 +906,7 @@ class PebblesDBStore(LSMStoreBase):
             inputs, target, acct, edit, extra_inputs=straddlers, new_keys=new_keys
         )
         self._finalize_compaction_job(
-            level, inputs + straddlers + merged_away, placements, edit, acct, new_keys, locked
+            level, inputs + straddlers + merged_away, placements, edit, acct, new_keys, token
         )
 
     def _rollback_guard_commit(
@@ -1002,7 +1194,7 @@ class PebblesDBStore(LSMStoreBase):
         edit: VersionEdit,
         acct: IoAccount,
         new_keys: List[bytes],
-        locked_levels: Optional[Set[int]] = None,
+        claim_token: Optional[int] = None,
     ) -> None:
         """Record the edit and submit the job for deferred application."""
         consumed_levels = {
@@ -1038,8 +1230,7 @@ class PebblesDBStore(LSMStoreBase):
                 guarded = self._guarded[level]
                 assert guarded is not None
                 guarded.add_file(meta)
-            if locked_levels:
-                self._inflight_levels.difference_update(locked_levels)
+            self._release_claims(claim_token)
             self._stats.compactions += 1
             self._stats.compaction_bytes_written += bytes_written
             self._schedule_compactions()
@@ -1091,7 +1282,9 @@ class PebblesDBStore(LSMStoreBase):
         keys, self._pending_guard_deletions = self._pending_guard_deletions, set()
         edit = VersionEdit()
         changed = False
-        for key in keys:
+        # Sorted: the iteration order lands in the MANIFEST's
+        # deleted_guards list, which must not depend on set hashing.
+        for key in sorted(keys):
             for level in range(1, self.options.num_levels):
                 guarded = self._guarded[level]
                 assert guarded is not None
@@ -1135,9 +1328,7 @@ class PebblesDBStore(LSMStoreBase):
             assert guarded is not None
             for guard in list(guarded.guards()):
                 if guard.files and not self._guard_busy(guard):
-                    if self._levels_free(
-                        level, min(level + 1, self.options.num_levels - 1)
-                    ):
+                    if self._claims_available(self._guard_claims(level, guard)):
                         if not self._submit_guard_protected(level, guard):
                             return
                         self.executor.wait_all()

@@ -82,6 +82,14 @@ class StoreStats:
     resumes: int = 0
     degraded: bool = False
     background_error: str = ""
+    #: Compaction scheduling: times an otherwise-runnable compaction was
+    #: rejected because its key range conflicted with in-flight work,
+    #: write-stall seconds spent while a due Level-0 compaction was
+    #: conflict-blocked, and the peak number of compaction jobs that were
+    #: ever in flight at once.
+    compaction_conflicts: int = 0
+    conflict_stall_seconds: float = 0.0
+    compactions_parallel_peak: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -257,6 +265,15 @@ class LSMStoreBase(KeyValueStore):
         self.clock = storage.clock
         self.cpu = storage.cpu
         self.executor = BackgroundExecutor(self.clock, self.options.background_workers)
+        #: Compaction jobs submitted but not yet applied, and whether the
+        #: latest scheduling pass left a due Level-0 compaction blocked on
+        #: range conflicts (used to attribute stop-trigger stall time).
+        self._compactions_inflight = 0
+        self._l0_conflict_blocked = False
+        #: Optional dispatch policy for schedule exploration: given the
+        #: deterministic list of runnable compaction candidates, returns
+        #: the index to submit next (None = engine priority order).
+        self._dispatch_policy: Optional[Callable[[List], int]] = None
 
         self._user_acct = storage.foreground_account(prefix + "user")
         self._wal_acct = storage.foreground_account(prefix + "wal")
@@ -570,7 +587,8 @@ class LSMStoreBase(KeyValueStore):
         Supported names: ``repro.stats``, ``repro.levels``,
         ``repro.sstables``, ``repro.approximate-memory-usage``,
         ``repro.health`` (``ok``/``degraded``), ``repro.background-error``
-        (empty when healthy),
+        (empty when healthy), ``repro.compaction-scheduler`` (mode,
+        worker count, in-flight/peak parallelism, conflict counters),
         ``repro.num-files-at-level<N>``, plus engine extras (PebblesDB
         adds ``repro.guards``, ``repro.empty-guards``,
         ``repro.uncommitted-guards``).  Returns None for unknown names.
@@ -608,6 +626,15 @@ class LSMStoreBase(KeyValueStore):
             return "degraded" if self._background_error is not None else "ok"
         if name == "repro.background-error":
             return "" if self._background_error is None else str(self._background_error)
+        if name == "repro.compaction-scheduler":
+            s = self._stats
+            return (
+                f"mode={self._scheduler_mode()} workers={self.executor.workers} "
+                f"inflight={self._compactions_inflight} "
+                f"peak={s.compactions_parallel_peak} "
+                f"conflicts={s.compaction_conflicts} "
+                f"conflict-stall={s.conflict_stall_seconds:.6f}s"
+            )
         if name.startswith("repro.num-files-at-level"):
             try:
                 level = int(name[len("repro.num-files-at-level"):])
@@ -622,6 +649,30 @@ class LSMStoreBase(KeyValueStore):
     def _extra_property(self, name: str) -> Optional[str]:
         """Hook for engine-specific properties."""
         return None
+
+    def _scheduler_mode(self) -> str:
+        """Granularity at which this engine serializes compactions."""
+        return "level"
+
+    def set_dispatch_policy(
+        self, policy: Optional[Callable[[List], int]]
+    ) -> None:
+        """Install a compaction dispatch policy (None restores default).
+
+        Schedule-exploration hook: when the engine has several runnable
+        compaction candidates, ``policy(candidates)`` picks the index to
+        submit next instead of the built-in priority order.  Candidates
+        are collected deterministically, so a seeded policy yields a
+        replayable schedule; every schedule must produce the same
+        user-visible state.
+        """
+        self._dispatch_policy = policy
+
+    def _note_compaction_inflight(self, delta: int) -> None:
+        """Track in-flight compaction jobs and their concurrency peak."""
+        self._compactions_inflight += delta
+        if self._compactions_inflight > self._stats.compactions_parallel_peak:
+            self._stats.compactions_parallel_peak = self._compactions_inflight
 
     def files_per_level(self) -> List[int]:
         """Live sstable count per level (default: derived from sizes)."""
@@ -699,7 +750,12 @@ class LSMStoreBase(KeyValueStore):
                 and self.executor.pending_count
                 and guard < 10000
             ):
+                before = self.clock.now
                 self._stall_until(self._next_pending_job())
+                if self._l0_conflict_blocked:
+                    # The L0 compaction that would relieve this stall was
+                    # rejected by the conflict map; charge the wait to it.
+                    self._stats.conflict_stall_seconds += self.clock.now - before
                 self._schedule_compactions()
                 guard += 1
         elif l0 >= opts.level0_slowdown_trigger:

@@ -282,11 +282,17 @@ class LeveledLSMStore(LSMStoreBase):
                 break
 
     def _pick_and_submit(self) -> bool:
+        self._l0_conflict_blocked = False
         spec = self._pick_compaction()
         if spec is None:
             return False
         level, inputs, next_inputs = spec
         return self._submit_protected(level, inputs, next_inputs)
+
+    def _scheduler_mode(self) -> str:
+        # Leveled compaction already serializes at file granularity: jobs
+        # conflict only when their input/output file sets intersect.
+        return "file"
 
     def _submit_protected(
         self,
@@ -306,15 +312,22 @@ class LeveledLSMStore(LSMStoreBase):
             set(self._busy),
             dict(self._compact_pointer),
             list(self._seek_overflow),
+            self._compactions_inflight,
         )
 
     def _restore_background_state(self, snapshot) -> None:
-        self._busy, self._compact_pointer, self._seek_overflow = snapshot
+        (
+            self._busy,
+            self._compact_pointer,
+            self._seek_overflow,
+            self._compactions_inflight,
+        ) = snapshot
 
     def _reset_scheduling_state(self) -> None:
         # resume() runs after wait_all(): no job is in flight, so any
         # remaining busy marker is stale.
         self._busy.clear()
+        self._compactions_inflight = 0
 
     def _pick_compaction(
         self,
@@ -327,6 +340,11 @@ class LeveledLSMStore(LSMStoreBase):
                 next_inputs = self._overlapping(1, l0)
                 if all(f.number not in self._busy for f in next_inputs):
                     return (0, l0, next_inputs)
+                self._l0_conflict_blocked = True
+                self._stats.compaction_conflicts += 1
+            else:
+                self._l0_conflict_blocked = True
+                self._stats.compaction_conflicts += 1
         # Priority 2: level size vs target.
         best_level, best_score = -1, opts.compaction_eagerness
         sizes = self.level_sizes()
@@ -417,6 +435,7 @@ class LeveledLSMStore(LSMStoreBase):
         all_inputs = inputs + next_inputs
         for meta in all_inputs:
             self._busy.add(meta.number)
+        self._note_compaction_inflight(1)
 
         # Trivial move: nothing to merge with and inputs mutually disjoint —
         # a metadata-only edit, no IO.  This is LevelDB's fast path that
@@ -471,6 +490,7 @@ class LeveledLSMStore(LSMStoreBase):
 
         def apply() -> None:
             self._apply_compaction_edit(level, target, inputs, next_inputs, metas, edit)
+            self._note_compaction_inflight(-1)
             self._stats.compactions += 1
             self._stats.compaction_bytes_written += bytes_written
             self._schedule_compactions()
@@ -500,6 +520,7 @@ class LeveledLSMStore(LSMStoreBase):
             manifest_acct = self.storage.background_account(self.prefix + "manifest")
             # Metadata-only: no file moves, so nothing to defer on failure.
             self._append_manifest(edit, manifest_acct)
+            self._note_compaction_inflight(-1)
             self._stats.compactions += 1
             self._schedule_compactions()
 

@@ -70,6 +70,16 @@ class StoreOptions:
     #: Extra write delay while Level 0 is in the slowdown band (LevelDB
     #: sleeps 1 ms; scaled with everything else).
     slowdown_delay: float = 0.25e-3
+    #: Compaction scheduling granularity for the FLSM engine: "guard"
+    #: serializes in-flight jobs with a per-(level, key-range) conflict
+    #: map so independent guards compact concurrently; "level" restores
+    #: the historical whole-level locks.  Leveled engines schedule at
+    #: file granularity and ignore this knob.
+    compaction_scheduler: str = "guard"
+    #: Cap on concurrently in-flight compaction jobs; ``None`` means one
+    #: per background worker (more would only queue on busy timelines
+    #: while inflating write amplification).
+    max_parallel_compactions: "int | None" = None
 
     #: Device bytes per logical sstable byte; 1.0 = compression off (the
     #: paper's configuration, section 5.1), ~0.5 models snappy.  The WAL
@@ -153,6 +163,12 @@ class StoreOptions:
             raise ValueError("bad guard probability parameters")
         if self.compaction_policy not in ("round_robin", "wide", "min_overlap"):
             raise ValueError(f"unknown compaction policy: {self.compaction_policy!r}")
+        if self.compaction_scheduler not in ("guard", "level"):
+            raise ValueError(
+                f"unknown compaction scheduler: {self.compaction_scheduler!r}"
+            )
+        if self.max_parallel_compactions is not None and self.max_parallel_compactions < 1:
+            raise ValueError("max_parallel_compactions must be >= 1 (or None)")
 
     def level_target_bytes(self, level: int) -> int:
         """Size target for ``level`` (level 0 is file-count-triggered)."""

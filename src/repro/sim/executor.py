@@ -17,7 +17,7 @@ too many immutable memtables).
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.sim.clock import SimClock
 
@@ -78,11 +78,23 @@ class BackgroundExecutor:
         cost: float,
         apply: Optional[Callable[[], None]] = None,
         at: Optional[float] = None,
+        after: Optional[Sequence[Job]] = None,
     ) -> Job:
-        """Schedule ``cost`` seconds of work; returns the in-flight job."""
+        """Schedule ``cost`` seconds of work; returns the in-flight job.
+
+        ``after`` lists jobs this one depends on: the new job becomes
+        *ready* only once every dependency has completed, so its start
+        time is ``max(at, worker free, dep completions)``.  The pending
+        heap is the ready queue — jobs pop strictly in ``(completion,
+        seq)`` order, which keeps every schedule a pure function of the
+        submission sequence regardless of worker count.
+        """
         if cost < 0:
             raise ValueError(f"negative job cost: {cost}")
         when = self.clock.now if at is None else at
+        if after:
+            for dep in after:
+                when = max(when, dep.completion)
         idx = min(range(len(self._worker_free)), key=self._worker_free.__getitem__)
         start = max(when, self._worker_free[idx])
         completion = start + cost

@@ -71,6 +71,20 @@ def build_parser() -> argparse.ArgumentParser:
         "only, simulated metrics are identical either way)",
     )
     parser.add_argument("--device", choices=("ssd", "ssd-raid0", "hdd"), default="ssd-raid0")
+    parser.add_argument(
+        "--compaction-workers",
+        type=int,
+        default=None,
+        help="background worker timelines (default: the engine preset's)",
+    )
+    parser.add_argument(
+        "--guard-parallel",
+        choices=("on", "off"),
+        default="on",
+        help="FLSM compaction scheduling granularity: 'on' runs "
+        "independent guard jobs concurrently under the conflict map, "
+        "'off' restores whole-level serialization (pebblesdb only)",
+    )
     parser.add_argument("--aged-fs", action="store_true", help="age the file system first")
     parser.add_argument(
         "--fault-plan",
@@ -137,10 +151,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _run_one(engine: str, names: List[str], args) -> int:
     overrides = {}
-    if args.block_cache_mb is not None and engine not in ("btree", "wiredtiger"):
-        overrides[engine] = {
-            "block_cache_bytes": int(args.block_cache_mb * 1024 * 1024)
-        }
+    lsm_engine = engine not in ("btree", "wiredtiger")
+    if args.block_cache_mb is not None and lsm_engine:
+        overrides.setdefault(engine, {})["block_cache_bytes"] = int(
+            args.block_cache_mb * 1024 * 1024
+        )
+    if args.compaction_workers is not None and lsm_engine:
+        overrides.setdefault(engine, {})["background_workers"] = args.compaction_workers
+    if engine == "pebblesdb":
+        overrides.setdefault(engine, {})["compaction_scheduler"] = (
+            "guard" if args.guard_parallel == "on" else "level"
+        )
     cfg = standard_config(
         num_keys=args.num,
         value_size=args.value_size,
@@ -212,6 +233,9 @@ def _run_one(engine: str, names: List[str], args) -> int:
         f"sstables {stats.sstable_count} | "
         f"sim time {run.env.now:.3f}s"
     )
+    scheduler = run.db.get_property("repro.compaction-scheduler")
+    if scheduler is not None:
+        print(f"compaction scheduler: {scheduler}")
     if stats.block_cache_hits or stats.block_cache_misses:
         print(
             f"decoded-block cache (host-side): "

@@ -10,11 +10,13 @@ the simulated substrate allows.
 import dataclasses
 import random
 
+import pytest
+
 import repro
 from repro.engines.options import StoreOptions
 
 
-def _options():
+def _options(workers=1):
     return dataclasses.replace(
         StoreOptions.pebblesdb(),
         memtable_bytes=4 * 1024,
@@ -23,13 +25,28 @@ def _options():
         top_level_bits=6,
         bit_decrement=1,
         sync_writes=True,
+        background_workers=workers,
     )
 
 
-def test_chaos_soak():
+def _soak(workers=1, policy_seed=None, value_repeat=1):
+    """The full chaos workload, parameterized by background parallelism
+    and (optionally) a seeded random dispatch policy so crashes, guard
+    maintenance, and snapshots all land while multiple guard compactions
+    are in flight."""
+
+    def _attach_policy(store):
+        if policy_seed is not None:
+            prng = random.Random(policy_seed)
+            store.set_dispatch_policy(lambda cands: prng.randrange(len(cands)))
+
     env = repro.Environment(cache_bytes=1 << 20)
-    db = repro.open_store("pebblesdb", env.storage, options=_options(), prefix="db/")
+    db = repro.open_store(
+        "pebblesdb", env.storage, options=_options(workers), prefix="db/"
+    )
+    _attach_policy(db)
     rng = random.Random(2024)
+    peak = 0
     model = {}
     keyspace = [b"key%05d" % i for i in range(500)]
     snapshots = []
@@ -38,7 +55,7 @@ def test_chaos_soak():
         roll = rng.random()
         key = rng.choice(keyspace)
         if roll < 0.45:
-            value = b"v%06d" % step
+            value = (b"v%06d" % step) * value_repeat
             db.put(key, value)
             model[key] = value
         elif roll < 0.60:
@@ -86,10 +103,13 @@ def test_chaos_soak():
             for snap, _ in snapshots:
                 db.release_snapshot(snap)
             snapshots.clear()
+            # A crash resets per-instance stats, so bank the peak first.
+            peak = max(peak, db.stats().compactions_parallel_peak)
             env.storage.crash()
             db = repro.open_store(
-                "pebblesdb", env.storage, options=_options(), prefix="db/"
+                "pebblesdb", env.storage, options=_options(workers), prefix="db/"
             )
+            _attach_policy(db)
         if step % 500 == 499:
             db.wait_idle()
             db.check_invariants()
@@ -104,3 +124,17 @@ def test_chaos_soak():
     stats = db.stats()
     assert stats.write_amplification > 1.0
     db.close()
+    return max(peak, stats.compactions_parallel_peak)
+
+
+def test_chaos_soak():
+    _soak()
+
+
+@pytest.mark.parametrize("policy_seed", [None, 17])
+def test_chaos_soak_guard_parallel(policy_seed):
+    """The same soak with four worker timelines (and, in one variant, a
+    randomized dispatch order): compactions overlap while every other
+    feature — crashes included — fires around them."""
+    peak = _soak(workers=4, policy_seed=policy_seed, value_repeat=16)
+    assert peak >= 2

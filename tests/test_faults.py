@@ -541,6 +541,116 @@ class TestBackgroundFaults:
         db2.check_invariants()
 
 
+class TestGuardParallelFaults:
+    """The background-error state machine with multiple guard compactions
+    in flight: faults land on one job's timeline while others proceed."""
+
+    def _fill_fat(self, db, n, start=0):
+        model = {}
+        for i in range(start, start + n):
+            key = b"key%04d" % ((i * 37) % 900)
+            value = (b"val%05d" % i) * 16
+            db.put(key, value)
+            model[key] = value
+        return model
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_transient_fault_with_parallel_jobs_is_retried(self, env, workers):
+        db = make_store("pebblesdb", env, background_workers=workers)
+        _attach(
+            env,
+            FaultPlan.fail_nth(20, op="append", name_pattern="db/*.sst", times=3),
+        )
+        model = self._fill_fat(db, 700)
+        db.flush_memtable()
+        db.wait_idle()
+        stats = db.stats()
+        assert stats.transient_fault_retries >= 1
+        assert not db.is_degraded
+        assert stats.background_errors == 0
+        if workers > 1:
+            # Faults on one job's timeline never serialized the others.
+            assert stats.compactions_parallel_peak >= 2
+        for key, value in list(model.items())[:60]:
+            assert db.get(key) == value
+        db.check_invariants()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_persistent_fault_degrades_and_resumes_under_parallelism(
+        self, env, workers
+    ):
+        db = make_store("pebblesdb", env, background_workers=workers)
+        model = self._fill_fat(db, 250)
+        db.wait_idle()
+        _attach(
+            env,
+            FaultPlan.fail_nth(
+                5, op="append", name_pattern="db/*.sst", kind="persistent"
+            ),
+        )
+        accepted = dict(model)
+        for i in range(8000):
+            key, value = b"pressure%05d" % i, (b"x%05d" % i) * 8
+            try:
+                db.put(key, value)
+                accepted[key] = value
+            except BackgroundError:
+                break
+        assert db.is_degraded
+        # Whatever jobs were in flight when the error stuck, the conflict
+        # map must be fully drained — nothing leaks a claim.
+        prop = db.get_property("repro.compaction-scheduler")
+        assert "inflight=0" in prop
+        for key, value in list(accepted.items())[:60]:
+            assert db.get(key) == value
+        _detach(env)
+        assert db.resume() is True
+        assert not db.is_degraded
+        db.put(b"post-resume", b"ok")
+        db.flush_memtable()
+        db.wait_idle()
+        assert db.get(b"post-resume") == b"ok"
+        db.check_invariants()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_crash_with_jobs_in_flight_recovers_acknowledged_state(
+        self, env, workers
+    ):
+        db = make_store(
+            "pebblesdb", env, background_workers=workers, sync_writes=True
+        )
+        model = self._fill_fat(db, 400)
+        # Crash mid-schedule: compactions are still pending/in flight.
+        env.storage.crash()
+        db2 = make_store(
+            "pebblesdb", env, background_workers=workers, sync_writes=True
+        )
+        assert dict(db2.scan()) == model
+        db2.check_invariants()
+
+    def test_degraded_parallel_store_survives_crash_before_resume(self, env):
+        db = make_store(
+            "pebblesdb", env, background_workers=4, sync_writes=True
+        )
+        model = self._fill_fat(db, 250)
+        _attach(
+            env,
+            FaultPlan.fail_nth(
+                0, op="append", name_pattern="db/MANIFEST-*", kind="persistent"
+            ),
+        )
+        db.flush_memtable()
+        db.wait_idle()
+        assert db.is_degraded
+        _detach(env)
+        env.storage.crash()
+        db2 = make_store(
+            "pebblesdb", env, background_workers=4, sync_writes=True
+        )
+        assert dict(db2.scan()) == model
+        db2.check_invariants()
+
+
 class TestBtreeFaults:
     def test_torn_journal_append_degrades_then_resumes(self, env):
         db = make_store("btree", env)

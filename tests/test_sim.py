@@ -178,3 +178,42 @@ class TestExecutor:
         ex = BackgroundExecutor(SimClock())
         with pytest.raises(ValueError):
             ex.submit("bad", -1.0)
+
+    def test_after_delays_start_even_with_free_worker(self):
+        clock = SimClock()
+        ex = BackgroundExecutor(clock, workers=2)
+        dep = ex.submit("dep", 2.0)
+        # Worker 2 is idle, but the job must not start before its dep ends.
+        job = ex.submit("job", 1.0, after=[dep])
+        assert job.start == pytest.approx(2.0)
+        assert job.completion == pytest.approx(3.0)
+
+    def test_after_multiple_deps_waits_for_latest(self):
+        clock = SimClock()
+        ex = BackgroundExecutor(clock, workers=4)
+        d1 = ex.submit("d1", 1.0)
+        d2 = ex.submit("d2", 3.0)
+        job = ex.submit("job", 0.5, after=[d1, d2])
+        assert job.start == pytest.approx(3.0)
+        assert job.completion == pytest.approx(3.5)
+
+    def test_after_composes_with_at(self):
+        clock = SimClock()
+        ex = BackgroundExecutor(clock, workers=2)
+        dep = ex.submit("dep", 1.0)
+        # at= later than the dep completion wins...
+        late = ex.submit("late", 1.0, at=5.0, after=[dep])
+        assert late.start == pytest.approx(5.0)
+        # ...and the dep completion wins over an earlier at=.
+        early = ex.submit("early", 1.0, at=0.25, after=[dep])
+        assert early.start == pytest.approx(1.0)
+
+    def test_after_applies_in_completion_order(self):
+        clock = SimClock()
+        ex = BackgroundExecutor(clock, workers=2)
+        order = []
+        dep = ex.submit("dep", 2.0, lambda: order.append("dep"))
+        ex.submit("fast", 0.5, lambda: order.append("fast"))
+        ex.submit("chained", 0.5, lambda: order.append("chained"), after=[dep])
+        ex.wait_all()
+        assert order == ["fast", "dep", "chained"]
