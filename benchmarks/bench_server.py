@@ -1,0 +1,226 @@
+"""Sharded serving-layer acceptance benchmark: shard-count sweep.
+
+Runs the same seeded fill + readrandom workload through the
+:mod:`repro.net` stack (loopback transport, fixed client concurrency)
+against serving processes with 1, 2, and 4 range-partitioned PebblesDB
+shards, and verifies the acceptance contract:
+
+1. **read scaling** — aggregate simulated readrandom throughput at 4
+   shards must be at least 1.5x the single-shard run at the same client
+   concurrency.  Each shard owns its own simulated device and clock, so
+   the aggregate rate is ``ops / max-over-shards(clock delta)`` — the
+   slowest shard paces the cluster, exactly how a range-partitioned
+   deployment behaves;
+2. **correctness** — every read returns the value written, no client
+   retries were needed on the clean loopback transport, and the server
+   counted zero protocol errors;
+3. **group commit** — concurrent writes must actually coalesce: the
+   4-shard run's group commits must number strictly fewer than its
+   writes;
+4. **determinism** — repeating the 4-shard run yields byte-identical
+   per-shard storage digests and identical per-shard simulated clocks.
+
+Results land in ``BENCH_server.json`` at the repo root.  ``--smoke``
+shrinks the workload for CI; any contract violation exits non-zero.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_server.py [--smoke]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.net.client import ClusterClient
+from repro.net.server import KVServer, ServerConfig
+from repro.workloads.distributions import KeyCodec, value_bytes
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+SHARD_SWEEP = (1, 2, 4)
+VALUE_SIZE = 256
+CONCURRENCY = 16
+SEED = 11
+
+
+async def _bounded(coros, concurrency: int):
+    semaphore = asyncio.Semaphore(concurrency)
+
+    async def run(coro):
+        async with semaphore:
+            return await coro
+
+    return await asyncio.gather(*(run(c) for c in coros))
+
+
+async def _run_cluster(shards: int, num_keys: int, reads: int) -> Dict[str, object]:
+    server = KVServer(
+        ServerConfig(
+            engine="pebblesdb",
+            shards=shards,
+            uniform_keys=num_keys,
+            seed=SEED,
+            cache_bytes=1 << 20,
+        )
+    )
+    client = await ClusterClient.open_loopback(server, pool_size=2)
+    codec = KeyCodec(16)
+    rng = random.Random(SEED)
+    wall0 = time.perf_counter()
+
+    fill_before = server.shard_sim_times()
+    await _bounded(
+        (
+            client.put(codec.encode(i), value_bytes(i, VALUE_SIZE))
+            for i in range(num_keys)
+        ),
+        CONCURRENCY,
+    )
+    await server.wait_idle()
+    fill_delta = max(
+        after - before
+        for after, before in zip(server.shard_sim_times(), fill_before)
+    )
+
+    read_indices = [rng.randrange(num_keys) for _ in range(reads)]
+    read_before = server.shard_sim_times()
+    values = await _bounded(
+        (client.get(codec.encode(i)) for i in read_indices), CONCURRENCY
+    )
+    read_delta = max(
+        after - before
+        for after, before in zip(server.shard_sim_times(), read_before)
+    )
+    wrong = sum(
+        1
+        for index, value in zip(read_indices, values)
+        if value != value_bytes(index, VALUE_SIZE)
+    )
+
+    totals = server.total_ops()
+    record = {
+        "shards": shards,
+        "fill_ops": num_keys,
+        "fill_sim_seconds": round(fill_delta, 6),
+        "fill_kops_per_sec": round(num_keys / fill_delta / 1000.0, 3)
+        if fill_delta
+        else 0.0,
+        "read_ops": reads,
+        "read_sim_seconds": round(read_delta, 6),
+        "read_kops_per_sec": round(reads / read_delta / 1000.0, 3)
+        if read_delta
+        else 0.0,
+        "wrong_values": wrong,
+        "client_retries": client.stats.retries,
+        "group_commits": totals["group_commits"],
+        "coalesced_writes": totals["coalesced_writes"],
+        "protocol_errors": server.protocol_errors,
+        "state_digests": server.state_digests(),
+        "shard_sim_times": [round(t, 9) for t in server.shard_sim_times()],
+        "wall_seconds": round(time.perf_counter() - wall0, 3),
+    }
+    await client.aclose()
+    await server.aclose()
+    return record
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="reduced workload for CI smoke runs"
+    )
+    parser.add_argument("--num-keys", type=int, default=None)
+    args = parser.parse_args(argv)
+    num_keys = args.num_keys or (1200 if args.smoke else 4000)
+    reads = num_keys
+
+    t0 = time.perf_counter()
+    sweep: List[Dict[str, object]] = []
+    for shards in SHARD_SWEEP:
+        record = asyncio.run(_run_cluster(shards, num_keys, reads))
+        sweep.append(record)
+        print(
+            f"shards={shards}: fill {record['fill_kops_per_sec']:>8.1f} KOps/s  "
+            f"read {record['read_kops_per_sec']:>8.1f} KOps/s  "
+            f"group-commits={record['group_commits']}  "
+            f"wall={record['wall_seconds']}s"
+        )
+
+    repeat = asyncio.run(_run_cluster(4, num_keys, reads))
+    four = next(r for r in sweep if r["shards"] == 4)
+    one = next(r for r in sweep if r["shards"] == 1)
+
+    read_speedup = (
+        four["read_kops_per_sec"] / one["read_kops_per_sec"]
+        if one["read_kops_per_sec"]
+        else 0.0
+    )
+    failures: List[str] = []
+    if read_speedup < 1.5:
+        failures.append(
+            f"read throughput at 4 shards is {read_speedup:.2f}x the 1-shard "
+            "run; the contract requires >= 1.5x"
+        )
+    for record in sweep:
+        if record["wrong_values"]:
+            failures.append(
+                f"{record['wrong_values']} wrong read values at "
+                f"{record['shards']} shards"
+            )
+        if record["protocol_errors"]:
+            failures.append(
+                f"{record['protocol_errors']} protocol errors at "
+                f"{record['shards']} shards"
+            )
+        if record["client_retries"]:
+            failures.append(
+                f"{record['client_retries']} client retries on a clean "
+                f"loopback transport at {record['shards']} shards"
+            )
+    if four["group_commits"] >= num_keys:
+        failures.append(
+            f"group commit never coalesced: {four['group_commits']} commits "
+            f"for {num_keys} writes"
+        )
+    if repeat["state_digests"] != four["state_digests"]:
+        failures.append("4-shard repeat produced different storage digests")
+    if repeat["shard_sim_times"] != four["shard_sim_times"]:
+        failures.append("4-shard repeat produced different simulated clocks")
+
+    payload = {
+        "benchmark": "sharded_serving_layer",
+        "engine": "pebblesdb",
+        "num_keys": num_keys,
+        "reads": reads,
+        "value_size": VALUE_SIZE,
+        "concurrency": CONCURRENCY,
+        "seed": SEED,
+        "sweep": sweep,
+        "repeat_4shard": repeat,
+        "read_speedup_4shard_vs_1": round(read_speedup, 3),
+        "contract": {
+            "read_speedup_min": 1.5,
+            "passed": not failures,
+            "failures": failures,
+        },
+        "total_wall_seconds": round(time.perf_counter() - t0, 3),
+    }
+    _JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nread speedup 4 shards vs 1: {read_speedup:.2f}x")
+    print(f"results written to {_JSON_PATH}")
+    if failures:
+        for failure in failures:
+            print(f"CONTRACT VIOLATION: {failure}", file=sys.stderr)
+        return 1
+    print("contract: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -256,6 +256,9 @@ class PebblesDBStore(LSMStoreBase):
             return " ".join(str(len(s)) for s in self._uncommitted)
         return None
 
+    def _extra_property_names(self) -> List[str]:
+        return ["repro.guards", "repro.empty-guards", "repro.uncommitted-guards"]
+
     def guard_counts(self) -> List[int]:
         """Committed guards per level (diagnostics, Figure 3.1/5.4)."""
         return [0] + [len(g) for g in self._guarded[1:] if g is not None]

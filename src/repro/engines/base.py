@@ -221,9 +221,19 @@ class KeyValueStore(ABC):
             return self.stats().background_error
         return None
 
+    def property_names(self) -> List[str]:
+        """Property names :meth:`get_property` understands for this engine."""
+        return ["repro.health", "repro.background-error"]
+
     # Convenience built on the primitives -------------------------------
-    def write_batch(self, ops: List[Tuple[int, bytes, bytes]]) -> None:
-        """Apply ``(kind, key, value)`` ops atomically where supported."""
+    def write_batch(
+        self, ops: List[Tuple[int, bytes, bytes]], sync: bool = False
+    ) -> None:
+        """Apply ``(kind, key, value)`` ops atomically where supported.
+
+        ``sync=True`` asks for durability before returning; engines
+        without a WAL (or whose options already force syncing) ignore it.
+        """
         for kind, key, value in ops:
             if kind == KIND_PUT:
                 self.put(key, value)
@@ -388,8 +398,10 @@ class LSMStoreBase(KeyValueStore):
         self._write([(KIND_DELETE, bytes(key), b"")])
         self._stats.deletes += 1
 
-    def write_batch(self, ops: List[Tuple[int, bytes, bytes]]) -> None:
-        self._write([(kind, bytes(k), bytes(v)) for kind, k, v in ops])
+    def write_batch(
+        self, ops: List[Tuple[int, bytes, bytes]], sync: bool = False
+    ) -> None:
+        self._write([(kind, bytes(k), bytes(v)) for kind, k, v in ops], sync=sync)
         for kind, _, _ in ops:
             if kind == KIND_PUT:
                 self._stats.puts += 1
@@ -650,6 +662,25 @@ class LSMStoreBase(KeyValueStore):
         """Hook for engine-specific properties."""
         return None
 
+    def property_names(self) -> List[str]:
+        names = [
+            "repro.stats",
+            "repro.levels",
+            "repro.sstables",
+            "repro.approximate-memory-usage",
+            "repro.block-cache",
+            "repro.health",
+            "repro.background-error",
+            "repro.compaction-scheduler",
+            "repro.num-files-at-level<N>",
+        ]
+        names.extend(self._extra_property_names())
+        return names
+
+    def _extra_property_names(self) -> List[str]:
+        """Hook for engine-specific property names."""
+        return []
+
     def _scheduler_mode(self) -> str:
         """Granularity at which this engine serializes compactions."""
         return "level"
@@ -681,7 +712,7 @@ class LSMStoreBase(KeyValueStore):
     # ==================================================================
     # Write path
     # ==================================================================
-    def _write(self, ops: List[Tuple[int, bytes, bytes]]) -> None:
+    def _write(self, ops: List[Tuple[int, bytes, bytes]], sync: bool = False) -> None:
         self._check_open()
         if not ops:
             return
@@ -700,7 +731,9 @@ class LSMStoreBase(KeyValueStore):
             assert self._wal is not None
             size_before = self.storage.size(self._wal.name)
             try:
-                self._wal.append(payload, self._wal_acct, sync=opts.sync_writes)
+                self._wal.append(
+                    payload, self._wal_acct, sync=opts.sync_writes or sync
+                )
             except StorageError:
                 # The failed append may have left a torn record; a later
                 # record appended after it would be unreachable at replay

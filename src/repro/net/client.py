@@ -1,0 +1,606 @@
+"""Cluster client: pooling, pipelining, routing, retry with dedup.
+
+:class:`ClusterClient` is the async client.  It keeps a small pool of
+connections, pipelines concurrent requests over them (responses are
+matched back by ``request_id``, so many calls can be in flight on one
+connection), routes every operation through the
+:class:`~repro.net.router.ShardRouter` learned from the server's HELLO
+response, and splits scans and write batches into per-shard pieces whose
+results are merged back transparently.
+
+Failures map onto the PR 2 fault taxonomy one layer up:
+
+* connection loss or a damaged frame → :class:`TransientNetError`; the
+  client reconnects, backs off exponentially, and retries the *same*
+  request id, which the server deduplicates so retried writes are
+  applied exactly once;
+* retries exhausted → :class:`ServerUnavailableError`;
+* a ``DEGRADED`` response → :class:`ShardDegradedError` immediately (the
+  shard is read-only until an operator resumes it; retrying cannot help).
+
+:class:`BlockingClusterClient` wraps the async client (plus an in-process
+loopback server) behind the synchronous :class:`KeyValueStore`-style
+interface the workload drivers expect, so db_bench and YCSB can run
+unchanged against a sharded cluster.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidArgumentError
+from repro.net.errors import (
+    FrameError,
+    NetError,
+    RemoteError,
+    ServerUnavailableError,
+    ShardDegradedError,
+    TransientNetError,
+)
+from repro.net.protocol import (
+    FrameDecoder,
+    Op,
+    Request,
+    Response,
+    Status,
+    decode_payload,
+    encode_frame,
+)
+from repro.net.router import BatchOp, ShardRouter
+
+#: ``connect(index) -> endpoint`` factory; index counts connections ever
+#: opened (reconnects included), so fault hooks can target specific ones.
+ConnectFn = Callable[[int], Awaitable[object]]
+
+
+@dataclass
+class ClientStats:
+    """Client-side counters (retry behaviour is observable in tests)."""
+
+    requests: int = 0
+    retries: int = 0
+    connections_opened: int = 0
+    transient_errors: int = 0
+
+
+@dataclass
+class ClusterSnapshot:
+    """A consistent read view pinned on every shard (one token each)."""
+
+    tokens: List[int]
+
+    def token_for(self, shard: int) -> int:
+        return self.tokens[shard]
+
+
+class Connection:
+    """One pipelined connection: a writer side plus a response reader task."""
+
+    def __init__(self, endpoint) -> None:
+        self._endpoint = endpoint
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._dead = False
+        self._reader = asyncio.ensure_future(self._read_loop())
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._dead
+
+    async def _read_loop(self) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await self._endpoint.read(65536)
+                if not chunk:
+                    raise TransientNetError("connection closed by peer")
+                decoder.feed(chunk)
+                while True:
+                    payload = decoder.next_frame()
+                    if payload is None:
+                        break
+                    response = decode_payload(payload)
+                    if not isinstance(response, Response):
+                        raise FrameError("server sent a request payload")
+                    future = self._pending.pop(response.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(response)
+        except asyncio.CancelledError:
+            self._fail(TransientNetError("connection closed"))
+            raise
+        except NetError as exc:
+            self._fail(exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._fail(TransientNetError(f"reader failed: {exc}"))
+
+    def _fail(self, exc: NetError) -> None:
+        """Kill the connection; every in-flight call fails (and retries)."""
+        self._dead = True
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._endpoint.close()
+
+    async def call(self, request: Request) -> Response:
+        """Send one request and await its matched response (pipelined)."""
+        if self._dead:
+            raise TransientNetError("connection is dead")
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request.request_id] = future
+        try:
+            self._endpoint.write(encode_frame(request.encode()))
+            await self._endpoint.drain()
+        except NetError as exc:
+            self._pending.pop(request.request_id, None)
+            self._fail(exc)
+            raise TransientNetError(f"send failed: {exc}") from exc
+        return await future
+
+    async def close(self) -> None:
+        self._reader.cancel()
+        await asyncio.gather(self._reader, return_exceptions=True)
+        self._endpoint.close()
+
+
+class ClusterClient:
+    """Async client for one serving process.  Build via :meth:`open`."""
+
+    def __init__(
+        self,
+        connect: ConnectFn,
+        *,
+        pool_size: int = 2,
+        max_retries: int = 4,
+        backoff_base: float = 0.01,
+        backoff_max: float = 0.5,
+        sleep: Optional[Callable[[float], Awaitable[None]]] = None,
+        endpoint_wrap: Optional[Callable[[object, int], object]] = None,
+    ) -> None:
+        if pool_size < 1:
+            raise InvalidArgumentError("pool_size must be >= 1")
+        self._connect = connect
+        self._pool_size = pool_size
+        self._max_retries = max_retries
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+        self._endpoint_wrap = endpoint_wrap
+        self._pool: List[Optional[Connection]] = [None] * pool_size
+        #: Created lazily inside the running loop (Python 3.9's Lock binds
+        #: an event loop at construction time).
+        self._slot_locks: Optional[List[asyncio.Lock]] = None
+        self._next_slot = 0
+        self._next_request_id = 1
+        self.client_id = 0
+        self.router: Optional[ShardRouter] = None
+        self.stats = ClientStats()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    async def open(cls, connect: ConnectFn, **kwargs) -> "ClusterClient":
+        """Connect, HELLO, and learn the shard map."""
+        client = cls(connect, **kwargs)
+        await client._connection(0)  # the HELLO fills in router + client_id
+        return client
+
+    @classmethod
+    async def open_loopback(cls, server, **kwargs) -> "ClusterClient":
+        """Client served in-process over deterministic loopback pipes."""
+
+        async def connect(_index: int):
+            return server.connect_loopback()
+
+        return await cls.open(connect, **kwargs)
+
+    @classmethod
+    async def open_tcp(cls, host: str, port: int, **kwargs) -> "ClusterClient":
+        """Client over real asyncio TCP streams."""
+        from repro.net.transport import StreamEndpoint
+
+        async def connect(_index: int):
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except (ConnectionError, OSError) as exc:
+                raise TransientNetError(f"connect failed: {exc}") from exc
+            return StreamEndpoint(reader, writer)
+
+        return await cls.open(connect, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Connection pool
+    # ------------------------------------------------------------------
+    async def _connection(self, slot: Optional[int] = None) -> Connection:
+        if self._closed:
+            raise TransientNetError("client is closed")
+        if slot is None:
+            slot = self._next_slot
+            self._next_slot = (self._next_slot + 1) % self._pool_size
+        conn = self._pool[slot]
+        if conn is not None and conn.is_alive:
+            return conn
+        if self._slot_locks is None:
+            self._slot_locks = [asyncio.Lock() for _ in range(self._pool_size)]
+        async with self._slot_locks[slot]:
+            # Another caller may have reconnected this slot while we
+            # waited for the lock; only one connection per slot at a time.
+            conn = self._pool[slot]
+            if conn is not None and conn.is_alive:
+                return conn
+            endpoint = await self._connect(self.stats.connections_opened)
+            if self._endpoint_wrap is not None:
+                endpoint = self._endpoint_wrap(
+                    endpoint, self.stats.connections_opened
+                )
+            self.stats.connections_opened += 1
+            conn = Connection(endpoint)
+            self._pool[slot] = conn
+            hello = Request(
+                op=Op.HELLO, request_id=self._alloc_id(), client_id=self.client_id
+            )
+            try:
+                response = await conn.call(hello)
+            except NetError:
+                self._pool[slot] = None
+                await conn.close()
+                raise
+            self.client_id = response.client_id
+            if self.router is None:
+                self.router = ShardRouter(response.boundaries)
+            return conn
+
+    def _alloc_id(self) -> int:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        return request_id
+
+    # ------------------------------------------------------------------
+    # Request execution with retry/backoff
+    # ------------------------------------------------------------------
+    async def _call(self, request: Request) -> Response:
+        """Issue ``request``, reconnecting and retrying transient failures.
+
+        The same request id is re-sent on every attempt: reads are
+        naturally idempotent and the server deduplicates writes, so a
+        request whose response was lost is never applied twice.
+        """
+        self.stats.requests += 1
+        attempt = 0
+        while True:
+            try:
+                conn = await self._connection()
+                response = await conn.call(request)
+            except (TransientNetError, FrameError) as exc:
+                self.stats.transient_errors += 1
+                if attempt >= self._max_retries:
+                    raise ServerUnavailableError(
+                        f"request {request.request_id} failed after "
+                        f"{attempt + 1} attempts: {exc}"
+                    ) from exc
+                self.stats.retries += 1
+                await self._sleep(
+                    min(self._backoff_base * (2 ** attempt), self._backoff_max)
+                )
+                attempt += 1
+                continue
+            return self._check(response)
+
+    @staticmethod
+    def _check(response: Response) -> Response:
+        status = response.status
+        if status in (Status.OK, Status.NOT_FOUND):
+            return response
+        name = Status.NAMES.get(status, str(status))
+        if status == Status.DEGRADED:
+            raise ShardDegradedError(
+                f"shard degraded: {response.message}", status
+            )
+        raise RemoteError(f"{name}: {response.message}", status)
+
+    def _router(self) -> ShardRouter:
+        assert self.router is not None, "client not opened"
+        return self.router
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    async def get(
+        self, key: bytes, snapshot: Optional[ClusterSnapshot] = None
+    ) -> Optional[bytes]:
+        shard = self._router().shard_for(key)
+        response = await self._call(
+            Request(
+                op=Op.GET,
+                request_id=self._alloc_id(),
+                shard=shard,
+                key=key,
+                snapshot=snapshot.token_for(shard) if snapshot else None,
+            )
+        )
+        return response.value if response.found else None
+
+    async def put(self, key: bytes, value: bytes) -> bool:
+        """Returns False when the server skipped a retried duplicate."""
+        response = await self._call(
+            Request(
+                op=Op.PUT,
+                request_id=self._alloc_id(),
+                shard=self._router().shard_for(key),
+                key=key,
+                value=value,
+            )
+        )
+        return response.applied
+
+    async def delete(self, key: bytes) -> bool:
+        response = await self._call(
+            Request(
+                op=Op.DELETE,
+                request_id=self._alloc_id(),
+                shard=self._router().shard_for(key),
+                key=key,
+            )
+        )
+        return response.applied
+
+    async def write_batch(self, ops: Sequence[BatchOp]) -> None:
+        """Apply a batch, split per shard.
+
+        Each per-shard piece is atomic and deduplicated under its own
+        request id; atomicity across shards is *not* provided (the pieces
+        commit independently), matching every range-sharded store.
+        """
+        pieces = self._router().split_batch(ops)
+        calls = [
+            self._call(
+                Request(
+                    op=Op.BATCH,
+                    request_id=self._alloc_id(),
+                    shard=shard,
+                    ops=shard_ops,
+                )
+            )
+            for shard, shard_ops in sorted(pieces.items())
+        ]
+        await asyncio.gather(*calls)
+
+    async def scan(
+        self,
+        lo: bytes = b"\x00",
+        hi: Optional[bytes] = None,
+        limit: int = 0,
+        snapshot: Optional[ClusterSnapshot] = None,
+    ) -> List[Tuple[bytes, bytes]]:
+        """All pairs in ``[lo, hi)`` across shards, globally sorted.
+
+        Sub-scans run concurrently (pipelined over the pool); shard
+        ranges are ordered and internally sorted, so concatenation in
+        shard order is the complete merge.
+        """
+        pieces = self._router().split_range(lo if lo else b"\x00", hi)
+        calls = [
+            self._call(
+                Request(
+                    op=Op.SCAN,
+                    request_id=self._alloc_id(),
+                    shard=shard,
+                    lo=sub_lo,
+                    hi=sub_hi,
+                    limit=limit,
+                    snapshot=snapshot.token_for(shard) if snapshot else None,
+                )
+            )
+            for shard, sub_lo, sub_hi in pieces
+        ]
+        results: List[Tuple[bytes, bytes]] = []
+        for response in await asyncio.gather(*calls):
+            results.extend(response.pairs)
+            if limit and len(results) >= limit:
+                break
+        return results[:limit] if limit else results
+
+    async def snapshot(self) -> ClusterSnapshot:
+        """Pin a read view on every shard.
+
+        The tokens are pinned shard by shard, not atomically across
+        shards: like the cross-shard batch, per-shard consistency is
+        exact while cross-shard consistency is best-effort.
+        """
+        tokens: List[int] = []
+        for shard in range(self._router().num_shards):
+            response = await self._call(
+                Request(op=Op.SNAPSHOT, request_id=self._alloc_id(), shard=shard)
+            )
+            tokens.append(response.snapshot)
+        return ClusterSnapshot(tokens)
+
+    async def release(self, snapshot: ClusterSnapshot) -> None:
+        for shard, token in enumerate(snapshot.tokens):
+            await self._call(
+                Request(
+                    op=Op.RELEASE,
+                    request_id=self._alloc_id(),
+                    shard=shard,
+                    snapshot=token,
+                )
+            )
+
+    async def get_property(self, name: str, shard: int = 0) -> Optional[str]:
+        response = await self._call(
+            Request(
+                op=Op.PROPERTY, request_id=self._alloc_id(), shard=shard, name=name
+            )
+        )
+        return response.value.decode("utf-8") if response.found else None
+
+    async def properties(self, name: str) -> List[Optional[str]]:
+        """The property from every shard (index = shard)."""
+        return list(
+            await asyncio.gather(
+                *(
+                    self.get_property(name, shard)
+                    for shard in range(self._router().num_shards)
+                )
+            )
+        )
+
+    async def aclose(self) -> None:
+        self._closed = True
+        for conn in self._pool:
+            if conn is not None:
+                await conn.close()
+        self._pool = [None] * self._pool_size
+
+
+# ----------------------------------------------------------------------
+# Synchronous facade
+# ----------------------------------------------------------------------
+class _ClientIterator:
+    """DBIterator-shaped pager over :meth:`BlockingClusterClient.scan`."""
+
+    PAGE = 128
+
+    def __init__(self, client: "BlockingClusterClient", start: bytes) -> None:
+        self._client = client
+        self._page: List[Tuple[bytes, bytes]] = []
+        self._index = 0
+        self._exhausted = False
+        self._fetch(start)
+
+    def _fetch(self, lo: bytes) -> None:
+        self._page = self._client.scan(lo, limit=self.PAGE)
+        self._index = 0
+        if len(self._page) < self.PAGE:
+            self._exhausted = True
+
+    @property
+    def valid(self) -> bool:
+        return self._index < len(self._page)
+
+    def key(self) -> bytes:
+        return self._page[self._index][0]
+
+    def value(self) -> bytes:
+        return self._page[self._index][1]
+
+    def next(self) -> bool:
+        last_key = self.key()
+        self._index += 1
+        if self._index >= len(self._page) and not self._exhausted:
+            # The next page starts just above the last key we returned.
+            self._fetch(last_key + b"\x00")
+        return self.valid
+
+    def close(self) -> None:
+        self._page = []
+        self._index = 0
+
+    def __enter__(self) -> "_ClientIterator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _ClusterClockView:
+    """Duck-types ``storage.clock`` for drivers timing a whole cluster."""
+
+    def __init__(self, server) -> None:
+        self._server = server
+
+    @property
+    def now(self) -> float:
+        return self._server.sim_now()
+
+
+class _ClusterStorageView:
+    """Duck-types the ``storage`` argument the workload runners take."""
+
+    def __init__(self, server) -> None:
+        self.clock = _ClusterClockView(server)
+
+
+class BlockingClusterClient:
+    """Synchronous KeyValueStore-style facade over a loopback cluster.
+
+    Owns a private event loop, an in-process :class:`KVServer`, and an
+    async :class:`ClusterClient`, and exposes put/get/delete/seek/
+    write_batch/stats so db_bench and YCSB drive a sharded cluster
+    through the same interface as a local store.
+    """
+
+    def __init__(self, server, **client_kwargs) -> None:
+        self.server = server
+        self._loop = asyncio.new_event_loop()
+        self.client: ClusterClient = self._run(
+            ClusterClient.open_loopback(server, **client_kwargs)
+        )
+        self.storage = _ClusterStorageView(server)
+
+    def _run(self, coro):
+        return self._loop.run_until_complete(coro)
+
+    # -- KeyValueStore-shaped surface -----------------------------------
+    def put(self, key: bytes, value: bytes) -> None:
+        self._run(self.client.put(key, value))
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._run(self.client.get(key))
+
+    def delete(self, key: bytes) -> None:
+        self._run(self.client.delete(key))
+
+    def write_batch(self, ops: Sequence[BatchOp], sync: bool = False) -> None:
+        self._run(self.client.write_batch(ops))
+
+    def scan(
+        self, lo: bytes = b"\x00", hi: Optional[bytes] = None, limit: int = 0
+    ) -> List[Tuple[bytes, bytes]]:
+        return self._run(self.client.scan(lo, hi, limit))
+
+    def seek(self, key: bytes) -> _ClientIterator:
+        return _ClientIterator(self, key)
+
+    def range_query(self, lo: bytes, hi: bytes, limit: Optional[int] = None):
+        # Engine range_query is hi-inclusive; the wire scan is exclusive,
+        # so stretch hi by the smallest possible suffix.
+        return self.scan(lo, hi + b"\x00", limit or 0)
+
+    def get_property(self, name: str, shard: int = 0) -> Optional[str]:
+        return self._run(self.client.get_property(name, shard))
+
+    def stats(self):
+        """Aggregate engine stats across all shards (sums counters)."""
+        from repro.engines.base import StoreStats
+
+        total = StoreStats()
+        for shard in self.server.shards:
+            s = shard.db.stats()
+            for name, value in vars(s).items():
+                if isinstance(value, bool):
+                    setattr(total, name, getattr(total, name) or value)
+                elif isinstance(value, (int, float)):
+                    setattr(total, name, getattr(total, name, 0) + value)
+        return total
+
+    def flush_memtable(self) -> None:
+        for shard in self.server.shards:
+            shard.db.flush_memtable()
+
+    def compact_all(self) -> None:
+        for shard in self.server.shards:
+            shard.db.compact_all()
+
+    def wait_idle(self) -> None:
+        self._run(self.server.wait_idle())
+
+    def close(self) -> None:
+        try:
+            self._run(self.client.aclose())
+            self._run(self.server.aclose())
+        finally:
+            self._loop.close()

@@ -1,0 +1,62 @@
+"""Network error taxonomy, mirroring the PR 2 storage-fault taxonomy.
+
+The storage layer distinguishes *transient* faults (retry with backoff)
+from *persistent* ones (degrade gracefully); the serving layer maps the
+failures a networked client sees onto the same two buckets:
+
+* :class:`TransientNetError` — the connection died or a frame was
+  damaged in flight.  Like :class:`repro.errors.TransientIOError`, the
+  right response is to reconnect and retry; write retries are safe
+  because the server deduplicates them by ``(client_id, request_id)``.
+* :class:`ServerUnavailableError` — retries exhausted or the server
+  refused the connection; the network-side analogue of
+  :class:`repro.errors.PersistentIOError`.
+* :class:`ShardDegradedError` — the *server* reported that the shard's
+  background-error state machine tripped (sticky
+  :class:`repro.errors.BackgroundError`): the shard still serves reads
+  but rejects writes until an operator resumes it.  Retrying does not
+  help, so the client surfaces it immediately.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class NetError(ReproError):
+    """Base class for every serving-layer error."""
+
+
+class FrameError(NetError):
+    """A wire frame failed its CRC, length, or format checks.
+
+    After a framing error the byte stream cannot be trusted (the reader
+    may be mid-frame), so both sides drop the connection; the client then
+    treats the call like any transient connection loss.
+    """
+
+
+class TransientNetError(NetError):
+    """The connection failed mid-call; reconnecting and retrying may work."""
+
+
+class ServerUnavailableError(NetError):
+    """Retries exhausted or connection refused: the server is unreachable."""
+
+
+class RemoteError(NetError):
+    """The server answered with an error status.
+
+    ``status`` is the :class:`repro.net.protocol.Status` byte the server
+    sent; ``retryable`` says whether the client's retry loop may re-issue
+    the request.
+    """
+
+    def __init__(self, message: str, status: int, retryable: bool = False) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retryable = retryable
+
+
+class ShardDegradedError(RemoteError):
+    """The target shard is in degraded read-only mode (writes rejected)."""

@@ -1,0 +1,391 @@
+"""Binary wire protocol: framing, op codes, request/response payloads.
+
+A *frame* is ``[length u32 LE][masked crc32c u32 LE][payload]``.  The CRC
+covers the payload and is masked with the same scheme the WAL and sstable
+blocks use (:mod:`repro.util.crc`), so a frame that happens to contain a
+frame header never re-checksums to itself.  :class:`FrameDecoder`
+re-assembles frames from an arbitrary byte stream and raises
+:class:`~repro.net.errors.FrameError` on damage — after which the stream
+is unusable (the reader may be mid-frame) and the connection must drop.
+
+A *payload* is ``[op u8][request_id varint64][...]``.  Requests carry a
+``shard`` varint and an op-specific body; responses carry a status byte
+and a body.  All byte strings are varint32-length-prefixed, reusing
+:mod:`repro.util.varint` — exactly the sstable block encoding, one layer
+up the stack.
+
+Op codes::
+
+    HELLO      client introduces itself; reply carries the shard map
+    GET        point lookup (optionally through a snapshot token)
+    PUT        single write
+    DELETE     single delete
+    BATCH      atomic write batch (per shard)
+    SCAN       bounded range scan (optionally through a snapshot token)
+    SNAPSHOT   pin a consistent read view on one shard; reply: token
+    RELEASE    unpin a snapshot token
+    PROPERTY   read a ``repro.*`` textual property
+
+Statuses: ``OK``/``NOT_FOUND`` are success shapes; ``DEGRADED`` maps the
+shard's sticky :class:`repro.errors.BackgroundError` onto the wire (reads
+keep working, writes are rejected until the shard is resumed);
+``BAD_REQUEST``/``BAD_SHARD``/``UNSUPPORTED``/``SERVER_ERROR`` are
+client- or server-side failures that retrying will not fix.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.net.errors import FrameError
+from repro.util.crc import crc32c, mask_crc, unmask_crc
+from repro.util.varint import (
+    decode_varint32,
+    decode_varint64,
+    encode_varint32,
+    encode_varint64,
+)
+
+#: Hard cap on one frame's payload; anything larger is a framing error.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_HEADER = struct.Struct("<II")  # payload length, masked crc32c
+
+
+# ----------------------------------------------------------------------
+# Op codes and statuses
+# ----------------------------------------------------------------------
+class Op:
+    """Request op codes (one byte on the wire)."""
+
+    HELLO = 1
+    GET = 2
+    PUT = 3
+    DELETE = 4
+    BATCH = 5
+    SCAN = 6
+    SNAPSHOT = 7
+    RELEASE = 8
+    PROPERTY = 9
+    #: Marks a payload as a response to the request id it echoes.
+    RESPONSE = 0x80
+
+
+#: Ops whose effects mutate the store (deduplicated on retry).
+WRITE_OPS = (Op.PUT, Op.DELETE, Op.BATCH)
+
+_OPS = (
+    Op.HELLO,
+    Op.GET,
+    Op.PUT,
+    Op.DELETE,
+    Op.BATCH,
+    Op.SCAN,
+    Op.SNAPSHOT,
+    Op.RELEASE,
+    Op.PROPERTY,
+)
+
+
+class Status:
+    """Response status codes (one byte on the wire)."""
+
+    OK = 0
+    NOT_FOUND = 1
+    #: The shard is in degraded read-only mode (sticky background error).
+    DEGRADED = 2
+    BAD_REQUEST = 3
+    BAD_SHARD = 4
+    UNSUPPORTED = 5
+    SERVER_ERROR = 6
+
+    NAMES = {
+        0: "OK",
+        1: "NOT_FOUND",
+        2: "DEGRADED",
+        3: "BAD_REQUEST",
+        4: "BAD_SHARD",
+        5: "UNSUPPORTED",
+        6: "SERVER_ERROR",
+    }
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a length + CRC header."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame payload too large: {len(payload)} bytes")
+    return _HEADER.pack(len(payload), mask_crc(crc32c(payload))) + payload
+
+
+class FrameDecoder:
+    """Incremental frame re-assembly from a byte stream.
+
+    Feed arbitrary chunks with :meth:`feed`; :meth:`next_frame` returns
+    one payload at a time (None while incomplete).  Raises
+    :class:`FrameError` on an oversized length or a CRC mismatch, after
+    which the decoder refuses further use — the stream cannot be resynced.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._poisoned = False
+
+    def feed(self, data: bytes) -> None:
+        if self._poisoned:
+            raise FrameError("decoder poisoned by an earlier framing error")
+        self._buf += data
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buf)
+
+    def next_frame(self) -> Optional[bytes]:
+        """One complete payload, or None until more bytes arrive."""
+        if self._poisoned:
+            raise FrameError("decoder poisoned by an earlier framing error")
+        if len(self._buf) < _HEADER.size:
+            return None
+        length, masked = _HEADER.unpack_from(self._buf)
+        if length > MAX_FRAME_BYTES:
+            self._poisoned = True
+            raise FrameError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+        end = _HEADER.size + length
+        if len(self._buf) < end:
+            return None
+        payload = bytes(self._buf[_HEADER.size : end])
+        del self._buf[:end]
+        if crc32c(payload) != unmask_crc(masked):
+            self._poisoned = True
+            raise FrameError("frame CRC mismatch")
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Byte-string helpers (varint32 length prefix)
+# ----------------------------------------------------------------------
+def _put_bytes(buf: bytearray, data: bytes) -> None:
+    buf += encode_varint32(len(data))
+    buf += data
+
+
+def _get_bytes(data: bytes, offset: int) -> Tuple[bytes, int]:
+    length, offset = decode_varint32(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise FrameError("truncated byte string in payload")
+    return data[offset:end], end
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+#: One write-batch op: (kind, key, value) with the WAL's KIND_* codes.
+BatchOp = Tuple[int, bytes, bytes]
+
+_FLAG_SNAPSHOT = 0x01
+_FLAG_HAS_HI = 0x02
+
+
+@dataclass
+class Request:
+    """One decoded request; unused fields stay at their defaults."""
+
+    op: int
+    request_id: int = 0
+    shard: int = 0
+    key: bytes = b""
+    value: bytes = b""
+    ops: List[BatchOp] = field(default_factory=list)
+    lo: bytes = b""
+    hi: Optional[bytes] = None
+    limit: int = 0
+    snapshot: Optional[int] = None
+    name: str = ""
+    client_id: int = 0
+
+    def encode(self) -> bytes:
+        """Serialize to a frame payload (without the frame header)."""
+        buf = bytearray([self.op])
+        buf += encode_varint64(self.request_id)
+        buf += encode_varint32(self.shard)
+        op = self.op
+        if op == Op.HELLO:
+            buf += encode_varint64(self.client_id)
+        elif op == Op.GET:
+            flags = _FLAG_SNAPSHOT if self.snapshot is not None else 0
+            buf.append(flags)
+            _put_bytes(buf, self.key)
+            if self.snapshot is not None:
+                buf += encode_varint64(self.snapshot)
+        elif op == Op.PUT:
+            _put_bytes(buf, self.key)
+            _put_bytes(buf, self.value)
+        elif op == Op.DELETE:
+            _put_bytes(buf, self.key)
+        elif op == Op.BATCH:
+            buf += encode_varint32(len(self.ops))
+            for kind, key, value in self.ops:
+                buf.append(kind)
+                _put_bytes(buf, key)
+                _put_bytes(buf, value)
+        elif op == Op.SCAN:
+            flags = 0
+            if self.snapshot is not None:
+                flags |= _FLAG_SNAPSHOT
+            if self.hi is not None:
+                flags |= _FLAG_HAS_HI
+            buf.append(flags)
+            _put_bytes(buf, self.lo)
+            if self.hi is not None:
+                _put_bytes(buf, self.hi)
+            buf += encode_varint32(self.limit)
+            if self.snapshot is not None:
+                buf += encode_varint64(self.snapshot)
+        elif op == Op.SNAPSHOT:
+            pass
+        elif op == Op.RELEASE:
+            buf += encode_varint64(self.snapshot if self.snapshot is not None else 0)
+        elif op == Op.PROPERTY:
+            _put_bytes(buf, self.name.encode("utf-8"))
+        else:
+            raise FrameError(f"cannot encode unknown op {op}")
+        return bytes(buf)
+
+
+@dataclass
+class Response:
+    """One decoded response; body fields depend on the request's op."""
+
+    request_id: int = 0
+    status: int = Status.OK
+    #: GET: the value; PROPERTY: the property text (utf-8).
+    value: bytes = b""
+    #: GET / PROPERTY: whether the key / property exists.
+    found: bool = False
+    #: Writes: False when the server recognised a retried duplicate and
+    #: skipped re-applying it.
+    applied: bool = True
+    #: SCAN: the pairs.
+    pairs: List[Tuple[bytes, bytes]] = field(default_factory=list)
+    #: SNAPSHOT: the token.
+    snapshot: int = 0
+    #: Error statuses: human-readable message.
+    message: str = ""
+    #: HELLO: assigned client id, shard count, and router boundaries.
+    client_id: int = 0
+    shard_count: int = 0
+    boundaries: List[bytes] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        buf = bytearray([Op.RESPONSE])
+        buf += encode_varint64(self.request_id)
+        buf.append(self.status)
+        if self.status not in (Status.OK, Status.NOT_FOUND):
+            _put_bytes(buf, self.message.encode("utf-8"))
+            return bytes(buf)
+        flags = (0x01 if self.found else 0) | (0x02 if self.applied else 0)
+        buf.append(flags)
+        _put_bytes(buf, self.value)
+        buf += encode_varint32(len(self.pairs))
+        for key, value in self.pairs:
+            _put_bytes(buf, key)
+            _put_bytes(buf, value)
+        buf += encode_varint64(self.snapshot)
+        buf += encode_varint64(self.client_id)
+        buf += encode_varint32(self.shard_count)
+        buf += encode_varint32(len(self.boundaries))
+        for boundary in self.boundaries:
+            _put_bytes(buf, boundary)
+        return bytes(buf)
+
+
+def decode_payload(payload: bytes) -> Union[Request, Response]:
+    """Parse one frame payload into a :class:`Request` or :class:`Response`."""
+    if not payload:
+        raise FrameError("empty payload")
+    op = payload[0]
+    try:
+        request_id, offset = decode_varint64(payload, 1)
+        if op == Op.RESPONSE:
+            return _decode_response(payload, request_id, offset)
+        if op not in _OPS:
+            raise FrameError(f"unknown op code {op}")
+        return _decode_request(op, payload, request_id, offset)
+    except FrameError:
+        raise
+    except Exception as exc:  # truncated varints etc. → framing error
+        raise FrameError(f"malformed payload: {exc}") from exc
+
+
+def _decode_request(op: int, data: bytes, request_id: int, offset: int) -> Request:
+    shard, offset = decode_varint32(data, offset)
+    req = Request(op=op, request_id=request_id, shard=shard)
+    if op == Op.HELLO:
+        req.client_id, offset = decode_varint64(data, offset)
+    elif op == Op.GET:
+        flags = data[offset]
+        offset += 1
+        req.key, offset = _get_bytes(data, offset)
+        if flags & _FLAG_SNAPSHOT:
+            req.snapshot, offset = decode_varint64(data, offset)
+    elif op == Op.PUT:
+        req.key, offset = _get_bytes(data, offset)
+        req.value, offset = _get_bytes(data, offset)
+    elif op == Op.DELETE:
+        req.key, offset = _get_bytes(data, offset)
+    elif op == Op.BATCH:
+        count, offset = decode_varint32(data, offset)
+        for _ in range(count):
+            kind = data[offset]
+            offset += 1
+            key, offset = _get_bytes(data, offset)
+            value, offset = _get_bytes(data, offset)
+            req.ops.append((kind, key, value))
+    elif op == Op.SCAN:
+        flags = data[offset]
+        offset += 1
+        req.lo, offset = _get_bytes(data, offset)
+        if flags & _FLAG_HAS_HI:
+            req.hi, offset = _get_bytes(data, offset)
+        req.limit, offset = decode_varint32(data, offset)
+        if flags & _FLAG_SNAPSHOT:
+            req.snapshot, offset = decode_varint64(data, offset)
+    elif op == Op.RELEASE:
+        req.snapshot, offset = decode_varint64(data, offset)
+    elif op == Op.PROPERTY:
+        name, offset = _get_bytes(data, offset)
+        req.name = name.decode("utf-8")
+    return req
+
+
+def _decode_response(data: bytes, request_id: int, offset: int) -> Response:
+    status = data[offset]
+    offset += 1
+    resp = Response(request_id=request_id, status=status)
+    if status not in (Status.OK, Status.NOT_FOUND):
+        message, offset = _get_bytes(data, offset)
+        resp.message = message.decode("utf-8", errors="replace")
+        return resp
+    flags = data[offset]
+    offset += 1
+    resp.found = bool(flags & 0x01)
+    resp.applied = bool(flags & 0x02)
+    resp.value, offset = _get_bytes(data, offset)
+    count, offset = decode_varint32(data, offset)
+    for _ in range(count):
+        key, offset = _get_bytes(data, offset)
+        value, offset = _get_bytes(data, offset)
+        resp.pairs.append((key, value))
+    resp.snapshot, offset = decode_varint64(data, offset)
+    resp.client_id, offset = decode_varint64(data, offset)
+    resp.shard_count, offset = decode_varint32(data, offset)
+    count, offset = decode_varint32(data, offset)
+    for _ in range(count):
+        boundary, offset = _get_bytes(data, offset)
+        resp.boundaries.append(boundary)
+    return resp

@@ -1,0 +1,230 @@
+"""Byte transports: deterministic loopback pipes and an asyncio TCP shim.
+
+Everything above this module talks to a duck-typed *endpoint*::
+
+    await endpoint.read(n)   # up to n bytes; b"" once the peer closed
+    endpoint.write(data)     # buffer outgoing bytes (one frame per call)
+    await endpoint.drain()   # backpressure point
+    endpoint.close()         # drop the connection
+
+:func:`loopback_pair` builds two in-memory endpoints joined back to back.
+They use only asyncio futures on one event loop — no sockets, no timers —
+so a client+server conversation over loopback is fully deterministic:
+the same seed and the same call sequence schedule the same task
+interleaving every run, which is what lets the net tests assert
+byte-identical shard states.
+
+:class:`StreamEndpoint` adapts an asyncio ``(StreamReader, StreamWriter)``
+pair to the same interface for the real TCP path.
+
+:class:`FaultyEndpoint` + :class:`ConnectionFaultPlan` inject the network
+analogues of the PR 2 storage faults, deterministically by frame count:
+a *cut* (connection dies: the peer sees EOF, the writer sees a transient
+error) and a *corrupt* (one payload byte flipped in flight, caught by the
+frame CRC on the receiving side).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.net.errors import TransientNetError
+
+
+class _PipeBuffer:
+    """One direction of a loopback pipe: FIFO chunks plus an EOF marker."""
+
+    def __init__(self) -> None:
+        self._chunks: Deque[bytes] = deque()
+        self._eof = False
+        self._waiter: Optional[asyncio.Future] = None
+
+    def feed(self, data: bytes) -> None:
+        if data and not self._eof:
+            self._chunks.append(data)
+            self._wake()
+
+    def feed_eof(self) -> None:
+        self._eof = True
+        self._wake()
+
+    def _wake(self) -> None:
+        waiter = self._waiter
+        if waiter is not None and not waiter.done():
+            waiter.set_result(None)
+
+    async def read(self, n: int) -> bytes:
+        while not self._chunks:
+            if self._eof:
+                return b""
+            self._waiter = asyncio.get_running_loop().create_future()
+            try:
+                await self._waiter
+            finally:
+                self._waiter = None
+        chunk = self._chunks.popleft()
+        if len(chunk) > n:
+            self._chunks.appendleft(chunk[n:])
+            chunk = chunk[:n]
+        return chunk
+
+
+class LoopbackEndpoint:
+    """One end of an in-memory duplex pipe."""
+
+    def __init__(self, rx: _PipeBuffer, tx: _PipeBuffer) -> None:
+        self._rx = rx
+        self._tx = tx
+        self._closed = False
+
+    async def read(self, n: int = 65536) -> bytes:
+        return await self._rx.read(n)
+
+    def write(self, data: bytes) -> None:
+        if self._closed:
+            raise TransientNetError("connection is closed")
+        self._tx.feed(data)
+
+    async def drain(self) -> None:
+        # In-memory pipes have unbounded buffers; yield once so readers
+        # scheduled by the write run before the writer continues.
+        await asyncio.sleep(0)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._tx.feed_eof()
+            self._rx.feed_eof()
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    async def wait_closed(self) -> None:
+        return None
+
+
+def loopback_pair() -> Tuple[LoopbackEndpoint, LoopbackEndpoint]:
+    """Two endpoints joined back to back (client side, server side)."""
+    a_to_b = _PipeBuffer()
+    b_to_a = _PipeBuffer()
+    return (
+        LoopbackEndpoint(rx=b_to_a, tx=a_to_b),
+        LoopbackEndpoint(rx=a_to_b, tx=b_to_a),
+    )
+
+
+class StreamEndpoint:
+    """Adapts an asyncio StreamReader/StreamWriter pair (the TCP path)."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    async def read(self, n: int = 65536) -> bytes:
+        try:
+            return await self._reader.read(n)
+        except (ConnectionError, OSError):
+            return b""
+
+    def write(self, data: bytes) -> None:
+        try:
+            self._writer.write(data)
+        except (ConnectionError, OSError) as exc:
+            raise TransientNetError(f"write failed: {exc}") from exc
+
+    async def drain(self) -> None:
+        try:
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            raise TransientNetError(f"drain failed: {exc}") from exc
+
+    def close(self) -> None:
+        try:
+            self._writer.close()
+        except (ConnectionError, OSError):  # pragma: no cover - defensive
+            pass
+
+    @property
+    def is_closed(self) -> bool:
+        return self._writer.is_closing()
+
+    async def wait_closed(self) -> None:
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - defensive
+            pass
+
+
+# ----------------------------------------------------------------------
+# Deterministic connection-fault injection
+# ----------------------------------------------------------------------
+@dataclass
+class ConnectionFaultPlan:
+    """When this connection misbehaves, counted in outgoing frames.
+
+    The client writes exactly one frame per ``write`` call, so frame
+    indices are deterministic.  ``cut_after_frames=k`` kills the
+    connection immediately after the k-th outgoing frame (0-based: after
+    frame k has been sent); ``corrupt_frames`` lists outgoing frame
+    indices whose payload gets one byte XOR-flipped, which the receiver's
+    frame CRC catches and converts into a dropped connection.
+    """
+
+    cut_after_frames: Optional[int] = None
+    corrupt_frames: List[int] = field(default_factory=list)
+
+
+class FaultyEndpoint:
+    """Wraps an endpoint and injects the plan's connection faults."""
+
+    def __init__(self, inner, plan: ConnectionFaultPlan) -> None:
+        self._inner = inner
+        self._plan = plan
+        self._frames_written = 0
+        self._cut = False
+
+    # -- write side (where faults land) --------------------------------
+    def write(self, data: bytes) -> None:
+        if self._cut:
+            raise TransientNetError("connection reset (injected)")
+        index = self._frames_written
+        self._frames_written += 1
+        if index in self._plan.corrupt_frames and len(data) > 8:
+            # Flip one payload byte; the 8-byte frame header survives so
+            # the receiver sees a well-formed length and a CRC mismatch.
+            damaged = bytearray(data)
+            damaged[8] ^= 0xFF
+            data = bytes(damaged)
+        self._inner.write(data)
+        if (
+            self._plan.cut_after_frames is not None
+            and index >= self._plan.cut_after_frames
+        ):
+            self._cut = True
+            self._inner.close()
+
+    async def read(self, n: int = 65536) -> bytes:
+        if self._cut:
+            return b""
+        return await self._inner.read(n)
+
+    async def drain(self) -> None:
+        if self._cut:
+            raise TransientNetError("connection reset (injected)")
+        await self._inner.drain()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    @property
+    def is_closed(self) -> bool:
+        return self._cut or self._inner.is_closed
+
+    async def wait_closed(self) -> None:
+        await self._inner.wait_closed()

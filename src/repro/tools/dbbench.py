@@ -13,8 +13,9 @@ device IO) and a final stats block.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.engines.registry import ENGINES
 from repro.errors import ReproError
@@ -106,6 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="fillrandom,readrandom,seekrandom",
         help="comma-separated list from: " + ",".join(BENCHMARKS),
     )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write per-phase results (throughput, IO, latency "
+        "percentiles) as JSON",
+    )
     return parser
 
 
@@ -140,16 +148,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ValueError as exc:
             print(f"bad --fault-plan: {exc}", file=sys.stderr)
             return 2
-    if len(engines) > 1:
-        rc = 0
-        for engine in engines:
+    reports: List[Dict[str, object]] = []
+    rc = 0
+    for engine in engines:
+        if len(engines) > 1:
             print(f"\n===== {engine} =====")
-            rc |= _run_one(engine, names, args)
-        return rc
-    return _run_one(engines[0], names, args)
+        rc |= _run_one(engine, names, args, reports)
+    if args.json is not None:
+        payload = {
+            "tool": "repro-dbbench",
+            "num_keys": args.num,
+            "value_size": args.value_size,
+            "threads": args.threads,
+            "seed": args.seed,
+            "device": args.device,
+            "benchmarks": names,
+            "fault_plan": args.fault_plan,
+            "engines": reports,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"json results written to {args.json}")
+    return rc
 
 
-def _run_one(engine: str, names: List[str], args) -> int:
+def _run_one(
+    engine: str,
+    names: List[str],
+    args,
+    reports: Optional[List[Dict[str, object]]] = None,
+) -> int:
     overrides = {}
     lsm_engine = engine not in ("btree", "wiredtiger")
     if args.block_cache_mb is not None and lsm_engine:
@@ -257,6 +286,24 @@ def _run_one(engine: str, names: List[str], args) -> int:
         )
         if stats.degraded:
             print(f"background error: {run.db.get_property('repro.background-error')}")
+    if reports is not None:
+        summary = {
+            "engine": engine,
+            "phases": [result.to_dict() for result in results],
+            "write_amplification": round(stats.write_amplification, 4),
+            "device_bytes_written": stats.device_bytes_written,
+            "device_bytes_read": stats.device_bytes_read,
+            "stall_seconds": round(stats.stall_seconds, 6),
+            "sstable_count": stats.sstable_count,
+            "sim_seconds": round(run.env.now, 6),
+        }
+        if scheduler is not None:
+            summary["compaction_scheduler"] = scheduler
+        if faults is not None:
+            summary["faults_injected"] = faults.stats.faults_injected
+            summary["background_errors"] = stats.background_errors
+            summary["degraded"] = stats.degraded
+        reports.append(summary)
     run.db.close()
     return 0
 

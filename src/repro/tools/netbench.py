@@ -1,0 +1,230 @@
+"""``repro-netbench`` — drive a serving cluster with fill + read load.
+
+Three ways to reach a server::
+
+    # in-process over deterministic loopback pipes (default)
+    python -m repro.tools.netbench --engine pebblesdb --shards 2 --num 2000
+
+    # in-process over real TCP sockets (the CI smoke path: one command,
+    # no port races — the server binds port 0 inside this process)
+    python -m repro.tools.netbench --serve tcp --shards 2 --num 2000
+
+    # against an external repro-server
+    python -m repro.tools.netbench --connect 127.0.0.1:7380 --num 2000
+
+Runs a fill phase (``--num`` puts) and a readrandom phase (``--reads``
+gets, values verified against what was written) at ``--concurrency``
+in-flight requests, then prints per-phase throughput and a summary.
+Exits non-zero when any read returned a wrong value, any client-side
+error surfaced, or (for in-process servers) the server counted protocol
+errors — the CI job asserts exactly this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from typing import List, Optional
+
+from repro.engines.registry import ENGINES
+from repro.net.client import ClusterClient
+from repro.net.errors import NetError
+from repro.net.server import KVServer, ServerConfig
+from repro.workloads.distributions import KeyCodec, value_bytes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-netbench",
+        description="Benchmark a repro serving cluster over the wire protocol.",
+    )
+    parser.add_argument("--engine", default="pebblesdb", choices=ENGINES)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument(
+        "--serve",
+        choices=("loopback", "tcp"),
+        default="loopback",
+        help="start an in-process server on this transport",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="connect to an external server instead of serving in-process",
+    )
+    parser.add_argument("--num", type=int, default=2000, help="keys to fill")
+    parser.add_argument("--reads", type=int, default=None, help="gets (default: num)")
+    parser.add_argument("--value-size", type=int, default=100)
+    parser.add_argument("--concurrency", type=int, default=16)
+    parser.add_argument("--pool-size", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", default=None, metavar="PATH", help="write results JSON")
+    return parser
+
+
+async def _bounded(coros, concurrency: int) -> List[object]:
+    """Run coroutines with at most ``concurrency`` in flight, in order."""
+    semaphore = asyncio.Semaphore(concurrency)
+
+    async def run(coro):
+        async with semaphore:
+            return await coro
+
+    return await asyncio.gather(*(run(c) for c in coros))
+
+
+async def run_phases(client: ClusterClient, args) -> dict:
+    codec = KeyCodec(16)
+    reads = args.reads if args.reads is not None else args.num
+    rng = random.Random(args.seed)
+    wrong = 0
+
+    start = time.perf_counter()
+    await _bounded(
+        (
+            client.put(codec.encode(i), value_bytes(i, args.value_size))
+            for i in range(args.num)
+        ),
+        args.concurrency,
+    )
+    fill_wall = time.perf_counter() - start
+
+    read_indices = [rng.randrange(args.num) for _ in range(reads)]
+    start = time.perf_counter()
+    values = await _bounded(
+        (client.get(codec.encode(i)) for i in read_indices), args.concurrency
+    )
+    read_wall = time.perf_counter() - start
+    for index, value in zip(read_indices, values):
+        if value != value_bytes(index, args.value_size):
+            wrong += 1
+
+    return {
+        "fill_ops": args.num,
+        "fill_wall_seconds": fill_wall,
+        "fill_kops_per_sec": args.num / fill_wall / 1000 if fill_wall else 0.0,
+        "read_ops": reads,
+        "read_wall_seconds": read_wall,
+        "read_kops_per_sec": reads / read_wall / 1000 if read_wall else 0.0,
+        "wrong_values": wrong,
+        "client_requests": client.stats.requests,
+        "client_retries": client.stats.retries,
+        "client_transient_errors": client.stats.transient_errors,
+    }
+
+
+async def _run(args) -> int:
+    server: Optional[KVServer] = None
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        client = await ClusterClient.open_tcp(
+            host, int(port), pool_size=args.pool_size
+        )
+    else:
+        server = KVServer(
+            ServerConfig(
+                engine=args.engine,
+                shards=args.shards,
+                uniform_keys=max(args.num, 1),
+                seed=args.seed,
+            )
+        )
+        if args.serve == "tcp":
+            await server.serve_tcp("127.0.0.1", 0)
+            host, port = server.tcp_address
+            client = await ClusterClient.open_tcp(host, port, pool_size=args.pool_size)
+        else:
+            client = await ClusterClient.open_loopback(server, pool_size=args.pool_size)
+
+    shard_count = client.router.num_shards if client.router else 1
+    print(
+        f"netbench: transport={'external' if args.connect else args.serve} "
+        f"shards={shard_count} num={args.num} "
+        f"value={args.value_size}B concurrency={args.concurrency}"
+    )
+    try:
+        result = await run_phases(client, args)
+    except NetError as exc:
+        print(f"netbench FAILED: {exc}", file=sys.stderr)
+        await client.aclose()
+        if server is not None:
+            await server.aclose()
+        return 1
+
+    result["transport"] = "external" if args.connect else args.serve
+    result["shards"] = shard_count
+    result["engine"] = args.engine
+
+    if server is not None:
+        totals = server.total_ops()
+        result["server_ops"] = totals
+        result["server_protocol_errors"] = server.protocol_errors
+        result["server_sim_seconds"] = server.sim_now()
+
+    print(
+        f"fill      {result['fill_ops']:>8} ops  "
+        f"{result['fill_kops_per_sec']:8.1f} Kops/s (wall)"
+    )
+    print(
+        f"readrandom{result['read_ops']:>8} ops  "
+        f"{result['read_kops_per_sec']:8.1f} Kops/s (wall)"
+    )
+    print(
+        f"client: requests={result['client_requests']} "
+        f"retries={result['client_retries']} "
+        f"transient-errors={result['client_transient_errors']} "
+        f"wrong-values={result['wrong_values']}"
+    )
+
+    failures = []
+    if result["wrong_values"]:
+        failures.append(f"{result['wrong_values']} wrong read values")
+    if server is not None:
+        totals = result["server_ops"]
+        print(
+            f"server: puts={totals['puts']} gets={totals['gets']} "
+            f"group-commits={totals['group_commits']} "
+            f"duplicates-skipped={totals['duplicate_writes']} "
+            f"protocol-errors={result['server_protocol_errors']}"
+        )
+        if result["server_protocol_errors"]:
+            failures.append(
+                f"{result['server_protocol_errors']} server protocol errors"
+            )
+        if totals["puts"] + totals["batches"] < args.num:
+            failures.append(
+                f"server applied {totals['puts']} puts, expected >= {args.num}"
+            )
+        if totals["gets"] < result["read_ops"]:
+            failures.append(
+                f"server served {totals['gets']} gets, expected >= {result['read_ops']}"
+            )
+
+    await client.aclose()
+    if server is not None:
+        await server.aclose()
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+        print(f"results written to {args.json}")
+
+    if failures:
+        for failure in failures:
+            print(f"netbench FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("netbench OK")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return asyncio.run(_run(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""``repro-server`` — serve sharded stores over TCP.
+
+Starts one serving process hosting ``--shards`` range-partitioned engine
+instances and speaks the :mod:`repro.net.protocol` wire format::
+
+    python -m repro.tools.server --engine pebblesdb --shards 4 --port 7380
+
+Clients connect with :meth:`repro.net.ClusterClient.open_tcp` (or the
+``repro-netbench`` CLI) and learn the shard map from the HELLO response.
+Boundaries default to uniform quantiles over db_bench-style ``user...``
+keys; pass explicit ``--boundary`` keys (repeatable) for other key
+spaces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional
+
+from repro.engines.registry import ENGINES
+from repro.net.server import KVServer, ServerConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-server",
+        description="Serve range-sharded simulated stores over TCP.",
+    )
+    parser.add_argument("--engine", default="pebblesdb", choices=ENGINES)
+    parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7380, help="0 picks a free port")
+    parser.add_argument(
+        "--boundary",
+        action="append",
+        default=None,
+        metavar="KEY",
+        help="explicit shard boundary key (repeat shards-1 times; "
+        "default: uniform quantiles over --uniform-keys user... keys)",
+    )
+    parser.add_argument(
+        "--uniform-keys",
+        type=int,
+        default=100_000,
+        help="key-space size used to derive default boundaries",
+    )
+    parser.add_argument("--cache-mb", type=float, default=8.0, help="per-shard page cache")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-group-commit",
+        action="store_true",
+        help="commit every write individually (disable coalescing)",
+    )
+    parser.add_argument(
+        "--async-commits",
+        action="store_true",
+        help="acknowledge writes without waiting for the WAL sync",
+    )
+    return parser
+
+
+def config_from_args(args) -> ServerConfig:
+    boundaries = None
+    if args.boundary:
+        boundaries = [b.encode("utf-8") for b in args.boundary]
+    return ServerConfig(
+        engine=args.engine,
+        shards=args.shards,
+        boundaries=boundaries,
+        uniform_keys=args.uniform_keys,
+        seed=args.seed,
+        cache_bytes=int(args.cache_mb * 1024 * 1024),
+        group_commit=not args.no_group_commit,
+        sync_commits=not args.async_commits,
+    )
+
+
+async def _serve(args) -> int:
+    server = KVServer(config_from_args(args))
+    tcp = await server.serve_tcp(args.host, args.port)
+    host, port = server.tcp_address
+    bounds = ", ".join(b.decode("utf-8", "replace") for b in server.router.boundaries)
+    print(
+        f"repro-server: engine={args.engine} shards={args.shards} "
+        f"listening on {host}:{port}"
+    )
+    if bounds:
+        print(f"shard boundaries: {bounds}")
+    sys.stdout.flush()
+    try:
+        async with tcp:
+            await tcp.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.aclose()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        print("repro-server: shutting down")
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

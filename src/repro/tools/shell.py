@@ -33,6 +33,7 @@ commands:
   scan [start] [limit]   list pairs from start (default 20 rows)
   range <lo> <hi>        inclusive range query
   stats                  operational counters (IO, amplification, stalls)
+  property [<name>]      read a store property; no argument lists names
   layout                 on-storage layout (levels/guards)
   compact                run compaction to a steady state
   flush                  flush the memtable
@@ -120,6 +121,30 @@ class StoreShell:
                 f"sstables={stats.sstable_count} stalls={stats.stall_seconds:.3f}s "
                 f"sim-time={self.env.now:.3f}s"
             )
+            health = self.db.get_property("repro.health")
+            if health is not None:
+                self._print(f"health={health}")
+            if stats.degraded:
+                self._print(
+                    f"background error: "
+                    f"{self.db.get_property('repro.background-error')}"
+                )
+            scheduler = self.db.get_property("repro.compaction-scheduler")
+            if scheduler is not None:
+                self._print(f"compaction scheduler: {scheduler}")
+            if stats.block_cache_hits or stats.block_cache_misses:
+                self._print(
+                    f"block cache: {stats.block_cache_hit_rate * 100:.1f}% hits "
+                    f"({stats.block_cache_hits} hit / "
+                    f"{stats.block_cache_misses} miss)"
+                )
+        elif cmd == "property":
+            if not args:
+                for name in self.db.property_names():
+                    self._print(name)
+            else:
+                value = self.db.get_property(args[0])
+                self._print(value if value is not None else "(no such property)")
         elif cmd == "layout":
             layout = getattr(self.db, "layout", None)
             self._print(layout() if layout else "(engine has no layout view)")

@@ -66,9 +66,35 @@ class BenchResult:
         if self.latencies:
             text += (
                 f"  p50 {self.percentile(0.5) * 1e6:>7.1f}us"
+                f"  p95 {self.percentile(0.95) * 1e6:>7.1f}us"
                 f"  p99 {self.percentile(0.99) * 1e6:>8.1f}us"
             )
         return text
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (percentiles included, raw samples dropped)."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "ops": self.ops,
+            "elapsed_seconds": self.elapsed_seconds,
+            "kops_per_sec": round(self.kops, 3),
+            "device_bytes_written": self.device_bytes_written,
+            "device_bytes_read": self.device_bytes_read,
+            "user_bytes_written": self.user_bytes_written,
+            "write_amplification": round(self.write_amplification, 4),
+            "stall_seconds": self.stall_seconds,
+        }
+        if self.latencies:
+            out["latency_us"] = {
+                "p50": round(self.percentile(0.5) * 1e6, 3),
+                "p95": round(self.percentile(0.95) * 1e6, 3),
+                "p99": round(self.percentile(0.99) * 1e6, 3),
+                "max": round(max(self.latencies) * 1e6, 3),
+                "samples": len(self.latencies),
+            }
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
 
 
 class DBBench:
@@ -135,10 +161,16 @@ class DBBench:
     def fill_seq(self, count: Optional[int] = None) -> BenchResult:
         """Insert keys in ascending order (paper: LSM's best case)."""
         n = count if count is not None else self.num_keys
+        clock = self.storage.clock
+        latencies: List[float] = []
         before = self._snapshot()
         for i in range(n):
+            t0 = clock.now
             self.db.put(self.codec.encode(i), self._value(i))
-        return self._result("fillseq", n, before)
+            latencies.append(clock.now - t0)
+        result = self._result("fillseq", n, before)
+        result.latencies = latencies
+        return result
 
     def fill_random(self, count: Optional[int] = None) -> BenchResult:
         """Insert keys in random order (the paper's headline workload)."""
@@ -161,20 +193,32 @@ class DBBench:
         n = count if count is not None else self.num_keys
         self._value_version += 1
         rng = random.Random(self.seed + self._value_version)
+        clock = self.storage.clock
+        latencies: List[float] = []
         before = self._snapshot()
         for _ in range(n):
             i = rng.randrange(self.num_keys)
+            t0 = clock.now
             self.db.put(self.codec.encode(i), self._value(i))
-        return self._result("overwrite", n, before)
+            latencies.append(clock.now - t0)
+        result = self._result("overwrite", n, before)
+        result.latencies = latencies
+        return result
 
     def delete_random(self, count: Optional[int] = None) -> BenchResult:
         n = count if count is not None else self.num_keys
         order = list(range(self.num_keys))
         random.Random(self.seed + 77).shuffle(order)
+        clock = self.storage.clock
+        latencies: List[float] = []
         before = self._snapshot()
         for i in order[:n]:
+            t0 = clock.now
             self.db.delete(self.codec.encode(i))
-        return self._result("deleterandom", n, before)
+            latencies.append(clock.now - t0)
+        result = self._result("deleterandom", n, before)
+        result.latencies = latencies
+        return result
 
     def fill_sync(self, count: Optional[int] = None) -> BenchResult:
         """Random inserts with a synchronous WAL (db_bench's fillsync)."""
@@ -187,10 +231,16 @@ class DBBench:
         try:
             order = list(range(n))
             random.Random(self.seed + 5).shuffle(order)
+            clock = self.storage.clock
+            latencies: List[float] = []
             before = self._snapshot()
             for i in order:
+                t0 = clock.now
                 self.db.put(self.codec.encode(i), self._value(i))
-            return self._result("fillsync", n, before)
+                latencies.append(clock.now - t0)
+            result = self._result("fillsync", n, before)
+            result.latencies = latencies
+            return result
         finally:
             opts.sync_writes = previous
 
@@ -218,34 +268,53 @@ class DBBench:
         """Point-lookups of keys that are never present (bloom showcase)."""
         rng = random.Random(self.seed + 6)
         missing_codec = KeyCodec(self.codec.width, prefix=b"none")
+        clock = self.storage.clock
+        latencies: List[float] = []
         before = self._snapshot()
         found = 0
         for _ in range(count):
-            if self.db.get(missing_codec.encode(rng.randrange(self.num_keys))) is not None:
+            key = missing_codec.encode(rng.randrange(self.num_keys))
+            t0 = clock.now
+            if self.db.get(key) is not None:
                 found += 1
+            latencies.append(clock.now - t0)
         result = self._result("readmissing", count, before)
         result.extra["found_fraction"] = found / count if count else 0.0
+        result.latencies = latencies
         return result
 
     def read_hot(self, count: int, hot_fraction: float = 0.01) -> BenchResult:
         """Reads confined to a small hot set (cache-friendly)."""
         rng = random.Random(self.seed + 7)
         hot = max(1, int(self.num_keys * hot_fraction))
+        clock = self.storage.clock
+        latencies: List[float] = []
         before = self._snapshot()
         for _ in range(count):
-            self.db.get(self.codec.encode(rng.randrange(hot)))
-        return self._result("readhot", count, before)
+            key = self.codec.encode(rng.randrange(hot))
+            t0 = clock.now
+            self.db.get(key)
+            latencies.append(clock.now - t0)
+        result = self._result("readhot", count, before)
+        result.latencies = latencies
+        return result
 
     def read_seq(self, count: int) -> BenchResult:
         """One long sequential scan of ``count`` entries (readseq)."""
+        clock = self.storage.clock
+        latencies: List[float] = []
         before = self._snapshot()
         it = self.db.seek(self.codec.encode(0))
         scanned = 0
         while it.valid and scanned < count:
+            t0 = clock.now
             it.next()
+            latencies.append(clock.now - t0)
             scanned += 1
         it.close()
-        return self._result("readseq", scanned, before)
+        result = self._result("readseq", scanned, before)
+        result.latencies = latencies
+        return result
 
     def seek_random(self, count: int, nexts: int = 0) -> BenchResult:
         """Position an iterator at random keys; ``nexts`` next() calls each."""
@@ -277,12 +346,34 @@ class DBBench:
         ops: List[int] = [0] * reads + [1] * writes
         rng.shuffle(ops)
         self._value_version += 1
+        clock = self.storage.clock
+        latencies: List[float] = []
+        read_lat: List[float] = []
+        write_lat: List[float] = []
         before = self._snapshot()
         for op in ops:
             i = rng.randrange(self.num_keys)
             key = self.codec.encode(i)
+            t0 = clock.now
             if op:
                 self.db.put(key, self._value(i))
             else:
                 self.db.get(key)
-        return self._result("mixed", reads + writes, before)
+            elapsed = clock.now - t0
+            latencies.append(elapsed)
+            (write_lat if op else read_lat).append(elapsed)
+        result = self._result("mixed", reads + writes, before)
+        result.latencies = latencies
+        # Per-op-type percentiles: the combined sample hides that writes
+        # stall behind compaction while reads do not.
+        for label, samples in (("read", read_lat), ("write", write_lat)):
+            if samples:
+                ordered = sorted(samples)
+
+                def pick(q: float) -> float:
+                    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+                result.extra[f"{label}_p50_us"] = round(pick(0.5) * 1e6, 3)
+                result.extra[f"{label}_p95_us"] = round(pick(0.95) * 1e6, 3)
+                result.extra[f"{label}_p99_us"] = round(pick(0.99) * 1e6, 3)
+        return result

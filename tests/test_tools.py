@@ -114,6 +114,24 @@ class TestShell:
         out = self.run_shell(["put", "get onlykey stillalive extra", "put a 1", "get a"])
         assert "1" in out
 
+    def test_stats_reports_health(self):
+        out = self.run_shell(["put k v", "stats"])
+        assert "health=ok" in out
+        assert "compaction scheduler:" in out
+
+    def test_property_lists_names(self):
+        out = self.run_shell(["property"])
+        assert "repro.health" in out
+        assert "repro.guards" in out  # pebblesdb-specific extension
+
+    def test_property_reads_value(self):
+        out = self.run_shell(["put k v", "property repro.health"])
+        assert "ok" in out
+
+    def test_property_unknown_name(self):
+        out = self.run_shell(["property repro.no-such-thing"])
+        assert "(no such property)" in out
+
 
 def _tiny(preset, **kw):
     base = StoreOptions.for_preset(preset)
@@ -305,3 +323,46 @@ class TestDbBenchMultiEngine:
 
     def test_unknown_engine_rejected(self, capsys):
         assert dbbench_main(["--engine", "cassandra"]) == 2
+
+
+class TestDbBenchJson:
+    def test_json_has_latency_percentiles(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "bench.json"
+        rc = dbbench_main(
+            ["--num", "500", "--value-size", "64",
+             "--benchmarks", "fillrandom,readrandom,mixed",
+             "--json", str(path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Percentiles appear in the printed rows too.
+        assert "p50" in out and "p99" in out
+        payload = json.loads(path.read_text())
+        (engine,) = payload["engines"]
+        assert engine["engine"] == "pebblesdb"
+        by_name = {p["name"]: p for p in engine["phases"]}
+        for phase in ("fillrandom", "readrandom"):
+            lat = by_name[phase]["latency_us"]
+            assert lat["samples"] > 0
+            assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+        # The mixed phase also splits read/write percentiles out.
+        assert "read_p50_us" in by_name["mixed"]["extra"]
+        assert "write_p99_us" in by_name["mixed"]["extra"]
+        assert engine["write_amplification"] > 0
+
+    def test_json_multi_engine(self, tmp_path):
+        import json
+
+        path = tmp_path / "bench.json"
+        rc = dbbench_main(
+            ["--engine", "pebblesdb,hyperleveldb", "--num", "300",
+             "--value-size", "64", "--benchmarks", "fillrandom",
+             "--json", str(path)]
+        )
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert [e["engine"] for e in payload["engines"]] == [
+            "pebblesdb", "hyperleveldb"
+        ]
