@@ -1,0 +1,119 @@
+"""Observability overhead benchmark: tracing on vs tracing off.
+
+The tracing subsystem promises two things at once:
+
+1. **Zero perturbation** — instrumentation reads the simulated clock but
+   never advances it, so every simulated quantity (device seconds, IO
+   bytes/ops, stall totals) is byte-identical whether tracing is on or
+   off.  This is asserted, not just recorded.
+2. **Bounded host cost** — spans are real Python work (dict building,
+   JSON encoding, sink writes), so the *wall-clock* cost of a traced run
+   is the number under test.  The benchmark runs the same fill + read
+   workload twice and records the trace-on / trace-off wall-clock ratio,
+   plus spans written and trace bytes per operation.
+
+Results land in ``BENCH_obs.json`` at the repo root (and in
+pytest-benchmark's ``extra_info``).  Scale with ``OBS_KEYS`` /
+``OBS_GETS`` env vars; CI uses a reduced op count.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.harness import fresh_run, standard_config
+from repro.obs.trace import TraceSink
+from _helpers import run_once
+
+NUM_KEYS = int(os.environ.get("OBS_KEYS", "12000"))
+GETS = int(os.environ.get("OBS_GETS", "40000"))
+VALUE_SIZE = 512
+
+#: Tracing every put/get/flush/compaction costs real host work.  The bar
+#: is generous on purpose — the contract is "usable when on, free when
+#: off" — but catches pathological regressions (e.g. spans allocated on
+#: untraced runs, or O(n) sink flushes).
+OVERHEAD_CEILING = 5.0
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def _measure(traced: bool):
+    """One fill+read run; returns (wall, sim_metrics, spans, trace_bytes)."""
+    cfg = standard_config(num_keys=NUM_KEYS, value_size=VALUE_SIZE, seed=3)
+    run = fresh_run("pebblesdb", cfg)
+    buffer = io.StringIO()
+    sink = None
+    if traced:
+        sink = TraceSink(buffer)
+        run.db.enable_tracing(sink)
+    t0 = time.perf_counter()
+    run.bench.fill_random()
+    run.bench.read_random(GETS)
+    run.db.wait_idle()
+    wall = time.perf_counter() - t0
+    storage = run.env.storage
+    stats = run.db.stats()
+    sim = {
+        "sim_seconds": run.env.clock.now,
+        "bytes_read": storage.stats.bytes_read,
+        "bytes_written": storage.stats.bytes_written,
+        "read_ops": storage.stats.read_ops,
+        "write_ops": storage.stats.write_ops,
+        "stall_seconds": round(stats.stall_seconds, 9),
+        "write_amplification": round(stats.write_amplification, 6),
+        "sstable_count": stats.sstable_count,
+    }
+    run.db.close()
+    if sink is not None:
+        sink.close()
+    return wall, sim, (sink.spans_written if sink else 0), len(buffer.getvalue())
+
+
+def test_tracing_overhead(benchmark):
+    def experiment():
+        wall_off, sim_off, _, _ = _measure(traced=False)
+        wall_on, sim_on, spans, trace_bytes = _measure(traced=True)
+        ops = NUM_KEYS + GETS
+        return {
+            "engine": "pebblesdb",
+            "num_keys": NUM_KEYS,
+            "gets": GETS,
+            "value_size": VALUE_SIZE,
+            "wall_seconds_trace_off": round(wall_off, 3),
+            "wall_seconds_trace_on": round(wall_on, 3),
+            "overhead_ratio": round(wall_on / wall_off, 3),
+            "spans_written": spans,
+            "trace_bytes": trace_bytes,
+            "trace_bytes_per_op": round(trace_bytes / ops, 1),
+            "sim_metrics_identical": sim_off == sim_on,
+            "sim_metrics": sim_on,
+        }
+
+    result = run_once(benchmark, experiment)
+    _JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(
+        f"\ntracing overhead ({NUM_KEYS} puts + {GETS} gets): "
+        f"off={result['wall_seconds_trace_off']:.2f}s "
+        f"on={result['wall_seconds_trace_on']:.2f}s "
+        f"ratio={result['overhead_ratio']:.2f}x "
+        f"({result['spans_written']} spans, "
+        f"{result['trace_bytes_per_op']:.0f} trace bytes/op)"
+    )
+    print(f"simulated metrics identical: {result['sim_metrics_identical']}")
+    print(f"recorded to {_JSON_PATH.name}")
+
+    assert result["sim_metrics_identical"], (
+        "tracing changed a simulated metric — instrumentation must "
+        "observe the simulation, never advance it"
+    )
+    assert result["spans_written"] > 0, "traced run produced no spans"
+    assert result["overhead_ratio"] <= OVERHEAD_CEILING, (
+        f"trace-on/off wall-clock ratio {result['overhead_ratio']:.2f}x "
+        f"above the {OVERHEAD_CEILING}x ceiling"
+    )

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import chain
-from typing import Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.guards import Guard, GuardedLevel, GuardPicker
 from repro.engines.base import Entry, LSMStoreBase
@@ -42,6 +42,13 @@ from repro.util.keys import InternalKey, KIND_DELETE, KIND_PUT, MAX_SEQUENCE
 from repro.version import VersionEdit
 from repro.version.files import FileMetadata
 from repro.version.manifest import GUARD_KEY, GUARD_NONE, GUARD_SENTINEL
+
+
+def _key_label(key: Optional[bytes]) -> str:
+    """Readable, deterministic span-attribute form of a guard key."""
+    if key is None:
+        return "<sentinel>"
+    return key.decode("ascii", "backslashreplace")
 
 
 class _SwitchAccount:
@@ -274,42 +281,94 @@ class PebblesDBStore(LSMStoreBase):
     # Reads (paper sections 3.4 and 4.3)
     # ==================================================================
     def _get_from_tables(self, key: bytes, snapshot: int, account: IoAccount) -> GetResult:
-        # Level 0 first; files may overlap arbitrarily, newest sequence wins.
-        best0: Optional[GetResult] = None
-        for meta in self._level0:
-            if not meta.overlaps(key, key):
-                continue
-            reader = self._get_reader(meta.number, account)
-            if not reader.may_contain(key, account):
-                continue
-            result = reader.get(key, snapshot, account)
-            if result.found and (best0 is None or result.sequence > best0.sequence):
-                best0 = result
-        if best0 is not None:
-            return best0
-        # Guarded levels: one guard per level, every sstable in the guard.
-        for guarded in self._guarded[1:]:
-            assert guarded is not None
-            if not len(guarded) and not guarded.sentinel.files:
-                continue
-            account.charge(
-                self.cpu.charge("level_binary_search", self.cpu.level_binary_search)
-            )
-            guard = guarded.find_guard(key)
-            best: Optional[GetResult] = None
-            best_seq = -1
-            for meta in reversed(guard.files):
+        # One body for both the traced and untraced paths (an extra call
+        # per get is measurable); the try/finally is free when nothing
+        # raises.
+        trc = self.tracer
+        span = trc.span("table.search") if trc is not None else None
+        try:
+            # Level 0 first; files may overlap arbitrarily, newest
+            # sequence wins.
+            probed = 0
+            bloom_skipped = 0
+            best0: Optional[GetResult] = None
+            level_probed = level_skipped = 0
+            for meta in self._level0:
                 if not meta.overlaps(key, key):
                     continue
                 reader = self._get_reader(meta.number, account)
                 if not reader.may_contain(key, account):
+                    level_skipped += 1
                     continue
+                level_probed += 1
                 result = reader.get(key, snapshot, account)
-                if result.found and result.sequence > best_seq:
-                    best, best_seq = result, result.sequence
-            if best is not None:
-                return best
-        return GetResult(False, False, None)
+                if result.found and (best0 is None or result.sequence > best0.sequence):
+                    best0 = result
+            if level_skipped:
+                self._probe_bloom[0] += level_skipped
+                bloom_skipped += level_skipped
+            if level_probed:
+                self._probe_files[0] += level_probed
+                probed += level_probed
+            if best0 is not None:
+                if span is not None:
+                    span.set(
+                        level=0,
+                        files_probed=probed,
+                        bloom_skipped=bloom_skipped,
+                        found=True,
+                    )
+                return best0
+            # Guarded levels: one guard per level, every sstable in the guard.
+            for level, guarded in enumerate(self._guarded[1:], start=1):
+                assert guarded is not None
+                if not len(guarded) and not guarded.sentinel.files:
+                    continue
+                account.charge(
+                    self.cpu.charge("level_binary_search", self.cpu.level_binary_search)
+                )
+                guard = guarded.find_guard(key)
+                best: Optional[GetResult] = None
+                best_seq = -1
+                level_probed = level_skipped = 0
+                for meta in reversed(guard.files):
+                    if not meta.overlaps(key, key):
+                        continue
+                    reader = self._get_reader(meta.number, account)
+                    if not reader.may_contain(key, account):
+                        level_skipped += 1
+                        continue
+                    level_probed += 1
+                    result = reader.get(key, snapshot, account)
+                    if result.found and result.sequence > best_seq:
+                        best, best_seq = result, result.sequence
+                if level_skipped:
+                    self._probe_bloom[level] += level_skipped
+                    bloom_skipped += level_skipped
+                if level_probed:
+                    self._probe_files[level] += level_probed
+                    probed += level_probed
+                if best is not None:
+                    if span is not None:
+                        span.set(
+                            level=level,
+                            guard=_key_label(guard.key),
+                            guard_files=len(guard.files),
+                            files_probed=probed,
+                            bloom_skipped=bloom_skipped,
+                            found=True,
+                        )
+                    return best
+            if span is not None:
+                span.set(files_probed=probed, bloom_skipped=bloom_skipped, found=False)
+            return GetResult(False, False, None)
+        except BaseException as exc:
+            if span is not None:
+                span.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            if span is not None:
+                span.end()
 
     # ------------------------------------------------------------------
     def _table_iterators(
@@ -1213,6 +1272,9 @@ class PebblesDBStore(LSMStoreBase):
                 edit.add_file(level, meta, GUARD_KEY, guard_key)
         edit.next_file_number = self._next_file_number
         bytes_written = sum(m.file_size for _, _, m in placements)
+        trc = self.tracer
+        parent = trc.current() if trc is not None else None
+        job_ref: List = []
 
         def apply() -> None:
             # MANIFEST first: whether the edit became durable decides
@@ -1236,9 +1298,36 @@ class PebblesDBStore(LSMStoreBase):
             self._release_claims(claim_token)
             self._stats.compactions += 1
             self._stats.compaction_bytes_written += bytes_written
+            if trc is not None and job_ref:
+                job = job_ref[0]
+                span = trc.start_span(
+                    "compaction.guard",
+                    kind="background",
+                    parent=parent,
+                    start=job.start,
+                    level=source_level,
+                    guard_lo=_key_label(
+                        min(f.smallest.user_key for f in consumed)
+                        if consumed
+                        else None
+                    ),
+                    guard_hi=_key_label(
+                        max(f.largest.user_key for f in consumed)
+                        if consumed
+                        else None
+                    ),
+                    files_in=len(consumed),
+                    files_out=len(placements),
+                    bytes_in=sum(f.file_size for f in consumed),
+                    bytes_out=bytes_written,
+                    new_guards=len(new_keys),
+                    conflict_wait=job.queue_wait,
+                )
+                span.end(at=job.completion)
             self._schedule_compactions()
 
-        self.executor.submit("compaction", acct.seconds, apply)
+        self._compaction_seconds.record(acct.seconds)
+        job_ref.append(self.executor.submit("compaction", acct.seconds, apply))
 
     def _add_guard_live(self, level: int, key: bytes) -> None:
         guarded = self._guarded[level]

@@ -15,8 +15,10 @@ from abc import ABC, abstractmethod
 from bisect import bisect_left, insort
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.trace import Tracer, TraceSink
 from repro.errors import (
     BackgroundError,
     CorruptionError,
@@ -90,7 +92,10 @@ class StoreStats:
     compaction_conflicts: int = 0
     conflict_stall_seconds: float = 0.0
     compactions_parallel_peak: int = 0
-    extra: Dict[str, float] = field(default_factory=dict)
+    #: Engine- or harness-specific scalar extras.  Values are numeric
+    #: only (int or float); anything richer belongs in the registry as a
+    #: typed metric, not in this bag.
+    extra: Dict[str, Union[int, float]] = field(default_factory=dict)
 
     @property
     def block_cache_hit_rate(self) -> float:
@@ -102,6 +107,78 @@ class StoreStats:
         if self.user_bytes_written == 0:
             return 0.0
         return self.device_bytes_written / self.user_bytes_written
+
+
+#: StoreStats attribute -> registry metric name, for the counters engines
+#: mutate directly on the hot path.
+_STAT_COUNTERS = {
+    "puts": "op.puts",
+    "gets": "op.gets",
+    "deletes": "op.deletes",
+    "seeks": "op.seeks",
+    "next_calls": "op.next_calls",
+    "user_bytes_written": "write.user_bytes",
+    "stall_seconds": "stall.seconds",
+    "flushes": "flush.count",
+    "compactions": "compaction.count",
+    "compaction_bytes_written": "compaction.bytes_written",
+    "transient_fault_retries": "fault.transient_retries",
+    "background_errors": "fault.background_errors",
+    "resumes": "fault.resumes",
+    "compaction_conflicts": "compaction.conflicts",
+    "conflict_stall_seconds": "compaction.conflict_stall_seconds",
+}
+_STAT_GAUGES = {
+    "compactions_parallel_peak": "compaction.parallel_peak",
+}
+
+
+class StatsCounters:
+    """Mutable stat attributes backed by a :class:`MetricsRegistry`.
+
+    Engines keep writing ``self._stats.puts += 1`` exactly as they did on
+    the old mutable :class:`StoreStats` bag, but every attribute is now a
+    registry metric, making the registry the single source of truth.
+    :meth:`fill` assembles the public :class:`StoreStats` *view* from it.
+    """
+
+    __slots__ = ("registry", "_m")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._m: Dict[str, object] = {}
+        for attr, name in _STAT_COUNTERS.items():
+            self._m[attr] = registry.counter(name)
+        for attr, name in _STAT_GAUGES.items():
+            self._m[attr] = registry.gauge(name)
+
+    def fill(self, stats: "StoreStats") -> None:
+        for attr, metric in self._m.items():
+            setattr(stats, attr, metric.value)
+
+    def bind(self, attr: str):
+        """The raw metric behind one attribute.
+
+        Per-operation paths bump counters through this instead of the
+        property façade (two dict hops per ``+= 1`` add up at a million
+        gets).
+        """
+        return self._m[attr]
+
+
+def _stat_property(attr: str) -> property:
+    def fget(self):
+        return self._m[attr].value
+
+    def fset(self, value):
+        self._m[attr].value = value
+
+    return property(fget, fset)
+
+
+for _attr in (*_STAT_COUNTERS, *_STAT_GAUGES):
+    setattr(StatsCounters, _attr, _stat_property(_attr))
+del _attr
 
 
 class Snapshot:
@@ -197,6 +274,15 @@ class KeyValueStore(ABC):
 
     # Optional lifecycle hooks (engines without background work inherit
     # these no-ops, keeping the harness engine-agnostic) -----------------
+    @property
+    def is_degraded(self) -> bool:
+        """True while a sticky background error blocks writes.
+
+        Cheap enough for per-request checks; ``stats()`` builds a full
+        snapshot and refreshes registry gauges, which is not.
+        """
+        return False
+
     def wait_idle(self) -> None:
         """Let background work finish; no-op for synchronous engines."""
 
@@ -212,18 +298,23 @@ class KeyValueStore(ABC):
     def get_property(self, name: str) -> Optional[str]:
         """Textual store properties, LevelDB-style; None when unknown.
 
-        Every engine understands ``repro.health`` (``ok``/``degraded``)
-        and ``repro.background-error``; LSM engines add more.
+        Every engine understands ``repro.health`` (first token
+        ``ok``/``degraded``, followed by scheduler counters),
+        ``repro.background-error``, and ``repro.metrics`` (the text
+        exposition of the metrics registry); LSM engines add more.
         """
         if name == "repro.health":
-            return "degraded" if self.stats().degraded else "ok"
+            return _health_line(self.stats())
         if name == "repro.background-error":
             return self.stats().background_error
+        if name == "repro.metrics":
+            registry = getattr(self, "registry", None)
+            return registry.to_text() if registry is not None else ""
         return None
 
     def property_names(self) -> List[str]:
         """Property names :meth:`get_property` understands for this engine."""
-        return ["repro.health", "repro.background-error"]
+        return ["repro.health", "repro.background-error", "repro.metrics"]
 
     # Convenience built on the primitives -------------------------------
     def write_batch(
@@ -251,6 +342,21 @@ class KeyValueStore(ABC):
             it.next()
         it.close()
         return out
+
+
+def _health_line(stats: StoreStats) -> str:
+    """``repro.health`` text: state first, scheduler counters after.
+
+    The state token stays first so existing ``health.split()[0]`` (and
+    plain equality on the historical ``ok``/``degraded``) keeps a stable
+    meaning while the line also surfaces the parallel-compaction peak and
+    conflict-stall attribution.
+    """
+    state = "degraded" if stats.degraded else "ok"
+    return (
+        f"{state} parallel-peak={stats.compactions_parallel_peak} "
+        f"conflict-stall={stats.conflict_stall_seconds:.6f}s"
+    )
 
 
 def _validate_key(key: bytes) -> None:
@@ -329,7 +435,30 @@ class LSMStoreBase(KeyValueStore):
         #: WAL files whose reclaiming flush edit is not yet durable.
         self._deferred_wal_deletions: List[str] = []
 
-        self._stats = StoreStats(preset=self.options.preset)
+        #: Typed metrics registry; ``_stats`` is the mutable attribute
+        #: façade engines write through, and :meth:`stats` builds the
+        #: public StoreStats *view* from the same registry.
+        self.registry = MetricsRegistry()
+        self._stats = StatsCounters(self.registry)
+        self._op_puts = self._stats.bind("puts")
+        self._op_gets = self._stats.bind("gets")
+        self._op_deletes = self._stats.bind("deletes")
+        self._op_seeks = self._stats.bind("seeks")
+        self._op_next_calls = self._stats.bind("next_calls")
+        self._stall_cause_counters: Dict[str, Counter] = {}
+        #: Per-level read-path tallies.  The per-probe path does a plain
+        #: list add; the sums fold into ``read.files_probed`` /
+        #: ``read.bloom_skipped`` registry counters when stats are read.
+        self._probe_files = [0] * (self.options.num_levels + 1)
+        self._probe_bloom = [0] * (self.options.num_levels + 1)
+        self._wal_sync_counter = self.registry.counter("wal.syncs")
+        self._flush_seconds = self.registry.histogram("flush.seconds")
+        self._compaction_seconds = self.registry.histogram("compaction.seconds")
+        #: Span tracer; None (the default) keeps every instrumentation
+        #: site down to a single attribute check.  The tracer only reads
+        #: the simulated clock — it never advances it or charges IO, so
+        #: enabling tracing cannot change any simulated outcome.
+        self.tracer: Optional[Tracer] = None
         self._open_or_recover()
 
     # ==================================================================
@@ -392,11 +521,11 @@ class LSMStoreBase(KeyValueStore):
     # ==================================================================
     def put(self, key: bytes, value: bytes) -> None:
         self._write([(KIND_PUT, bytes(key), bytes(value))])
-        self._stats.puts += 1
+        self._op_puts.value += 1
 
     def delete(self, key: bytes) -> None:
         self._write([(KIND_DELETE, bytes(key), b"")])
-        self._stats.deletes += 1
+        self._op_deletes.value += 1
 
     def write_batch(
         self, ops: List[Tuple[int, bytes, bytes]], sync: bool = False
@@ -404,41 +533,62 @@ class LSMStoreBase(KeyValueStore):
         self._write([(kind, bytes(k), bytes(v)) for kind, k, v in ops], sync=sync)
         for kind, _, _ in ops:
             if kind == KIND_PUT:
-                self._stats.puts += 1
+                self._op_puts.value += 1
             else:
-                self._stats.deletes += 1
+                self._op_deletes.value += 1
 
     def get(self, key: bytes, snapshot: Optional[Snapshot] = None) -> Optional[bytes]:
         self._check_open()
         _validate_key(key)
         self.executor.drain()
-        self._stats.gets += 1
-        acct = self._user_acct
-        acct.charge(self.cpu.charge("memtable_lookup", self.cpu.memtable_lookup))
-        seq = snapshot.sequence if snapshot is not None else self._last_sequence
-        result = self._mem.get(key, seq)
-        if result.found:
-            return None if result.is_deleted else result.value
-        for imm, _ in reversed(self._imm):
+        self._op_gets.value += 1
+        trc = self.tracer
+        # One body for both paths (an extra call per get is measurable);
+        # the try/finally is free on 3.11 when nothing raises.
+        span = trc.span("get") if trc is not None else None
+        try:
+            acct = self._user_acct
             acct.charge(self.cpu.charge("memtable_lookup", self.cpu.memtable_lookup))
-            result = imm.get(key, seq)
+            seq = snapshot.sequence if snapshot is not None else self._last_sequence
+            result = self._mem.get(key, seq)
             if result.found:
+                if span is not None:
+                    span.set(source="memtable", found=not result.is_deleted)
                 return None if result.is_deleted else result.value
-        result = self._get_from_tables(key, seq, acct)
-        if result.found and not result.is_deleted:
-            return result.value
-        return None
+            for imm, _ in reversed(self._imm):
+                acct.charge(
+                    self.cpu.charge("memtable_lookup", self.cpu.memtable_lookup)
+                )
+                result = imm.get(key, seq)
+                if result.found:
+                    if span is not None:
+                        span.set(source="immutable", found=not result.is_deleted)
+                    return None if result.is_deleted else result.value
+            result = self._get_from_tables(key, seq, acct)
+            found = result.found and not result.is_deleted
+            if span is not None:
+                if result.found:
+                    span.set(source="table")
+                span.set(found=found)
+            return result.value if found else None
+        except BaseException as exc:
+            if span is not None:
+                span.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            if span is not None:
+                span.end()
 
     def seek(self, key: bytes, snapshot: Optional[Snapshot] = None) -> DBIterator:
         self._check_open()
         _validate_key(key)
         self.executor.drain()
-        self._stats.seeks += 1
+        self._op_seeks.value += 1
         self._note_seek()
         gen = self._visible_entries(key, snapshot)
 
         def on_next() -> None:
-            self._stats.next_calls += 1
+            self._op_next_calls.value += 1
 
         return DBIterator(gen, on_next=on_next)
 
@@ -455,11 +605,11 @@ class LSMStoreBase(KeyValueStore):
         self._check_open()
         _validate_key(key)
         self.executor.drain()
-        self._stats.seeks += 1
+        self._op_seeks.value += 1
         gen = self._visible_entries_reverse(key, snapshot)
 
         def on_next() -> None:
-            self._stats.next_calls += 1
+            self._op_next_calls.value += 1
 
         return DBIterator(gen, on_next=on_next)
 
@@ -539,8 +689,22 @@ class LSMStoreBase(KeyValueStore):
         self._closed = True
 
     # ------------------------------------------------------------------
+    def _flush_probe_tallies(self) -> None:
+        """Fold the per-level read-path tallies into registry counters."""
+        for what, tallies in (
+            ("files_probed", self._probe_files),
+            ("bloom_skipped", self._probe_bloom),
+        ):
+            for level, n in enumerate(tallies):
+                if n:
+                    self.registry.counter(f"read.{what}", level=level).value += n
+                    tallies[level] = 0
+
     def stats(self) -> StoreStats:
-        s = self._stats
+        """Assemble the public counter view from the metrics registry."""
+        self._flush_probe_tallies()
+        s = StoreStats(preset=self.options.preset)
+        self._stats.fill(s)
         written = self.storage.stats.written_by_account
         read = self.storage.stats.read_by_account
         s.device_bytes_written = sum(
@@ -560,7 +724,46 @@ class LSMStoreBase(KeyValueStore):
         s.background_error = (
             str(self._background_error) if self._background_error is not None else ""
         )
+        # Mirror the derived values into the registry so one exposition
+        # dump is self-contained.
+        reg = self.registry
+        reg.gauge("io.device_bytes_written").set(s.device_bytes_written)
+        reg.gauge("io.device_bytes_read").set(s.device_bytes_read)
+        syncs = self.storage.stats.syncs_by_account
+        reg.gauge("io.device_syncs").set(
+            sum(v for name, v in syncs.items() if name.startswith(self.prefix))
+        )
+        reg.gauge("store.memory_bytes").set(s.memory_bytes)
+        reg.gauge("store.sstables").set(s.sstable_count)
+        reg.gauge("fault.degraded").set(1 if s.degraded else 0)
+        for level, size in enumerate(s.level_sizes):
+            reg.gauge("store.level_bytes", level=level).set(size)
+        if self._block_cache is not None:
+            reg.gauge("block_cache.hits").set(s.block_cache_hits)
+            reg.gauge("block_cache.misses").set(s.block_cache_misses)
+            reg.gauge("block_cache.bytes").set(s.block_cache_bytes)
         return s
+
+    def enable_tracing(
+        self, sink: TraceSink, component: str = "engine"
+    ) -> Tracer:
+        """Attach a span tracer writing to ``sink``; returns the tracer.
+
+        Ids derive from ``(component, seed, op ordinal)`` and timestamps
+        from the simulated clock, so the same seed and workload produce a
+        byte-identical trace file.
+        """
+        self.tracer = Tracer(
+            sink, clock=self.clock, component=component, seed=self.seed
+        )
+        return self.tracer
+
+    def _stall_cause(self, cause: str) -> Counter:
+        counter = self._stall_cause_counters.get(cause)
+        if counter is None:
+            counter = self.registry.counter("stall.cause_seconds", cause=cause)
+            self._stall_cause_counters[cause] = counter
+        return counter
 
     def memory_bytes(self) -> int:
         """Resident memory: memtables plus cached table indexes/filters."""
@@ -598,8 +801,10 @@ class LSMStoreBase(KeyValueStore):
 
         Supported names: ``repro.stats``, ``repro.levels``,
         ``repro.sstables``, ``repro.approximate-memory-usage``,
-        ``repro.health`` (``ok``/``degraded``), ``repro.background-error``
-        (empty when healthy), ``repro.compaction-scheduler`` (mode,
+        ``repro.health`` (``ok``/``degraded`` plus scheduler counters),
+        ``repro.background-error``
+        (empty when healthy), ``repro.metrics`` (registry text
+        exposition), ``repro.compaction-scheduler`` (mode,
         worker count, in-flight/peak parallelism, conflict counters),
         ``repro.num-files-at-level<N>``, plus engine extras (PebblesDB
         adds ``repro.guards``, ``repro.empty-guards``,
@@ -635,9 +840,12 @@ class LSMStoreBase(KeyValueStore):
                 f"blocks={len(self._block_cache)} evictions={bc.evictions}"
             )
         if name == "repro.health":
-            return "degraded" if self._background_error is not None else "ok"
+            return _health_line(self.stats())
         if name == "repro.background-error":
             return "" if self._background_error is None else str(self._background_error)
+        if name == "repro.metrics":
+            self.stats()  # refresh derived gauges before dumping
+            return self.registry.to_text()
         if name == "repro.compaction-scheduler":
             s = self._stats
             return (
@@ -671,6 +879,7 @@ class LSMStoreBase(KeyValueStore):
             "repro.block-cache",
             "repro.health",
             "repro.background-error",
+            "repro.metrics",
             "repro.compaction-scheduler",
             "repro.num-files-at-level<N>",
         ]
@@ -716,6 +925,16 @@ class LSMStoreBase(KeyValueStore):
         self._check_open()
         if not ops:
             return
+        trc = self.tracer
+        if trc is None:
+            self._write_impl(ops, sync)
+            return
+        with trc.span("write", ops=len(ops)) as span:
+            self._write_impl(ops, sync, span)
+
+    def _write_impl(
+        self, ops: List[Tuple[int, bytes, bytes]], sync: bool, span=None
+    ) -> None:
         for _, key, _ in ops:
             _validate_key(key)
         self.executor.drain()
@@ -754,13 +973,21 @@ class LSMStoreBase(KeyValueStore):
             self._wal_acct.charge(
                 self.cpu.charge("wal_record", self.cpu.wal_record * len(ops))
             )
+            if opts.sync_writes or sync:
+                self._wal_sync_counter.value += 1
+                if span is not None:
+                    span.set(wal_sync=True)
+        bytes_written = 0
         for i, (kind, key, value) in enumerate(ops):
             self._mem.add(seq + i, kind, key, value)
             self._user_acct.charge(
                 self.cpu.charge("memtable_insert", self.cpu.memtable_insert)
             )
-            self._stats.user_bytes_written += len(key) + len(value)
+            bytes_written += len(key) + len(value)
             self._on_insert_key(key)
+        self._stats.user_bytes_written += bytes_written
+        if span is not None:
+            span.set(bytes=bytes_written)
         self._last_sequence = seq + len(ops) - 1
         if self._mem.approximate_bytes >= opts.memtable_bytes:
             self._rotate_memtable()
@@ -772,7 +999,7 @@ class LSMStoreBase(KeyValueStore):
             self._maybe_schedule_flush()
             if self._flush_job is None:
                 break
-            self._stall_until(self._flush_job)
+            self._stall_until(self._flush_job, cause="imm_backpressure")
         # Level-0 file count: slow down, then stop.
         l0 = self._level0_file_count()
         if l0 >= opts.level0_stop_trigger:
@@ -784,7 +1011,10 @@ class LSMStoreBase(KeyValueStore):
                 and guard < 10000
             ):
                 before = self.clock.now
-                self._stall_until(self._next_pending_job())
+                cause = (
+                    "l0_stop_conflict" if self._l0_conflict_blocked else "l0_stop"
+                )
+                self._stall_until(self._next_pending_job(), cause=cause)
                 if self._l0_conflict_blocked:
                     # The L0 compaction that would relieve this stall was
                     # rejected by the conflict map; charge the wait to it.
@@ -794,13 +1024,28 @@ class LSMStoreBase(KeyValueStore):
         elif l0 >= opts.level0_slowdown_trigger:
             self.clock.advance(opts.slowdown_delay)
             self._stats.stall_seconds += opts.slowdown_delay
+            self._stall_cause("l0_slowdown").value += opts.slowdown_delay
+            trc = self.tracer
+            if trc is not None:
+                span = trc.start_span(
+                    "stall",
+                    start=self.clock.now - opts.slowdown_delay,
+                    cause="l0_slowdown",
+                )
+                span.end(at=self.clock.now)
 
-    def _stall_until(self, job: Optional[Job]) -> None:
+    def _stall_until(self, job: Optional[Job], cause: str = "flush_wait") -> None:
         if job is None:
             return
         before = self.clock.now
         self.executor.wait_for(job)
-        self._stats.stall_seconds += self.clock.now - before
+        waited = self.clock.now - before
+        self._stats.stall_seconds += waited
+        self._stall_cause(cause).value += waited
+        trc = self.tracer
+        if trc is not None and waited > 0:
+            span = trc.start_span("stall", start=before, cause=cause)
+            span.end(at=self.clock.now)
 
     def _next_pending_job(self) -> Optional[Job]:
         return self.executor.peek_next()
@@ -846,6 +1091,10 @@ class LSMStoreBase(KeyValueStore):
         )
         acct.charge(cpu_cost)
 
+        trc = self.tracer
+        parent = trc.current() if trc is not None else None
+        job_ref: List[Job] = []
+
         def apply() -> None:
             self._install_flush(metas, edit)
             manifest_acct = self.storage.background_account(self.prefix + "manifest")
@@ -855,10 +1104,24 @@ class LSMStoreBase(KeyValueStore):
             if self.options.wal_enabled:
                 self._reclaim_wals(edit.log_number, durable)
             self._stats.flushes += 1
+            if trc is not None and job_ref:
+                job = job_ref[0]
+                span = trc.start_span(
+                    "flush",
+                    kind="background",
+                    parent=parent,
+                    start=job.start,
+                    files_out=len(metas),
+                    bytes_out=sum(m.file_size for m in metas),
+                    entries=sum(m.num_entries for m in metas),
+                )
+                span.end(at=job.completion)
             self._maybe_schedule_flush()
             self._schedule_compactions()
 
+        self._flush_seconds.record(acct.seconds)
         self._flush_job = self.executor.submit("flush", acct.seconds, apply)
+        job_ref.append(self._flush_job)
 
     def _reclaim_wals(self, log_number: Optional[int], durable: bool) -> None:
         """Delete WALs superseded by a flush whose edit is in the MANIFEST.
@@ -911,6 +1174,10 @@ class LSMStoreBase(KeyValueStore):
                 cause=exc,
             )
             self._stats.background_errors += 1
+            if self.tracer is not None:
+                self.tracer.point(
+                    "fault.degraded", kind=kind, error=type(exc).__name__
+                )
 
     def _run_protected(self, kind: str, compute: Callable):
         """Run a background compute step with retries and state rollback.
@@ -936,6 +1203,10 @@ class LSMStoreBase(KeyValueStore):
                     self._set_background_error(kind, exc)
                     return None
                 self._stats.transient_fault_retries += 1
+                if self.tracer is not None:
+                    self.tracer.point(
+                        "fault.retry", kind=kind, attempt=attempt + 1
+                    )
                 self.clock.advance(
                     min(
                         opts.fault_retry_base_delay * (2 ** attempt),
@@ -1005,6 +1276,10 @@ class LSMStoreBase(KeyValueStore):
                     break
                 if attempt < opts.fault_retry_limit:
                     self._stats.transient_fault_retries += 1
+                    if self.tracer is not None:
+                        self.tracer.point(
+                            "fault.retry", kind="manifest_append", attempt=attempt + 1
+                        )
                     self.clock.advance(
                         min(
                             opts.fault_retry_base_delay * (2 ** attempt),
@@ -1029,6 +1304,21 @@ class LSMStoreBase(KeyValueStore):
         old file's intact records and the queued edits are written to a
         fresh MANIFEST and CURRENT flips atomically.
         """
+        assert self._manifest is not None
+        trc = self.tracer
+        rotate_span = (
+            trc.span("manifest.rotate", pending=len(self._pending_manifest_edits))
+            if trc is not None
+            else None
+        )
+        try:
+            self._rotate_manifest_impl(acct)
+        finally:
+            if rotate_span is not None:
+                rotate_span.end()
+        self.registry.counter("manifest.rotations").inc()
+
+    def _rotate_manifest_impl(self, acct: IoAccount) -> None:
         assert self._manifest is not None
         old_name = self._manifest.name
         # strict: losing an *intact durable* record here would silently
@@ -1097,6 +1387,8 @@ class LSMStoreBase(KeyValueStore):
             return False
         self._background_error = None
         self._stats.resumes += 1
+        if self.tracer is not None:
+            self.tracer.point("fault.resume")
         self._reset_scheduling_state()
         # Rescheduled work may hit the same fault and re-degrade the
         # store immediately; report the post-reschedule health honestly.

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Tuple
 
-from repro.engines.base import DBIterator, KeyValueStore, StoreStats
+from repro.engines.base import DBIterator, KeyValueStore, StatsCounters, StoreStats
+from repro.obs.metrics import MetricsRegistry
 from repro.engines.btree.bptree import PAGE_SIZE, BPlusTree
 from repro.errors import (
     BackgroundError,
@@ -47,7 +48,9 @@ class BPlusTreeStore(KeyValueStore):
         self._journal_name = prefix + "journal.log"
         recovering = storage.exists(self._journal_name)
         self._journal = LogWriter(storage, self._journal_name)
-        self._stats = StoreStats(preset="btree")
+        self.registry = MetricsRegistry()
+        self._stats = StatsCounters(self.registry)
+        self.tracer = None
         self._closed = False
         #: Sticky error: set when the journal may hold a torn record or a
         #: persistent fault hit the write path.  Writes then raise
@@ -56,6 +59,16 @@ class BPlusTreeStore(KeyValueStore):
         self._background_error: Optional[BackgroundError] = None
         if recovering:
             self._recover()
+
+    # ------------------------------------------------------------------
+    def enable_tracing(self, sink, component: str = "engine", seed: int = 0):
+        """Attach a tracer (server-layer spans; the tree emits none yet)."""
+        from repro.obs.trace import Tracer
+
+        self.tracer = Tracer(
+            sink, clock=self.storage.clock, component=component, seed=seed
+        )
+        return self.tracer
 
     # ------------------------------------------------------------------
     def _page_offset(self, page_id: int) -> int:
@@ -239,7 +252,8 @@ class BPlusTreeStore(KeyValueStore):
 
     # ------------------------------------------------------------------
     def stats(self) -> StoreStats:
-        s = self._stats
+        s = StoreStats(preset="btree")
+        self._stats.fill(s)
         written = self.storage.stats.written_by_account
         read = self.storage.stats.read_by_account
         s.device_bytes_written = sum(

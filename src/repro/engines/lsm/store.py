@@ -97,39 +97,83 @@ class LeveledLSMStore(LSMStoreBase):
     # Reads
     # ==================================================================
     def _get_from_tables(self, key: bytes, snapshot: int, account: IoAccount) -> GetResult:
-        # Level 0: files may overlap arbitrarily (e.g. after RepairDB
-        # placed everything there), so the newest matching version across
-        # all candidates wins, decided by sequence number.
-        best: Optional[GetResult] = None
-        for meta in self._levels[0]:
-            if not meta.overlaps(key, key):
-                continue
-            reader = self._get_reader(meta.number, account)
-            if not reader.may_contain(key, account):
-                continue
-            result = reader.get(key, snapshot, account)
-            if result.found and (best is None or result.sequence > best.sequence):
-                best = result
-        if best is not None:
-            return best
-        # Deeper levels: at most one candidate file each.
-        for level in range(1, len(self._levels)):
-            files = self._levels[level]
-            if not files:
-                continue
-            account.charge(
-                self.cpu.charge("level_binary_search", self.cpu.level_binary_search)
-            )
-            meta = self._find_file(files, key)
-            if meta is None:
-                continue
-            reader = self._get_reader(meta.number, account)
-            if not reader.may_contain(key, account):
-                continue
-            result = reader.get(key, snapshot, account)
-            if result.found:
-                return result
-        return GetResult(False, False, None)
+        # One body for both the traced and untraced paths (an extra call
+        # per get is measurable); the try/finally is free when nothing
+        # raises.
+        trc = self.tracer
+        span = trc.span("table.search") if trc is not None else None
+        try:
+            # Level 0: files may overlap arbitrarily (e.g. after RepairDB
+            # placed everything there), so the newest matching version
+            # across all candidates wins, decided by sequence number.
+            probed = 0
+            bloom_skipped = 0
+            best: Optional[GetResult] = None
+            level_probed = level_skipped = 0
+            for meta in self._levels[0]:
+                if not meta.overlaps(key, key):
+                    continue
+                reader = self._get_reader(meta.number, account)
+                if not reader.may_contain(key, account):
+                    level_skipped += 1
+                    continue
+                level_probed += 1
+                result = reader.get(key, snapshot, account)
+                if result.found and (best is None or result.sequence > best.sequence):
+                    best = result
+            if level_skipped:
+                self._probe_bloom[0] += level_skipped
+                bloom_skipped += level_skipped
+            if level_probed:
+                self._probe_files[0] += level_probed
+                probed += level_probed
+            if best is not None:
+                if span is not None:
+                    span.set(
+                        level=0,
+                        files_probed=probed,
+                        bloom_skipped=bloom_skipped,
+                        found=True,
+                    )
+                return best
+            # Deeper levels: at most one candidate file each.
+            for level in range(1, len(self._levels)):
+                files = self._levels[level]
+                if not files:
+                    continue
+                account.charge(
+                    self.cpu.charge("level_binary_search", self.cpu.level_binary_search)
+                )
+                meta = self._find_file(files, key)
+                if meta is None:
+                    continue
+                reader = self._get_reader(meta.number, account)
+                if not reader.may_contain(key, account):
+                    self._probe_bloom[level] += 1
+                    bloom_skipped += 1
+                    continue
+                self._probe_files[level] += 1
+                probed += 1
+                result = reader.get(key, snapshot, account)
+                if result.found:
+                    if span is not None:
+                        span.set(
+                            level=level,
+                            files_probed=probed,
+                            bloom_skipped=bloom_skipped,
+                            found=True,
+                        )
+                    return result
+            if span is not None:
+                span.set(files_probed=probed, bloom_skipped=bloom_skipped, found=False)
+            return GetResult(False, False, None)
+        except BaseException as exc:
+            if span is not None:
+                span.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            if span is not None:
+                span.end()
 
     @staticmethod
     def _find_file(files: List[FileMetadata], key: bytes) -> Optional[FileMetadata]:
@@ -488,14 +532,34 @@ class LeveledLSMStore(LSMStoreBase):
                 )
             )
 
+        trc = self.tracer
+        parent = trc.current() if trc is not None else None
+        job_ref: List = []
+
         def apply() -> None:
             self._apply_compaction_edit(level, target, inputs, next_inputs, metas, edit)
             self._note_compaction_inflight(-1)
             self._stats.compactions += 1
             self._stats.compaction_bytes_written += bytes_written
+            if trc is not None and job_ref:
+                job = job_ref[0]
+                span = trc.start_span(
+                    "compaction",
+                    kind="background",
+                    parent=parent,
+                    start=job.start,
+                    level=level,
+                    files_in=len(all_inputs),
+                    files_out=len(metas),
+                    bytes_in=sum(f.file_size for f in all_inputs),
+                    bytes_out=bytes_written,
+                    queue_wait=job.queue_wait,
+                )
+                span.end(at=job.completion)
             self._schedule_compactions()
 
-        self.executor.submit("compaction", acct.seconds, apply)
+        self._compaction_seconds.record(acct.seconds)
+        job_ref.append(self.executor.submit("compaction", acct.seconds, apply))
 
     @staticmethod
     def _mutually_disjoint(metas: List[FileMetadata]) -> bool:
@@ -512,6 +576,10 @@ class LeveledLSMStore(LSMStoreBase):
             edit.delete_file(level, meta.number)
             edit.add_file(target, meta, GUARD_NONE)
 
+        trc = self.tracer
+        parent = trc.current() if trc is not None else None
+        job_ref: List = []
+
         def apply() -> None:
             for meta in inputs:
                 self._remove_from_level(level, meta.number)
@@ -522,9 +590,20 @@ class LeveledLSMStore(LSMStoreBase):
             self._append_manifest(edit, manifest_acct)
             self._note_compaction_inflight(-1)
             self._stats.compactions += 1
+            if trc is not None and job_ref:
+                job = job_ref[0]
+                span = trc.start_span(
+                    "compaction.move",
+                    kind="background",
+                    parent=parent,
+                    start=job.start,
+                    level=level,
+                    files_in=len(inputs),
+                )
+                span.end(at=job.completion)
             self._schedule_compactions()
 
-        self.executor.submit("move", 1.0e-5, apply)
+        job_ref.append(self.executor.submit("move", 1.0e-5, apply))
 
     def _apply_compaction_edit(
         self,

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Tuple
 
-from repro.engines.base import DBIterator, KeyValueStore, StoreStats
+from repro.engines.base import DBIterator, KeyValueStore, StatsCounters, StoreStats
+from repro.obs.metrics import MetricsRegistry
 from repro.engines.btree.bptree import PAGE_SIZE, BPlusTree
 from repro.errors import InvalidArgumentError, StoreClosedError
 from repro.sim.executor import BackgroundExecutor, Job
@@ -51,10 +52,22 @@ class WiredTigerStore(KeyValueStore):
         self._journal = LogWriter(storage, self._journal_name)
         self._dirty_bytes = 0
         self._checkpoint_job: Optional[Job] = None
-        self._stats = StoreStats(preset="wiredtiger")
+        self.registry = MetricsRegistry()
+        self._stats = StatsCounters(self.registry)
+        self.tracer = None
         self._closed = False
         if recovering:
             self._recover()
+
+    # ------------------------------------------------------------------
+    def enable_tracing(self, sink, component: str = "engine", seed: int = 0):
+        """Attach a tracer (server-layer spans; the tree emits none yet)."""
+        from repro.obs.trace import Tracer
+
+        self.tracer = Tracer(
+            sink, clock=self.storage.clock, component=component, seed=seed
+        )
+        return self.tracer
 
     # ------------------------------------------------------------------
     def put(self, key: bytes, value: bytes) -> None:
@@ -190,7 +203,8 @@ class WiredTigerStore(KeyValueStore):
 
     # ------------------------------------------------------------------
     def stats(self) -> StoreStats:
-        s = self._stats
+        s = StoreStats(preset="wiredtiger")
+        self._stats.fill(s)
         written = self.storage.stats.written_by_account
         read = self.storage.stats.read_by_account
         s.device_bytes_written = sum(

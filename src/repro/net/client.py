@@ -40,6 +40,7 @@ from repro.net.errors import (
     TransientNetError,
 )
 from repro.net.protocol import (
+    OP_NAMES,
     FrameDecoder,
     Op,
     Request,
@@ -176,6 +177,9 @@ class ClusterClient:
         self.client_id = 0
         self.router: Optional[ShardRouter] = None
         self.stats = ClientStats()
+        #: Set via :meth:`enable_tracing`; every call then opens a client
+        #: span whose context travels to the server in the request frame.
+        self.tracer = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -261,6 +265,15 @@ class ClusterClient:
     # ------------------------------------------------------------------
     # Request execution with retry/backoff
     # ------------------------------------------------------------------
+    def enable_tracing(
+        self, sink, *, clock=None, component: str = "client", seed: int = 0
+    ):
+        """Open a client span per call; its context rides in the frame."""
+        from repro.obs.trace import Tracer
+
+        self.tracer = Tracer(sink, clock=clock, component=component, seed=seed)
+        return self.tracer
+
     async def _call(self, request: Request) -> Response:
         """Issue ``request``, reconnecting and retrying transient failures.
 
@@ -269,6 +282,23 @@ class ClusterClient:
         request whose response was lost is never applied twice.
         """
         self.stats.requests += 1
+        trc = self.tracer
+        if trc is None:
+            return await self._call_with_retry(request, None)
+        span = trc.start_span(
+            f"client.{OP_NAMES.get(request.op, str(request.op))}",
+            kind="client",
+            shard=request.shard,
+        )
+        request.trace = f"{span.trace_id}/{span.span_id}"
+        with span:
+            response = await self._call_with_retry(request, span)
+            span.set(status=Status.NAMES.get(response.status, str(response.status)))
+            return response
+
+    async def _call_with_retry(
+        self, request: Request, span
+    ) -> Response:
         attempt = 0
         while True:
             try:
@@ -282,6 +312,10 @@ class ClusterClient:
                         f"{attempt + 1} attempts: {exc}"
                     ) from exc
                 self.stats.retries += 1
+                if span is not None:
+                    span.event(
+                        "retry", attempt=attempt + 1, error=type(exc).__name__
+                    )
                 await self._sleep(
                     min(self._backoff_base * (2 ** attempt), self._backoff_max)
                 )
@@ -448,6 +482,21 @@ class ClusterClient:
             )
         )
 
+    async def metrics(self, shard: int = 0) -> Optional[str]:
+        """One shard's metrics registry as Prometheus-style text."""
+        response = await self._call(
+            Request(op=Op.METRICS, request_id=self._alloc_id(), shard=shard)
+        )
+        return response.value.decode("utf-8") if response.found else None
+
+    async def all_metrics(self) -> List[Optional[str]]:
+        """The metrics dump from every shard (index = shard)."""
+        return list(
+            await asyncio.gather(
+                *(self.metrics(shard) for shard in range(self._router().num_shards))
+            )
+        )
+
     async def aclose(self) -> None:
         self._closed = True
         for conn in self._pool:
@@ -572,6 +621,32 @@ class BlockingClusterClient:
 
     def get_property(self, name: str, shard: int = 0) -> Optional[str]:
         return self._run(self.client.get_property(name, shard))
+
+    def metrics(self, shard: int = 0) -> Optional[str]:
+        return self._run(self.client.metrics(shard))
+
+    def all_metrics(self) -> List[Optional[str]]:
+        return self._run(self.client.all_metrics())
+
+    def enable_tracing(self, sink):
+        """One trace per cluster op: client → server → engine spans.
+
+        ``sink`` is a :class:`~repro.obs.trace.TraceSink` or a path.  The
+        client tracer is timed on the cluster clock view; every shard's
+        tracer (server dispatch + engine) shares the same sink, so the
+        whole cluster writes one chronologically-interleaved JSONL file.
+        """
+        from repro.obs.trace import TraceSink
+
+        if isinstance(sink, str):
+            sink = TraceSink(sink)
+        self.client.enable_tracing(
+            sink,
+            clock=_ClusterClockView(self.server),
+            seed=self.server.config.seed,
+        )
+        self.server.enable_tracing(sink)
+        return sink
 
     def stats(self):
         """Aggregate engine stats across all shards (sums counters)."""

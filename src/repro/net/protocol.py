@@ -25,6 +25,13 @@ Op codes::
     SNAPSHOT   pin a consistent read view on one shard; reply: token
     RELEASE    unpin a snapshot token
     PROPERTY   read a ``repro.*`` textual property
+    METRICS    dump one shard's metrics registry (Prometheus-style text)
+
+Every request may carry an optional trailing *trace context* — the
+``trace_id/span_id`` of the client span that issued it — so a server can
+parent its handler span under the caller's and a whole cluster operation
+shares one trace.  The field is appended only when non-empty, which keeps
+wire bytes identical to the pre-tracing protocol when tracing is off.
 
 Statuses: ``OK``/``NOT_FOUND`` are success shapes; ``DEGRADED`` maps the
 shard's sticky :class:`repro.errors.BackgroundError` onto the wire (reads
@@ -69,12 +76,27 @@ class Op:
     SNAPSHOT = 7
     RELEASE = 8
     PROPERTY = 9
+    METRICS = 10
     #: Marks a payload as a response to the request id it echoes.
     RESPONSE = 0x80
 
 
 #: Ops whose effects mutate the store (deduplicated on retry).
 WRITE_OPS = (Op.PUT, Op.DELETE, Op.BATCH)
+
+#: Human-readable op names (trace span labels, tooling).
+OP_NAMES = {
+    Op.HELLO: "hello",
+    Op.GET: "get",
+    Op.PUT: "put",
+    Op.DELETE: "delete",
+    Op.BATCH: "batch",
+    Op.SCAN: "scan",
+    Op.SNAPSHOT: "snapshot",
+    Op.RELEASE: "release",
+    Op.PROPERTY: "property",
+    Op.METRICS: "metrics",
+}
 
 _OPS = (
     Op.HELLO,
@@ -86,6 +108,7 @@ _OPS = (
     Op.SNAPSHOT,
     Op.RELEASE,
     Op.PROPERTY,
+    Op.METRICS,
 )
 
 
@@ -207,6 +230,9 @@ class Request:
     snapshot: Optional[int] = None
     name: str = ""
     client_id: int = 0
+    #: Caller's trace context (``trace_id/span_id``); "" when tracing is
+    #: off — then nothing extra goes on the wire.
+    trace: str = ""
 
     def encode(self) -> bytes:
         """Serialize to a frame payload (without the frame header)."""
@@ -252,8 +278,12 @@ class Request:
             buf += encode_varint64(self.snapshot if self.snapshot is not None else 0)
         elif op == Op.PROPERTY:
             _put_bytes(buf, self.name.encode("utf-8"))
+        elif op == Op.METRICS:
+            pass
         else:
             raise FrameError(f"cannot encode unknown op {op}")
+        if self.trace:
+            _put_bytes(buf, self.trace.encode("utf-8"))
         return bytes(buf)
 
 
@@ -360,6 +390,9 @@ def _decode_request(op: int, data: bytes, request_id: int, offset: int) -> Reque
     elif op == Op.PROPERTY:
         name, offset = _get_bytes(data, offset)
         req.name = name.decode("utf-8")
+    if offset < len(data):
+        trace, offset = _get_bytes(data, offset)
+        req.trace = trace.decode("utf-8")
     return req
 
 

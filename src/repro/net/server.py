@@ -45,6 +45,8 @@ from repro.errors import (
 )
 from repro.net.errors import FrameError
 from repro.net.protocol import (
+    OP_NAMES,
+    WRITE_OPS,
     Op,
     Request,
     Response,
@@ -101,6 +103,7 @@ class ShardStats:
     scans: int = 0
     snapshots: int = 0
     properties: int = 0
+    metrics: int = 0
     #: Group commits executed and writes coalesced into them.
     group_commits: int = 0
     coalesced_writes: int = 0
@@ -155,27 +158,34 @@ class Shard:
         )
         self.config = config
         self.stats = ShardStats()
+        #: Engine tracer (component ``shardN``) once tracing is enabled;
+        #: server-side dispatch spans share it with the engine's spans.
+        self.tracer = None
         self._snapshots: Dict[int, object] = {}
         self._next_snapshot_token = 1
         self._dedup = _DedupTable(config.dedup_window)
-        # Group-commit queue: (ops, client_id, request_id, future).
-        self._write_queue: List[Tuple[list, int, int, asyncio.Future]] = []
+        # Group-commit queue: (ops, client_id, request_id, future, trace_ctx).
+        self._write_queue: List[Tuple[list, int, int, asyncio.Future, object]] = []
         self._writer_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # Write path (group commit)
     # ------------------------------------------------------------------
-    async def submit_write(self, ops: list, client_id: int, request_id: int) -> bool:
+    async def submit_write(
+        self, ops: list, client_id: int, request_id: int, trace_ctx=None
+    ) -> bool:
         """Queue a write for the next group commit; True once applied.
 
         Returns False when the write was recognised as a retried
         duplicate and skipped.  Raises what the engine raised when the
         commit failed (every queued write in the failed batch raises).
+        ``trace_ctx`` is the server span of the request; the engine-side
+        write span of a group commit adopts the first queued context.
         """
         if not self.config.group_commit:
-            return self._apply_writes([(ops, client_id, request_id, None)])[0]
+            return self._apply_writes([(ops, client_id, request_id, None, trace_ctx)])[0]
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._write_queue.append((ops, client_id, request_id, future))
+        self._write_queue.append((ops, client_id, request_id, future, trace_ctx))
         if self._writer_task is None or self._writer_task.done():
             self._writer_task = asyncio.ensure_future(self._drain_writes())
         return await future
@@ -191,11 +201,11 @@ class Shard:
             try:
                 applied = self._apply_writes(batch)
             except ReproError as exc:
-                for _, _, _, future in batch:
+                for _, _, _, future, _ in batch:
                     if future is not None and not future.done():
                         future.set_exception(exc)
             else:
-                for (_, _, _, future), was_applied in zip(batch, applied):
+                for (_, _, _, future, _), was_applied in zip(batch, applied):
                     if future is not None and not future.done():
                         future.set_result(was_applied)
             await asyncio.sleep(0)
@@ -209,7 +219,8 @@ class Shard:
         combined: list = []
         applied_flags: List[bool] = []
         fresh: List[Tuple[int, int]] = []
-        for ops, client_id, request_id, _ in batch:
+        batch_ctx = None
+        for ops, client_id, request_id, _, ctx in batch:
             if self._dedup.seen(client_id, request_id):
                 applied_flags.append(False)
                 self.stats.duplicate_writes += 1
@@ -217,8 +228,17 @@ class Shard:
                 combined.extend(ops)
                 fresh.append((client_id, request_id))
                 applied_flags.append(True)
+                if batch_ctx is None:
+                    batch_ctx = ctx
         if combined:
-            self.db.write_batch(combined, sync=self.config.sync_commits)
+            # The engine write span of a coalesced commit joins the first
+            # contributing request's trace (the others are linked by the
+            # shared group_commits counter, not by span parentage).
+            if self.tracer is not None and batch_ctx is not None:
+                with self.tracer.adopt(batch_ctx):
+                    self.db.write_batch(combined, sync=self.config.sync_commits)
+            else:
+                self.db.write_batch(combined, sync=self.config.sync_commits)
             self.stats.group_commits += 1
             self.stats.coalesced_writes += len(fresh)
         for client_id, request_id in fresh:
@@ -407,6 +427,14 @@ class KVServer:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_trace(trace: str):
+        """Wire-carried ``trace_id/span_id`` → SpanContext tuple (or None)."""
+        if not trace:
+            return None
+        trace_id, _, span_id = trace.partition("/")
+        return (trace_id, span_id) if span_id else None
+
     async def _dispatch(self, request: Request, client_id: int) -> Response:
         if not 0 <= request.shard < len(self.shards):
             return Response(
@@ -415,6 +443,37 @@ class KVServer:
                 message=f"no shard {request.shard} (have {len(self.shards)})",
             )
         shard = self.shards[request.shard]
+        trc = shard.tracer
+        if trc is None:
+            return await self._dispatch_op(shard, request, client_id, None)
+        span = trc.start_span(
+            f"server.{OP_NAMES.get(request.op, str(request.op))}",
+            kind="server",
+            parent=self._parse_trace(request.trace),
+            shard=shard.index,
+        )
+        try:
+            if request.op in WRITE_OPS:
+                # The write path parks on the group-commit queue; the
+                # engine-side span adopts the context inside the commit
+                # instead of here (adopting across awaits would let
+                # concurrent requests cross their contexts).
+                response = await self._dispatch_op(
+                    shard, request, client_id, span.context
+                )
+            else:
+                with trc.adopt(span.context):
+                    response = await self._dispatch_op(
+                        shard, request, client_id, span.context
+                    )
+            span.set(status=Status.NAMES.get(response.status, str(response.status)))
+            return response
+        finally:
+            span.end()
+
+    async def _dispatch_op(
+        self, shard: Shard, request: Request, client_id: int, trace_ctx
+    ) -> Response:
         op = request.op
         rid = request.request_id
         try:
@@ -431,7 +490,7 @@ class KVServer:
                     value=value if value is not None else b"",
                 )
             if op in (Op.PUT, Op.DELETE, Op.BATCH):
-                return await self._dispatch_write(shard, request, client_id)
+                return await self._dispatch_write(shard, request, client_id, trace_ctx)
             if op == Op.SCAN:
                 shard.stats.scans += 1
                 pairs = self._scan(shard, request)
@@ -455,6 +514,14 @@ class KVServer:
                     found=text is not None,
                     value=(text or "").encode("utf-8"),
                 )
+            if op == Op.METRICS:
+                shard.stats.metrics += 1
+                text = shard.db.get_property("repro.metrics")
+                return Response(
+                    request_id=rid,
+                    found=text is not None,
+                    value=(text or "").encode("utf-8"),
+                )
             return Response(
                 request_id=rid,
                 status=Status.BAD_REQUEST,
@@ -472,7 +539,7 @@ class KVServer:
             )
 
     async def _dispatch_write(
-        self, shard: Shard, request: Request, client_id: int
+        self, shard: Shard, request: Request, client_id: int, trace_ctx=None
     ) -> Response:
         from repro.util.keys import KIND_DELETE, KIND_PUT
 
@@ -485,7 +552,7 @@ class KVServer:
         else:
             shard.stats.batches += 1
             ops = list(request.ops)
-        if shard.db.stats().degraded:
+        if shard.db.is_degraded:
             shard.stats.degraded_rejects += 1
             return Response(
                 request_id=request.request_id,
@@ -493,7 +560,9 @@ class KVServer:
                 message=shard.db.get_property("repro.background-error") or "degraded",
             )
         try:
-            applied = await shard.submit_write(ops, client_id, request.request_id)
+            applied = await shard.submit_write(
+                ops, client_id, request.request_id, trace_ctx
+            )
         except BackgroundError as exc:
             shard.stats.degraded_rejects += 1
             return Response(
@@ -526,6 +595,30 @@ class KVServer:
     # ------------------------------------------------------------------
     # Introspection and lifecycle
     # ------------------------------------------------------------------
+    def enable_tracing(self, sink) -> None:
+        """Route every shard's spans (server + engine) into ``sink``.
+
+        Each shard gets its own tracer (component ``shardN``) so span
+        ids stay a pure function of per-shard call order; all tracers
+        share the one sink, giving a single-file cross-shard trace.
+        """
+        for shard in self.shards:
+            shard.tracer = shard.db.enable_tracing(
+                sink, component=f"shard{shard.index}"
+            )
+
+    def metrics_text(self) -> str:
+        """Cluster-wide exposition: counters summed, gauges maxed."""
+        from repro.obs.metrics import MetricsRegistry
+
+        merged = MetricsRegistry()
+        for shard in self.shards:
+            shard.db.stats()  # refresh derived gauges before the dump
+            registry = getattr(shard.db, "registry", None)
+            if registry is not None:
+                merged.merge(registry)
+        return merged.to_text()
+
     def sim_now(self) -> float:
         """Cluster simulated time: the slowest shard's clock."""
         return max(shard.env.clock.now for shard in self.shards)

@@ -1,0 +1,38 @@
+"""Deterministic observability: metrics registry and span tracing.
+
+``repro.obs`` is the instrumentation substrate the engines, the
+compaction scheduler, and the serving layer all report into:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of typed
+  counters, gauges, and log-bucketed histograms (RocksDB-statistics
+  style) with snapshot/delta/merge support and Prometheus-style text
+  exposition.
+* :mod:`repro.obs.trace` — span-based tracing on the *simulated* clock.
+  Span and trace ids derive from (component, seed, ordinal) — never from
+  ``random`` or wall time — so the same seed reproduces a byte-identical
+  trace JSONL.
+
+Both are zero-cost when unused: stores carry ``tracer = None`` by
+default and every hot-path instrumentation site is guarded by one
+attribute check.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, Tracer, TraceSink, read_trace, verify_nesting
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "TraceSink",
+    "read_trace",
+    "verify_nesting",
+]

@@ -25,7 +25,16 @@ from repro.sim.clock import SimClock
 class Job:
     """A unit of background work with a completion time."""
 
-    __slots__ = ("kind", "cost", "start", "completion", "apply", "applied", "seq")
+    __slots__ = (
+        "kind",
+        "cost",
+        "submitted",
+        "start",
+        "completion",
+        "apply",
+        "applied",
+        "seq",
+    )
 
     def __init__(
         self,
@@ -35,14 +44,23 @@ class Job:
         completion: float,
         apply: Optional[Callable[[], None]],
         seq: int,
+        submitted: float = 0.0,
     ) -> None:
         self.kind = kind
         self.cost = cost
+        #: Sim time the job was submitted; ``start - submitted`` is the
+        #: queue/dependency wait (observability spans report it).
+        self.submitted = submitted
         self.start = start
         self.completion = completion
         self.apply = apply
         self.applied = False
         self.seq = seq
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds between submission and the job actually starting."""
+        return self.start - self.submitted
 
     def __lt__(self, other: "Job") -> bool:
         return (self.completion, self.seq) < (other.completion, other.seq)
@@ -100,7 +118,7 @@ class BackgroundExecutor:
         completion = start + cost
         self._worker_free[idx] = completion
         self._seq += 1
-        job = Job(kind, cost, start, completion, apply, self._seq)
+        job = Job(kind, cost, start, completion, apply, self._seq, submitted=self.clock.now)
         heapq.heappush(self._pending, job)
         self.jobs_run += 1
         self.busy_seconds += cost

@@ -84,6 +84,9 @@ class StorageStats:
     sync_ops: int = 0
     written_by_account: Dict[str, int] = field(default_factory=dict)
     read_by_account: Dict[str, int] = field(default_factory=dict)
+    #: Sync calls per account name — attributes fsync traffic to its
+    #: source (WAL group commit vs sstable build vs MANIFEST append).
+    syncs_by_account: Dict[str, int] = field(default_factory=dict)
 
     def note_write(self, account: str, nbytes: int) -> None:
         self.bytes_written += nbytes
@@ -329,6 +332,9 @@ class SimulatedStorage:
             self.faults.check("sync", name)
         f.synced_len = len(f.data)
         self.stats.sync_ops += 1
+        self.stats.syncs_by_account[account.name] = (
+            self.stats.syncs_by_account.get(account.name, 0) + 1
+        )
         account.charge(self.device.seq_request_latency)
 
     def synced_size(self, name: str) -> int:

@@ -114,6 +114,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="write per-phase results (throughput, IO, latency "
         "percentiles) as JSON",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a span trace JSONL (get/write/stall/flush/compaction "
+        "spans on the simulated clock; deterministic per seed). With "
+        "multiple engines each gets PATH.<engine>",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the final metrics registry exposition "
+        "(Prometheus-style text). With multiple engines each gets "
+        "PATH.<engine>",
+    )
     return parser
 
 
@@ -153,7 +169,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for engine in engines:
         if len(engines) > 1:
             print(f"\n===== {engine} =====")
-        rc |= _run_one(engine, names, args, reports)
+        rc |= _run_one(engine, names, args, reports, multi=len(engines) > 1)
     if args.json is not None:
         payload = {
             "tool": "repro-dbbench",
@@ -178,6 +194,7 @@ def _run_one(
     names: List[str],
     args,
     reports: Optional[List[Dict[str, object]]] = None,
+    multi: bool = False,
 ) -> int:
     overrides = {}
     lsm_engine = engine not in ("btree", "wiredtiger")
@@ -202,6 +219,13 @@ def _run_one(
         option_overrides=overrides,
     )
     run = fresh_run(engine, cfg)
+    sink = None
+    if args.trace_out is not None:
+        from repro.obs.trace import TraceSink
+
+        trace_path = f"{args.trace_out}.{engine}" if multi else args.trace_out
+        sink = TraceSink(trace_path)
+        run.db.enable_tracing(sink)
     if args.fault_plan is not None:
         # Attached after the store opens: setup IO is never faulted, the
         # benchmark phases run entirely under the plan.
@@ -304,7 +328,15 @@ def _run_one(
             summary["background_errors"] = stats.background_errors
             summary["degraded"] = stats.degraded
         reports.append(summary)
+    if args.metrics_out is not None:
+        metrics_path = f"{args.metrics_out}.{engine}" if multi else args.metrics_out
+        with open(metrics_path, "w") as handle:
+            handle.write(run.db.get_property("repro.metrics") or "")
+        print(f"metrics written to {metrics_path}")
     run.db.close()
+    if sink is not None:
+        sink.close()
+        print(f"trace written to {trace_path} ({sink.spans_written} spans)")
     return 0
 
 

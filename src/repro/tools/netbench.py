@@ -63,6 +63,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--pool-size", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", default=None, metavar="PATH", help="write results JSON")
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a span trace JSONL covering client, server, engine, and "
+        "background work (in-process servers only)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write every shard's metrics exposition (fetched over the "
+        "wire METRICS op) after the run",
+    )
     return parser
 
 
@@ -140,6 +154,21 @@ async def _run(args) -> int:
         else:
             client = await ClusterClient.open_loopback(server, pool_size=args.pool_size)
 
+    sink = None
+    if args.trace_out:
+        if server is None:
+            print("--trace-out requires an in-process server", file=sys.stderr)
+            await client.aclose()
+            return 2
+        from repro.net.client import _ClusterClockView
+        from repro.obs.trace import TraceSink
+
+        sink = TraceSink(args.trace_out)
+        client.enable_tracing(
+            sink, clock=_ClusterClockView(server), seed=args.seed
+        )
+        server.enable_tracing(sink)
+
     shard_count = client.router.num_shards if client.router else 1
     print(
         f"netbench: transport={'external' if args.connect else args.serve} "
@@ -204,9 +233,21 @@ async def _run(args) -> int:
                 f"server served {totals['gets']} gets, expected >= {result['read_ops']}"
             )
 
+    if args.metrics_out:
+        texts = await client.all_metrics()
+        with open(args.metrics_out, "w") as handle:
+            for shard, text in enumerate(texts):
+                handle.write(f"# shard {shard}\n")
+                handle.write(text or "")
+        print(f"metrics written to {args.metrics_out}")
+
     await client.aclose()
     if server is not None:
         await server.aclose()
+    if sink is not None:
+        sink.close()
+        result["trace_spans"] = sink.spans_written
+        print(f"trace written to {args.trace_out} ({sink.spans_written} spans)")
 
     if args.json:
         with open(args.json, "w") as handle:

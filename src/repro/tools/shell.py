@@ -33,6 +33,7 @@ commands:
   scan [start] [limit]   list pairs from start (default 20 rows)
   range <lo> <hi>        inclusive range query
   stats                  operational counters (IO, amplification, stalls)
+  metrics                full metrics registry (Prometheus-style text)
   property [<name>]      read a store property; no argument lists names
   layout                 on-storage layout (levels/guards)
   compact                run compaction to a steady state
@@ -138,6 +139,9 @@ class StoreShell:
                     f"({stats.block_cache_hits} hit / "
                     f"{stats.block_cache_misses} miss)"
                 )
+        elif cmd == "metrics":
+            text = self.db.get_property("repro.metrics")
+            self._print(text if text else "(engine exposes no metrics)")
         elif cmd == "property":
             if not args:
                 for name in self.db.property_names():

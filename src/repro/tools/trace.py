@@ -1,0 +1,213 @@
+"""``repro-trace`` — render span-trace JSONL files for humans.
+
+Reads the trace files written by ``--trace-out`` (db_bench, netbench, or
+any :class:`repro.obs.trace.TraceSink` user) and renders one of four
+reports::
+
+    repro-trace run.jsonl                      # summary (default)
+    repro-trace run.jsonl --report timeline    # flush/compaction timeline
+    repro-trace run.jsonl --report stalls      # write-stall attribution
+    repro-trace run.jsonl --report reads       # read-path breakdown
+
+Exits non-zero when the file cannot be decoded (2), is empty (1), or
+violates the span-nesting invariant (1) — the CI trace-smoke job pipes a
+fresh trace through every report mode and asserts a zero exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.obs.trace import read_trace, verify_nesting
+
+#: Background span names that belong on the compaction/flush timeline.
+_TIMELINE_NAMES = ("flush", "compaction", "compaction.move", "compaction.guard")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Render repro span-trace JSONL files.",
+    )
+    parser.add_argument("trace", help="trace JSONL file (from --trace-out)")
+    parser.add_argument(
+        "--report",
+        choices=("summary", "timeline", "stalls", "reads"),
+        default="summary",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=40,
+        help="max timeline rows to print (0 = all)",
+    )
+    return parser
+
+
+def _attr(span: Dict[str, object], key: str, default=None):
+    attrs = span.get("attrs")
+    if isinstance(attrs, dict):
+        return attrs.get(key, default)
+    return default
+
+
+def _fmt_bytes(n: Optional[object]) -> str:
+    if not isinstance(n, (int, float)):
+        return "-"
+    return f"{n / 1e6:.2f}MB" if n >= 1e5 else f"{int(n)}B"
+
+
+def report_summary(spans: List[Dict[str, object]]) -> None:
+    by_name: Dict[str, List[Dict[str, object]]] = {}
+    traces = set()
+    for span in spans:
+        by_name.setdefault(str(span["name"]), []).append(span)
+        traces.add(span["trace"])
+    t_lo = min(float(s["start"]) for s in spans)
+    t_hi = max(float(s["end"]) for s in spans)
+    print(
+        f"{len(spans)} spans, {len(traces)} traces, "
+        f"sim window [{t_lo:.6f}s, {t_hi:.6f}s]"
+    )
+    print(f"{'name':<20} {'kind':<10} {'count':>7} {'total-s':>10} {'mean-us':>9}")
+    print("-" * 60)
+    for name in sorted(by_name):
+        group = by_name[name]
+        total = sum(float(s["end"]) - float(s["start"]) for s in group)
+        mean_us = total / len(group) * 1e6
+        print(
+            f"{name:<20} {group[0]['kind']:<10} {len(group):>7} "
+            f"{total:>10.4f} {mean_us:>9.1f}"
+        )
+
+
+def report_timeline(spans: List[Dict[str, object]], limit: int) -> None:
+    jobs = [s for s in spans if s["name"] in _TIMELINE_NAMES]
+    if not jobs:
+        print("no flush/compaction spans in this trace")
+        return
+    jobs.sort(key=lambda s: (float(s["start"]), float(s["end"])))
+    print(
+        f"{'start-s':>10} {'dur-ms':>8} {'name':<17} {'lvl':>3} "
+        f"{'in':>9} {'out':>9} {'wait-ms':>8}  guard"
+    )
+    print("-" * 78)
+    shown = jobs if limit <= 0 else jobs[:limit]
+    for span in shown:
+        duration_ms = (float(span["end"]) - float(span["start"])) * 1e3
+        wait = _attr(span, "queue_wait", _attr(span, "conflict_wait"))
+        wait_ms = f"{wait * 1e3:8.2f}" if isinstance(wait, (int, float)) else "       -"
+        guard_lo = _attr(span, "guard_lo", _attr(span, "guard"))
+        guard = "" if guard_lo is None else str(guard_lo)
+        hi = _attr(span, "guard_hi")
+        if hi is not None:
+            guard = f"{guard}..{hi}"
+        level = _attr(span, "level", "-")
+        print(
+            f"{float(span['start']):>10.4f} {duration_ms:>8.2f} "
+            f"{span['name']:<17} {str(level):>3} "
+            f"{_fmt_bytes(_attr(span, 'bytes_in')):>9} "
+            f"{_fmt_bytes(_attr(span, 'bytes_out')):>9} {wait_ms}  {guard}"
+        )
+    if limit > 0 and len(jobs) > limit:
+        print(f"... {len(jobs) - limit} more (raise --limit)")
+
+
+def report_stalls(spans: List[Dict[str, object]]) -> None:
+    stalls = [s for s in spans if s["name"] == "stall"]
+    if not stalls:
+        print("no stall spans in this trace")
+        return
+    by_cause: Dict[str, List[float]] = {}
+    for span in stalls:
+        cause = str(_attr(span, "cause", "unknown"))
+        by_cause.setdefault(cause, []).append(
+            float(span["end"]) - float(span["start"])
+        )
+    total = sum(sum(v) for v in by_cause.values())
+    print(f"{'cause':<20} {'count':>7} {'seconds':>12} {'share':>7}")
+    print("-" * 50)
+    for cause in sorted(by_cause, key=lambda c: -sum(by_cause[c])):
+        seconds = sum(by_cause[cause])
+        share = seconds / total * 100 if total else 0.0
+        print(f"{cause:<20} {len(by_cause[cause]):>7} {seconds:>12.6f} {share:>6.1f}%")
+    print("-" * 50)
+    print(f"{'total':<20} {len(stalls):>7} {total:>12.6f}")
+
+
+def report_reads(spans: List[Dict[str, object]]) -> None:
+    gets = [s for s in spans if s["name"] == "get"]
+    searches = [s for s in spans if s["name"] == "table.search"]
+    if not gets and not searches:
+        print("no read-path spans in this trace")
+        return
+    if gets:
+        found = sum(1 for s in gets if _attr(s, "found"))
+        sources: Dict[str, int] = {}
+        for span in gets:
+            source = str(_attr(span, "source", "miss"))
+            sources[source] = sources.get(source, 0) + 1
+        total_s = sum(float(s["end"]) - float(s["start"]) for s in gets)
+        print(
+            f"gets: {len(gets)} ({found} found), "
+            f"mean {total_s / len(gets) * 1e6:.1f}us"
+        )
+        for source in sorted(sources):
+            print(f"  source {source:<10} {sources[source]:>7}")
+    if searches:
+        probed: Dict[object, int] = {}
+        skipped: Dict[object, int] = {}
+        for span in searches:
+            level = _attr(span, "level")
+            probed[level] = probed.get(level, 0) + int(
+                _attr(span, "files_probed", 0) or 0
+            )
+            skipped[level] = skipped.get(level, 0) + int(
+                _attr(span, "bloom_skipped", 0) or 0
+            )
+        print(f"table searches: {len(searches)} (grouped by found-at level)")
+        print(f"{'level':>7} {'files-probed':>13} {'bloom-skipped':>14}")
+        levels = sorted(
+            set(probed) | set(skipped), key=lambda x: (x is None, str(x))
+        )
+        for level in levels:
+            label = "(miss)" if level is None else str(level)
+            print(
+                f"{label:>7} {probed.get(level, 0):>13} "
+                f"{skipped.get(level, 0):>14}"
+            )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        spans = read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"repro-trace: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"repro-trace: {args.trace} contains no spans", file=sys.stderr)
+        return 1
+    try:
+        verify_nesting(spans)
+    except AssertionError as exc:
+        print(f"repro-trace: nesting violation: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.report == "summary":
+            report_summary(spans)
+        elif args.report == "timeline":
+            report_timeline(spans, args.limit)
+        elif args.report == "stalls":
+            report_stalls(spans)
+        else:
+            report_reads(spans)
+    except BrokenPipeError:  # downstream `head` closed the pipe; not an error
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

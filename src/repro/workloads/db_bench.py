@@ -14,8 +14,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.engines.base import KeyValueStore
+from repro.obs.metrics import Histogram
 from repro.sim.storage import SimulatedStorage
 from repro.workloads.distributions import KeyCodec, value_bytes
+
+
+def _latency_histogram() -> Histogram:
+    """Bounded-memory per-op latency sink (replaces raw sample lists)."""
+    return Histogram("latency_seconds")
 
 
 @dataclass
@@ -38,9 +44,10 @@ class BenchResult:
             return float("inf")
         return self.ops / self.elapsed_seconds / 1000.0
 
-    #: Per-operation simulated latencies in seconds (sampled when the
-    #: driver collects them); see :meth:`percentile`.
-    latencies: Optional[List[float]] = None
+    #: Per-operation simulated latency distribution, log-bucketed so a
+    #: multi-million-op run stays O(buckets) not O(ops); percentiles are
+    #: within one bucket width (~19%) of the exact sample quantile.
+    latencies: Optional[Histogram] = None
 
     @property
     def write_amplification(self) -> float:
@@ -52,9 +59,7 @@ class BenchResult:
         """Latency percentile in seconds (q in [0, 1]); 0.0 if unsampled."""
         if not self.latencies:
             return 0.0
-        ordered = sorted(self.latencies)
-        pos = min(len(ordered) - 1, int(q * len(ordered)))
-        return ordered[pos]
+        return self.latencies.percentile(q)
 
     def row(self) -> str:
         text = (
@@ -89,7 +94,7 @@ class BenchResult:
                 "p50": round(self.percentile(0.5) * 1e6, 3),
                 "p95": round(self.percentile(0.95) * 1e6, 3),
                 "p99": round(self.percentile(0.99) * 1e6, 3),
-                "max": round(max(self.latencies) * 1e6, 3),
+                "max": round(self.latencies.max * 1e6, 3),
                 "samples": len(self.latencies),
             }
         if self.extra:
@@ -162,12 +167,12 @@ class DBBench:
         """Insert keys in ascending order (paper: LSM's best case)."""
         n = count if count is not None else self.num_keys
         clock = self.storage.clock
-        latencies: List[float] = []
+        latencies = _latency_histogram()
         before = self._snapshot()
         for i in range(n):
             t0 = clock.now
             self.db.put(self.codec.encode(i), self._value(i))
-            latencies.append(clock.now - t0)
+            latencies.record(clock.now - t0)
         result = self._result("fillseq", n, before)
         result.latencies = latencies
         return result
@@ -178,12 +183,12 @@ class DBBench:
         order = list(range(n))
         random.Random(self.seed).shuffle(order)
         clock = self.storage.clock
-        latencies: List[float] = []
+        latencies = _latency_histogram()
         before = self._snapshot()
         for i in order:
             t0 = clock.now
             self.db.put(self.codec.encode(i), self._value(i))
-            latencies.append(clock.now - t0)
+            latencies.record(clock.now - t0)
         result = self._result("fillrandom", n, before)
         result.latencies = latencies
         return result
@@ -194,13 +199,13 @@ class DBBench:
         self._value_version += 1
         rng = random.Random(self.seed + self._value_version)
         clock = self.storage.clock
-        latencies: List[float] = []
+        latencies = _latency_histogram()
         before = self._snapshot()
         for _ in range(n):
             i = rng.randrange(self.num_keys)
             t0 = clock.now
             self.db.put(self.codec.encode(i), self._value(i))
-            latencies.append(clock.now - t0)
+            latencies.record(clock.now - t0)
         result = self._result("overwrite", n, before)
         result.latencies = latencies
         return result
@@ -210,12 +215,12 @@ class DBBench:
         order = list(range(self.num_keys))
         random.Random(self.seed + 77).shuffle(order)
         clock = self.storage.clock
-        latencies: List[float] = []
+        latencies = _latency_histogram()
         before = self._snapshot()
         for i in order[:n]:
             t0 = clock.now
             self.db.delete(self.codec.encode(i))
-            latencies.append(clock.now - t0)
+            latencies.record(clock.now - t0)
         result = self._result("deleterandom", n, before)
         result.latencies = latencies
         return result
@@ -232,12 +237,12 @@ class DBBench:
             order = list(range(n))
             random.Random(self.seed + 5).shuffle(order)
             clock = self.storage.clock
-            latencies: List[float] = []
+            latencies = _latency_histogram()
             before = self._snapshot()
             for i in order:
                 t0 = clock.now
                 self.db.put(self.codec.encode(i), self._value(i))
-                latencies.append(clock.now - t0)
+                latencies.record(clock.now - t0)
             result = self._result("fillsync", n, before)
             result.latencies = latencies
             return result
@@ -250,7 +255,7 @@ class DBBench:
     def read_random(self, count: int, *, expect_found: bool = True) -> BenchResult:
         rng = random.Random(self.seed + 1)
         clock = self.storage.clock
-        latencies: List[float] = []
+        latencies = _latency_histogram()
         before = self._snapshot()
         found = 0
         for _ in range(count):
@@ -258,7 +263,7 @@ class DBBench:
             t0 = clock.now
             if self.db.get(key) is not None:
                 found += 1
-            latencies.append(clock.now - t0)
+            latencies.record(clock.now - t0)
         result = self._result("readrandom", count, before)
         result.extra["found_fraction"] = found / count if count else 0.0
         result.latencies = latencies
@@ -269,7 +274,7 @@ class DBBench:
         rng = random.Random(self.seed + 6)
         missing_codec = KeyCodec(self.codec.width, prefix=b"none")
         clock = self.storage.clock
-        latencies: List[float] = []
+        latencies = _latency_histogram()
         before = self._snapshot()
         found = 0
         for _ in range(count):
@@ -277,7 +282,7 @@ class DBBench:
             t0 = clock.now
             if self.db.get(key) is not None:
                 found += 1
-            latencies.append(clock.now - t0)
+            latencies.record(clock.now - t0)
         result = self._result("readmissing", count, before)
         result.extra["found_fraction"] = found / count if count else 0.0
         result.latencies = latencies
@@ -288,13 +293,13 @@ class DBBench:
         rng = random.Random(self.seed + 7)
         hot = max(1, int(self.num_keys * hot_fraction))
         clock = self.storage.clock
-        latencies: List[float] = []
+        latencies = _latency_histogram()
         before = self._snapshot()
         for _ in range(count):
             key = self.codec.encode(rng.randrange(hot))
             t0 = clock.now
             self.db.get(key)
-            latencies.append(clock.now - t0)
+            latencies.record(clock.now - t0)
         result = self._result("readhot", count, before)
         result.latencies = latencies
         return result
@@ -302,14 +307,14 @@ class DBBench:
     def read_seq(self, count: int) -> BenchResult:
         """One long sequential scan of ``count`` entries (readseq)."""
         clock = self.storage.clock
-        latencies: List[float] = []
+        latencies = _latency_histogram()
         before = self._snapshot()
         it = self.db.seek(self.codec.encode(0))
         scanned = 0
         while it.valid and scanned < count:
             t0 = clock.now
             it.next()
-            latencies.append(clock.now - t0)
+            latencies.record(clock.now - t0)
             scanned += 1
         it.close()
         result = self._result("readseq", scanned, before)
@@ -321,7 +326,7 @@ class DBBench:
         rng = random.Random(self.seed + 2)
         name = "seekrandom" if nexts == 0 else f"rangequery{nexts}"
         clock = self.storage.clock
-        latencies: List[float] = []
+        latencies = _latency_histogram()
         before = self._snapshot()
         for _ in range(count):
             key = self.codec.encode(rng.randrange(self.num_keys))
@@ -332,7 +337,7 @@ class DBBench:
                     break
                 it.next()
             it.close()
-            latencies.append(clock.now - t0)
+            latencies.record(clock.now - t0)
         result = self._result(name, count, before)
         result.latencies = latencies
         return result
@@ -347,9 +352,9 @@ class DBBench:
         rng.shuffle(ops)
         self._value_version += 1
         clock = self.storage.clock
-        latencies: List[float] = []
-        read_lat: List[float] = []
-        write_lat: List[float] = []
+        latencies = _latency_histogram()
+        read_lat = _latency_histogram()
+        write_lat = _latency_histogram()
         before = self._snapshot()
         for op in ops:
             i = rng.randrange(self.num_keys)
@@ -360,20 +365,15 @@ class DBBench:
             else:
                 self.db.get(key)
             elapsed = clock.now - t0
-            latencies.append(elapsed)
-            (write_lat if op else read_lat).append(elapsed)
+            latencies.record(elapsed)
+            (write_lat if op else read_lat).record(elapsed)
         result = self._result("mixed", reads + writes, before)
         result.latencies = latencies
         # Per-op-type percentiles: the combined sample hides that writes
         # stall behind compaction while reads do not.
         for label, samples in (("read", read_lat), ("write", write_lat)):
             if samples:
-                ordered = sorted(samples)
-
-                def pick(q: float) -> float:
-                    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
-
-                result.extra[f"{label}_p50_us"] = round(pick(0.5) * 1e6, 3)
-                result.extra[f"{label}_p95_us"] = round(pick(0.95) * 1e6, 3)
-                result.extra[f"{label}_p99_us"] = round(pick(0.99) * 1e6, 3)
+                result.extra[f"{label}_p50_us"] = round(samples.percentile(0.5) * 1e6, 3)
+                result.extra[f"{label}_p95_us"] = round(samples.percentile(0.95) * 1e6, 3)
+                result.extra[f"{label}_p99_us"] = round(samples.percentile(0.99) * 1e6, 3)
         return result

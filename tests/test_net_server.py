@@ -140,7 +140,7 @@ class TestLoopbackServing:
             server = make_server(shards=3)
             client = await ClusterClient.open_loopback(server)
             healths = await client.properties("repro.health")
-            assert healths == ["ok", "ok", "ok"]
+            assert [h.split()[0] for h in healths] == ["ok", "ok", "ok"]
             assert await client.get_property("repro.no-such") is None
             await client.aclose()
             await server.aclose()
@@ -364,7 +364,7 @@ class TestDegradedShard:
             healthy = next(i for i in range(400) if router.shard_for(K(i)) == 0)
             assert await client.put(K(healthy), b"fine")
             healths = await client.properties("repro.health")
-            assert healths == ["ok", "degraded"]
+            assert [h.split()[0] for h in healths] == ["ok", "degraded"]
 
             # Operator clears the cause and resumes: writes flow again.
             shard.env.storage.set_fault_injector(None)
@@ -458,7 +458,7 @@ class TestBlockingClient:
                     it.next()
                     seen += 1
             assert db.stats().puts >= 11
-            assert db.get_property("repro.health") == "ok"
+            assert db.get_property("repro.health").split()[0] == "ok"
             db.wait_idle()
         finally:
             db.close()
