@@ -14,6 +14,14 @@ enabled — and checks two things:
    by a single unit, because the cache charges the exact simulated costs
    a raw read would have.
 
+A third, ablation run isolates the **zero-copy decode** win from the
+cache win: the cache-off configuration is repeated with
+``zero_copy_blocks`` disabled (per-entry ``bytes()`` copies restored),
+and both numbers plus their ratio land in the report's ``zero_copy``
+section.  Zero-copy is host-side only, so the simulated metrics must be
+identical there too.  Set ``READPATH_ZC_ABLATION=0`` to skip the extra
+run.
+
 Results land in ``BENCH_readpath.json`` at the repo root (and in
 pytest-benchmark's ``extra_info``).  Scale with ``READPATH_GETS`` /
 ``READPATH_KEYS`` env vars; CI uses a reduced op count.
@@ -21,6 +29,7 @@ pytest-benchmark's ``extra_info``).  Scale with ``READPATH_GETS`` /
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
@@ -33,6 +42,7 @@ NUM_KEYS = int(os.environ.get("READPATH_KEYS", "12000"))
 GETS = int(os.environ.get("READPATH_GETS", "1000000"))
 VALUE_SIZE = 512
 CACHE_BYTES = 32 * 1024 * 1024
+ZC_ABLATION = os.environ.get("READPATH_ZC_ABLATION", "1") != "0"
 
 #: Full-size runs must clear the acceptance bar; reduced runs (CI smoke)
 #: amortize the warm-up over fewer reads, so they get a softer floor.
@@ -42,13 +52,21 @@ SPEEDUP_FLOOR = 2.0 if _FULL_SCALE else 1.2
 _JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_readpath.json"
 
 
-def _measure(block_cache_bytes: int):
+def _measure(block_cache_bytes: int, zero_copy: bool = True):
     """One warmed-store random-read run; returns (wall, sim_metrics, stats)."""
+    # Each measurement starts from a clean heap so an earlier run's
+    # garbage cannot tax this run's timed loop.
+    gc.collect()
     cfg = standard_config(
         num_keys=NUM_KEYS,
         value_size=VALUE_SIZE,
         seed=3,
-        option_overrides={"pebblesdb": {"block_cache_bytes": block_cache_bytes}},
+        option_overrides={
+            "pebblesdb": {
+                "block_cache_bytes": block_cache_bytes,
+                "zero_copy_blocks": zero_copy,
+            }
+        },
     )
     run = fresh_run("pebblesdb", cfg)
     run.bench.fill_random()
@@ -86,7 +104,7 @@ def test_readpath_cache_speedup(benchmark):
     def experiment():
         wall_off, sim_off, _ = _measure(0)
         wall_on, sim_on, cache_stats = _measure(CACHE_BYTES)
-        return {
+        report = {
             "engine": "pebblesdb",
             "num_keys": NUM_KEYS,
             "gets": GETS,
@@ -99,6 +117,17 @@ def test_readpath_cache_speedup(benchmark):
             "block_cache": cache_stats,
             "sim_metrics": sim_on,
         }
+        if ZC_ABLATION:
+            # Ablation: same cache-off run with value copies restored, so
+            # the decode win is isolated from the cache win above.
+            wall_copy, sim_copy, _ = _measure(0, zero_copy=False)
+            report["zero_copy"] = {
+                "wall_seconds_on": round(wall_off, 3),
+                "wall_seconds_off": round(wall_copy, 3),
+                "speedup": round(wall_copy / wall_off, 3),
+                "sim_metrics_identical": sim_copy == sim_off,
+            }
+        return report
 
     result = run_once(benchmark, experiment)
     _JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
@@ -111,6 +140,14 @@ def test_readpath_cache_speedup(benchmark):
         f"(decoded-cache hit rate {result['block_cache']['hit_rate'] * 100:.1f}%)"
     )
     print(f"simulated metrics identical: {result['sim_metrics_identical']}")
+    if "zero_copy" in result:
+        zc = result["zero_copy"]
+        print(
+            f"zero-copy ablation (cache off): "
+            f"copies={zc['wall_seconds_off']:.2f}s "
+            f"zero-copy={zc['wall_seconds_on']:.2f}s "
+            f"speedup={zc['speedup']:.2f}x"
+        )
     print(f"recorded to {_JSON_PATH.name}")
 
     assert result["sim_metrics_identical"], (
@@ -121,3 +158,8 @@ def test_readpath_cache_speedup(benchmark):
         f"read-path speedup {result['speedup']:.2f}x below the "
         f"{SPEEDUP_FLOOR}x floor"
     )
+    if "zero_copy" in result:
+        assert result["zero_copy"]["sim_metrics_identical"], (
+            "zero-copy decode changed a simulated metric — it is a "
+            "host-side representation change and must be invisible"
+        )

@@ -55,12 +55,22 @@ class BloomFilter:
 
     def may_contain(self, key: bytes) -> bool:
         """False means definitely absent; True means probably present."""
-        h = murmur3_64(key)
+        return self.may_contain_hash(murmur3_64(key))
+
+    def may_contain_hash(self, h: int) -> bool:
+        """Membership test from a precomputed ``murmur3_64(key)`` digest.
+
+        A get that consults several tables' filters for one key hashes
+        the key once and probes each filter with the digest; probe
+        positions depend on the digest and the filter's own geometry, so
+        the digest is shareable across filters of any size.
+        """
         h1 = h & 0xFFFFFFFF
         h2 = (h >> 32) | 1
+        array = self._array
         for i in range(self.num_probes):
             bit = (h1 + i * h2) % self.bits
-            if not self._array[bit >> 3] & (1 << (bit & 7)):
+            if not array[bit >> 3] & (1 << (bit & 7)):
                 return False
         return True
 

@@ -39,6 +39,7 @@ from repro.memtable.memtable import GetResult
 from repro.sim.storage import IoAccount, SimulatedStorage
 from repro.sstable import SSTableBuilder, compaction_iterator, merging_iterator
 from repro.util.keys import InternalKey, KIND_DELETE, KIND_PUT, MAX_SEQUENCE
+from repro.util.murmur import murmur3_64
 from repro.version import VersionEdit
 from repro.version.files import FileMetadata
 from repro.version.manifest import GUARD_KEY, GUARD_NONE, GUARD_SENTINEL
@@ -288,7 +289,13 @@ class PebblesDBStore(LSMStoreBase):
         span = trc.span("table.search") if trc is not None else None
         try:
             # Level 0 first; files may overlap arbitrarily, newest
-            # sequence wins.
+            # sequence wins.  One interned probe key serves every table
+            # probed for this lookup (readers would otherwise rebuild it,
+            # and its memoized sort tuple, per file), and one murmur
+            # digest serves every bloom filter screened.
+            probe = InternalKey(key, min(snapshot, MAX_SEQUENCE), KIND_PUT)
+            kh = murmur3_64(key)
+            get_reader = self._get_reader
             probed = 0
             bloom_skipped = 0
             best0: Optional[GetResult] = None
@@ -296,12 +303,12 @@ class PebblesDBStore(LSMStoreBase):
             for meta in self._level0:
                 if not meta.overlaps(key, key):
                     continue
-                reader = self._get_reader(meta.number, account)
-                if not reader.may_contain(key, account):
+                reader = get_reader(meta.number, account)
+                if not reader.may_contain(key, account, kh):
                     level_skipped += 1
                     continue
                 level_probed += 1
-                result = reader.get(key, snapshot, account)
+                result = reader.get(key, snapshot, account, probe)
                 if result.found and (best0 is None or result.sequence > best0.sequence):
                     best0 = result
             if level_skipped:
@@ -334,12 +341,12 @@ class PebblesDBStore(LSMStoreBase):
                 for meta in reversed(guard.files):
                     if not meta.overlaps(key, key):
                         continue
-                    reader = self._get_reader(meta.number, account)
-                    if not reader.may_contain(key, account):
+                    reader = get_reader(meta.number, account)
+                    if not reader.may_contain(key, account, kh):
                         level_skipped += 1
                         continue
                     level_probed += 1
-                    result = reader.get(key, snapshot, account)
+                    result = reader.get(key, snapshot, account, probe)
                     if result.found and result.sequence > best_seq:
                         best, best_seq = result, result.sequence
                 if level_skipped:

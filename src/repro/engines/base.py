@@ -1500,6 +1500,7 @@ class LSMStoreBase(KeyValueStore):
                 load_bloom=self.options.enable_sstable_bloom,
                 block_cache=self._block_cache,
                 cache_key=number,
+                zero_copy=self.options.zero_copy_blocks,
             )
         except (CorruptionError, StorageError):
             # A failed open may have cached partial metadata for this
@@ -1563,7 +1564,9 @@ class LSMStoreBase(KeyValueStore):
             prev = key.user_key
             if key.kind == KIND_DELETE:
                 continue
-            yield key.user_key, value
+            # bytes() materializes zero-copy (memoryview) sstable values;
+            # it is a no-op for memtable values, which are bytes already.
+            yield key.user_key, bytes(value)
 
     def _visible_entries_reverse(
         self, start: Optional[bytes], snap: Optional[Snapshot] = None
@@ -1587,7 +1590,8 @@ class LSMStoreBase(KeyValueStore):
 
         def emit(entry: Optional[Entry]):
             if entry is not None and entry[0].kind != KIND_DELETE:
-                return entry[0].user_key, entry[1]
+                # bytes() materializes zero-copy sstable memoryviews.
+                return entry[0].user_key, bytes(entry[1])
             return None
 
         for key, value in merged:

@@ -23,6 +23,7 @@ from repro.memtable.memtable import GetResult
 from repro.sim.storage import IoAccount
 from repro.sstable import compaction_iterator, merging_iterator
 from repro.util.keys import InternalKey, KIND_PUT, MAX_SEQUENCE
+from repro.util.murmur import murmur3_64
 from repro.version import VersionEdit
 from repro.version.files import FileMetadata
 from repro.version.manifest import GUARD_NONE
@@ -106,6 +107,11 @@ class LeveledLSMStore(LSMStoreBase):
             # Level 0: files may overlap arbitrarily (e.g. after RepairDB
             # placed everything there), so the newest matching version
             # across all candidates wins, decided by sequence number.
+            # One interned probe key serves every table probed below, and
+            # one murmur digest serves every bloom filter screened.
+            probe = InternalKey(key, min(snapshot, MAX_SEQUENCE), KIND_PUT)
+            kh = murmur3_64(key)
+            get_reader = self._get_reader
             probed = 0
             bloom_skipped = 0
             best: Optional[GetResult] = None
@@ -113,12 +119,12 @@ class LeveledLSMStore(LSMStoreBase):
             for meta in self._levels[0]:
                 if not meta.overlaps(key, key):
                     continue
-                reader = self._get_reader(meta.number, account)
-                if not reader.may_contain(key, account):
+                reader = get_reader(meta.number, account)
+                if not reader.may_contain(key, account, kh):
                     level_skipped += 1
                     continue
                 level_probed += 1
-                result = reader.get(key, snapshot, account)
+                result = reader.get(key, snapshot, account, probe)
                 if result.found and (best is None or result.sequence > best.sequence):
                     best = result
             if level_skipped:
@@ -147,14 +153,14 @@ class LeveledLSMStore(LSMStoreBase):
                 meta = self._find_file(files, key)
                 if meta is None:
                     continue
-                reader = self._get_reader(meta.number, account)
-                if not reader.may_contain(key, account):
+                reader = get_reader(meta.number, account)
+                if not reader.may_contain(key, account, kh):
                     self._probe_bloom[level] += 1
                     bloom_skipped += 1
                     continue
                 self._probe_files[level] += 1
                 probed += 1
-                result = reader.get(key, snapshot, account)
+                result = reader.get(key, snapshot, account, probe)
                 if result.found:
                     if span is not None:
                         span.set(

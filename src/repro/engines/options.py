@@ -102,6 +102,12 @@ class StoreOptions:
     #: counts, and page-cache hit rates are identical with it on or off,
     #: so it never perturbs a reproduced figure.
     block_cache_bytes: int = 32 * MiB
+    #: Decode data blocks zero-copy: values stay memoryview slices into
+    #: the raw block until a value is actually returned to a caller, so
+    #: an uncached point read allocates one bytes object instead of one
+    #: per entry.  Host-side only (same simulated metrics either way);
+    #: the off switch exists for the bench_readpath ablation.
+    zero_copy_blocks: bool = True
     #: Seeks allowed against a file before it is scheduled for compaction.
     seek_compaction_enabled: bool = True
 

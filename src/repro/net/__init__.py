@@ -14,7 +14,10 @@ key-value service.  Four layers, bottom to top:
 * :mod:`repro.net.server` / :mod:`repro.net.client` — an asyncio server
   hosting N range-partitioned shards with per-shard group commit and
   graceful degraded-mode responses, and a pooling/pipelining client with
-  retry/backoff and idempotent (deduplicated) write retries.
+  retry/backoff and idempotent (deduplicated) write retries;
+* :mod:`repro.net.mp` — the multiprocessing serving mode: one worker
+  process per shard behind a relaying parent, turning the simulated
+  shard scaling into wall-clock multi-core scaling.
 """
 
 from repro.net.client import BlockingClusterClient, ClusterClient, ClusterSnapshot
@@ -35,6 +38,7 @@ from repro.net.protocol import (
     decode_payload,
     encode_frame,
 )
+from repro.net.mp import ProcessKVServer, make_server
 from repro.net.router import ShardRouter
 from repro.net.server import KVServer, ServerConfig
 from repro.net.transport import (
@@ -54,6 +58,7 @@ __all__ = [
     "KVServer",
     "MAX_FRAME_BYTES",
     "NetError",
+    "ProcessKVServer",
     "RemoteError",
     "Request",
     "Response",
@@ -66,4 +71,5 @@ __all__ = [
     "decode_payload",
     "encode_frame",
     "loopback_pair",
+    "make_server",
 ]

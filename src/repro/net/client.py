@@ -321,6 +321,24 @@ class ClusterClient:
                 )
                 attempt += 1
                 continue
+            if response.status == Status.UNAVAILABLE:
+                # The shard's worker process is down.  Transient: a
+                # supervisor may restart it, so retry like a dropped
+                # connection rather than failing the call outright.
+                self.stats.transient_errors += 1
+                if attempt >= self._max_retries:
+                    raise ServerUnavailableError(
+                        f"request {request.request_id} unavailable after "
+                        f"{attempt + 1} attempts: {response.message}"
+                    )
+                self.stats.retries += 1
+                if span is not None:
+                    span.event("retry", attempt=attempt + 1, error="UNAVAILABLE")
+                await self._sleep(
+                    min(self._backoff_base * (2 ** attempt), self._backoff_max)
+                )
+                attempt += 1
+                continue
             return self._check(response)
 
     @staticmethod

@@ -1,0 +1,529 @@
+"""Multiprocessing serving mode: one OS process per shard.
+
+The loopback :class:`~repro.net.server.KVServer` hosts every shard on one
+asyncio event loop — fully deterministic, but one GIL means simulated
+throughput never becomes wall-clock throughput.  This module runs the
+*same* server, sharded across processes:
+
+* Each **worker process** hosts ``KVServer(config, shard_ids=[i])`` — one
+  shard with its global identity (``shardN/`` storage prefix, ``seed+N``
+  engine seed), serving the ordinary CRC-framed wire protocol on a
+  private TCP port.  Because the worker runs the identical engine with
+  the identical seed on its own simulated device, a same-seed workload
+  produces byte-identical shard state in both serving modes.
+* The **parent** (:class:`ProcessKVServer`) supervises the workers over
+  ``multiprocessing`` control pipes (startup handshake, digests,
+  simulated clocks, shutdown) and relays client connections: for every
+  client connection it lazily opens one TCP connection per shard to the
+  workers, introduces the client with a reserved-id HELLO, and forwards
+  frames verbatim in both directions.  Requests to a dead worker answer
+  ``UNAVAILABLE`` — a transient status the client retries — and
+  :meth:`ProcessKVServer.restart_shard` brings up a fresh worker.
+
+Determinism boundary: *within* a shard everything stays deterministic
+(its engine, clock, and WAL see the same op sequence either way); what
+the process mode gives up is the deterministic *interleaving across
+shards* that the single loopback event loop provided.  Workloads that
+need cross-shard determinism (the differential tests) drive operations
+in a deterministic per-shard order, which both modes preserve.
+
+Workers are started with the ``spawn`` method: forking a process that
+already runs an asyncio loop (or threads) is unsafe, and spawn gives
+identical semantics on Linux and macOS.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import InvalidArgumentError
+from repro.net.errors import FrameError, TransientNetError
+from repro.net.protocol import (
+    FrameDecoder,
+    Op,
+    Request,
+    Response,
+    Status,
+    decode_payload,
+    decode_varint64,
+    encode_frame,
+)
+from repro.net.server import KVServer, ServerConfig
+from repro.net.transport import LoopbackEndpoint, StreamEndpoint, loopback_pair
+
+#: Request id the relay reserves for its worker-side HELLO; client ids
+#: start at 1 (``ClusterClient._next_request_id``), so it cannot collide.
+RELAY_HELLO_ID = 0
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _shard_worker_main(conn, config: ServerConfig, shard_id: int) -> None:
+    """Entry point of one shard worker (runs in the spawned process)."""
+    try:
+        asyncio.run(_shard_worker(conn, config, shard_id))
+    except KeyboardInterrupt:  # pragma: no cover - operator interrupt
+        pass
+    finally:
+        conn.close()
+
+
+async def _shard_worker(conn, config: ServerConfig, shard_id: int) -> None:
+    server = KVServer(config, shard_ids=[shard_id])
+    await server.serve_tcp("127.0.0.1", 0)
+    loop = asyncio.get_running_loop()
+    conn.send(("ready", server.tcp_address[1]))
+    try:
+        while True:
+            try:
+                message = await loop.run_in_executor(None, conn.recv)
+            except (EOFError, OSError):
+                break  # parent died or closed the pipe; shut down
+            cmd = message[0]
+            if cmd == "shutdown":
+                break
+            elif cmd == "digest":
+                await server.wait_idle()
+                conn.send(("digest", server.state_digests()[0]))
+            elif cmd == "sim_time":
+                conn.send(("sim_time", server.shard_sim_times()[0]))
+            elif cmd == "totals":
+                conn.send(("totals", server.total_ops(), server.protocol_errors))
+            elif cmd == "metrics":
+                conn.send(("metrics", server.metrics_text()))
+            elif cmd == "wait_idle":
+                await server.wait_idle()
+                conn.send(("idle",))
+            else:  # pragma: no cover - protocol drift guard
+                conn.send(("error", f"unknown control command {cmd!r}"))
+    finally:
+        await server.aclose()
+    try:
+        conn.send(("bye",))
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+        pass
+
+
+class _WorkerHandle:
+    """Parent-side handle: process, control pipe, serving port."""
+
+    def __init__(self, shard_id: int, process, conn, port: int) -> None:
+        self.shard_id = shard_id
+        self.process = process
+        self.conn = conn
+        self.port = port
+        #: Serializes control-pipe round-trips (they may run on executor
+        #: threads, so this is a *thread* lock, not an asyncio one).
+        self.lock = threading.Lock()
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def call(self, *message):
+        """One control round-trip; raises TransientNetError when dead."""
+        with self.lock:
+            if not self.alive:
+                raise TransientNetError(
+                    f"shard {self.shard_id} worker is not running"
+                )
+            try:
+                self.conn.send(message)
+                return self.conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise TransientNetError(
+                    f"shard {self.shard_id} worker control pipe failed: {exc}"
+                ) from exc
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Graceful stop: shutdown message, join, escalate to kill."""
+        with self.lock:
+            if self.alive:
+                try:
+                    self.conn.send(("shutdown",))
+                except (BrokenPipeError, OSError):
+                    pass
+            self.process.join(timeout)
+            if self.alive:  # pragma: no cover - stuck worker
+                self.process.kill()
+                self.process.join(timeout)
+            self.conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent: supervisor + relay
+# ----------------------------------------------------------------------
+class ProcessKVServer:
+    """KVServer-shaped frontend over one worker process per shard.
+
+    Duck-types the :class:`~repro.net.server.KVServer` surface the
+    clients, benchmarks, and tests use (``connect_loopback``,
+    ``serve_tcp``, ``wait_idle``, ``aclose``, ``state_digests``,
+    ``total_ops``, ``sim_now``, ...), so :class:`ClusterClient` and
+    :class:`BlockingClusterClient` work unchanged against it.
+
+    Introspection calls are control-pipe round-trips to the workers;
+    they are synchronous and intended for test/benchmark checkpoints,
+    not the data path.  The data path is the relay: frames go to the
+    worker that owns the shard, responses stream straight back.
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None, **overrides) -> None:
+        if config is None:
+            config = ServerConfig(**overrides)
+        elif overrides:
+            raise InvalidArgumentError("pass either a config or overrides, not both")
+        self.config = config
+        self.router = config.make_router()
+        if self.router.num_shards != config.shards:
+            raise InvalidArgumentError(
+                f"{config.shards} shards need {config.shards - 1} boundaries, "
+                f"got {self.router.num_shards - 1}"
+            )
+        #: Frames from clients that failed CRC/format checks at the relay.
+        self.protocol_errors = 0
+        self._ctx = multiprocessing.get_context("spawn")
+        self._workers: List[_WorkerHandle] = [
+            self._spawn_worker(i) for i in range(config.shards)
+        ]
+        self._next_anonymous_client = 1
+        self._connection_tasks: "Set[asyncio.Task]" = set()
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._closed = False
+
+    def _spawn_worker(self, shard_id: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, self.config, shard_id),
+            name=f"repro-shard{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        tag, port = parent_conn.recv()  # startup handshake
+        assert tag == "ready", f"worker {shard_id} bad handshake: {tag}"
+        return _WorkerHandle(shard_id, process, parent_conn, port)
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    @property
+    def worker_ports(self) -> List[int]:
+        """Each shard worker's TCP port (benchmark drivers connect direct)."""
+        return [worker.port for worker in self._workers]
+
+    def worker_alive(self, shard_id: int) -> bool:
+        return self._workers[shard_id].alive
+
+    def restart_shard(self, shard_id: int) -> None:
+        """Replace a (dead or live) worker with a freshly spawned one.
+
+        The replacement starts from an empty simulated device: worker
+        state lives in process-private simulated storage, so a crash
+        loses the shard's data.  Real durability would need the device
+        state externalized or replicated — a ROADMAP item; what this
+        gives is the serving-layer contract (``UNAVAILABLE`` while down,
+        clean resume after restart).
+        """
+        old = self._workers[shard_id]
+        old.shutdown(timeout=2.0)
+        self._workers[shard_id] = self._spawn_worker(shard_id)
+
+    # ------------------------------------------------------------------
+    # Connection plumbing (mirrors KVServer)
+    # ------------------------------------------------------------------
+    def connect_loopback(self) -> LoopbackEndpoint:
+        """A client endpoint relayed in-process to the shard workers."""
+        client_side, server_side = loopback_pair()
+        task = asyncio.ensure_future(self.handle_connection(server_side))
+        self._connection_tasks.add(task)
+        task.add_done_callback(self._connection_tasks.discard)
+        return client_side
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
+        async def on_client(reader, writer):
+            task = asyncio.current_task()
+            if task is not None:
+                self._connection_tasks.add(task)
+                task.add_done_callback(self._connection_tasks.discard)
+            try:
+                await self.handle_connection(StreamEndpoint(reader, writer))
+            except asyncio.CancelledError:
+                pass
+
+        self._tcp_server = await asyncio.start_server(on_client, host, port)
+        return self._tcp_server
+
+    @property
+    def tcp_address(self) -> Tuple[str, int]:
+        assert self._tcp_server is not None, "serve_tcp was not called"
+        sock = self._tcp_server.sockets[0]
+        address = sock.getsockname()
+        return address[0], address[1]
+
+    async def handle_connection(self, endpoint) -> None:
+        """Relay one client connection to the shard workers."""
+        relay = _ConnectionRelay(self, endpoint)
+        try:
+            await relay.run()
+        finally:
+            await relay.aclose()
+            endpoint.close()
+
+    def _assign_client_id(self, requested: int) -> int:
+        if requested != 0:
+            return requested
+        client_id = self._next_anonymous_client
+        self._next_anonymous_client += 1
+        return client_id
+
+    # ------------------------------------------------------------------
+    # Introspection (control-pipe round-trips)
+    # ------------------------------------------------------------------
+    def state_digests(self) -> List[str]:
+        """Per-shard on-storage digests, gathered from the workers."""
+        return [worker.call("digest")[1] for worker in self._workers]
+
+    def shard_sim_times(self) -> List[float]:
+        return [worker.call("sim_time")[1] for worker in self._workers]
+
+    def sim_now(self) -> float:
+        return max(self.shard_sim_times())
+
+    def total_ops(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for worker in self._workers:
+            _, ops, _proto = worker.call("totals")
+            for name, value in ops.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def worker_protocol_errors(self) -> int:
+        """Bad frames seen by the workers (the CI smoke asserts 0)."""
+        return sum(worker.call("totals")[2] for worker in self._workers)
+
+    def metrics_text(self) -> str:
+        """Cluster exposition: each worker merges its shard; texts join."""
+        return "\n".join(
+            worker.call("metrics")[1] for worker in self._workers
+        )
+
+    async def wait_idle(self) -> None:
+        loop = asyncio.get_running_loop()
+        for worker in self._workers:
+            if worker.alive:
+                await loop.run_in_executor(None, worker.call, "wait_idle")
+
+    async def aclose(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        for task in list(self._connection_tasks):
+            task.cancel()
+        if self._connection_tasks:
+            await asyncio.gather(*self._connection_tasks, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        for worker in self._workers:
+            await loop.run_in_executor(None, worker.shutdown)
+
+    def close(self) -> None:
+        """Synchronous close for callers outside an event loop."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.shutdown()
+
+
+class _ConnectionRelay:
+    """Relays one client connection: frames out to workers, back in.
+
+    One worker TCP connection is opened lazily per shard *per client
+    connection* — request ids are only unique within a client, so
+    multiplexing different clients onto one worker connection would
+    collide them.  The relay introduces the client to each worker with
+    a HELLO carrying the reserved :data:`RELAY_HELLO_ID`; the pump task
+    filters that response out of the backward stream and forwards every
+    other frame verbatim (no re-encode, no second CRC check — the frame
+    was already verified at the relay's decoder).
+    """
+
+    def __init__(self, server: ProcessKVServer, endpoint) -> None:
+        self._server = server
+        self._endpoint = endpoint
+        self._client_id = 0
+        self._worker_endpoints: Dict[int, StreamEndpoint] = {}
+        self._pumps: Dict[int, asyncio.Task] = {}
+        #: Request ids forwarded to each shard and not yet answered; on a
+        #: worker drop each one gets an UNAVAILABLE response instead of
+        #: hanging the client's pipelined future forever.
+        self._pending: Dict[int, Set[int]] = {}
+
+    async def run(self) -> None:
+        decoder = FrameDecoder()
+        while True:
+            chunk = await self._endpoint.read(65536)
+            if not chunk:
+                break
+            try:
+                decoder.feed(chunk)
+                while True:
+                    payload = decoder.next_frame()
+                    if payload is None:
+                        break
+                    await self._relay_frame(payload)
+            except FrameError:
+                self._server.protocol_errors += 1
+                break
+
+    async def _relay_frame(self, payload: bytes) -> None:
+        message = decode_payload(payload)
+        if not isinstance(message, Request):
+            raise FrameError("client sent a response payload")
+        if message.op == Op.HELLO:
+            self._client_id = self._server._assign_client_id(message.client_id)
+            router = self._server.router
+            self._send(
+                Response(
+                    request_id=message.request_id,
+                    status=Status.OK,
+                    client_id=self._client_id,
+                    shard_count=router.num_shards,
+                    boundaries=list(router.boundaries),
+                )
+            )
+            return
+        shard = message.shard
+        if not 0 <= shard < self._server.config.shards:
+            self._send(
+                Response(
+                    request_id=message.request_id,
+                    status=Status.BAD_SHARD,
+                    message=f"no shard {shard} "
+                    f"(have {self._server.config.shards})",
+                )
+            )
+            return
+        worker_endpoint = self._worker_endpoints.get(shard)
+        if worker_endpoint is None:
+            worker_endpoint = await self._open_worker(shard)
+            if worker_endpoint is None:
+                self._send(self._unavailable(message.request_id, shard))
+                return
+        self._pending.setdefault(shard, set()).add(message.request_id)
+        try:
+            worker_endpoint.write(encode_frame(payload))
+            await worker_endpoint.drain()
+        except TransientNetError:
+            # The pump task notices the drop and fails the pending set
+            # (including this id) with UNAVAILABLE.
+            pass
+
+    async def _open_worker(self, shard: int) -> Optional[StreamEndpoint]:
+        if not self._server.worker_alive(shard):
+            return None
+        port = self._server._workers[shard].port
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        except (ConnectionError, OSError):
+            return None
+        worker_endpoint = StreamEndpoint(reader, writer)
+        hello = Request(
+            op=Op.HELLO, request_id=RELAY_HELLO_ID, client_id=self._client_id
+        )
+        try:
+            worker_endpoint.write(encode_frame(hello.encode()))
+            await worker_endpoint.drain()
+        except TransientNetError:
+            worker_endpoint.close()
+            return None
+        self._worker_endpoints[shard] = worker_endpoint
+        self._pumps[shard] = asyncio.ensure_future(
+            self._pump(shard, worker_endpoint)
+        )
+        return worker_endpoint
+
+    async def _pump(self, shard: int, worker_endpoint: StreamEndpoint) -> None:
+        """Forward worker → client frames, filtering the relay HELLO."""
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await worker_endpoint.read(65536)
+                if not chunk:
+                    break
+                decoder.feed(chunk)
+                while True:
+                    payload = decoder.next_frame()
+                    if payload is None:
+                        break
+                    request_id, _ = decode_varint64(payload, 1)
+                    if payload[0] == Op.RESPONSE and request_id == RELAY_HELLO_ID:
+                        continue  # the relay's own HELLO answer
+                    pending = self._pending.get(shard)
+                    if pending is not None:
+                        pending.discard(request_id)
+                    try:
+                        self._endpoint.write(encode_frame(payload))
+                        await self._endpoint.drain()
+                    except TransientNetError:
+                        return  # client gone; run() will wind down
+        except (FrameError, TransientNetError, OSError):
+            pass  # treated as a worker drop below
+        finally:
+            self._worker_endpoints.pop(shard, None)
+            worker_endpoint.close()
+            self._fail_pending(shard)
+
+    def _fail_pending(self, shard: int) -> None:
+        pending = self._pending.pop(shard, None)
+        if not pending:
+            return
+        for request_id in sorted(pending):
+            try:
+                self._send(self._unavailable(request_id, shard))
+            except TransientNetError:  # pragma: no cover - client gone too
+                break
+
+    def _unavailable(self, request_id: int, shard: int) -> Response:
+        return Response(
+            request_id=request_id,
+            status=Status.UNAVAILABLE,
+            message=f"shard {shard} worker is not running",
+        )
+
+    def _send(self, response: Response) -> None:
+        self._endpoint.write(encode_frame(response.encode()))
+
+    async def aclose(self) -> None:
+        for task in list(self._pumps.values()):
+            task.cancel()
+        if self._pumps:
+            await asyncio.gather(*self._pumps.values(), return_exceptions=True)
+        self._pumps.clear()
+        for worker_endpoint in list(self._worker_endpoints.values()):
+            worker_endpoint.close()
+        self._worker_endpoints.clear()
+
+
+def make_server(config: Optional[ServerConfig] = None, *, serving_mode: str = "loopback", **overrides):
+    """Build the server for a serving mode: KVServer or ProcessKVServer.
+
+    ``"loopback"`` is the deterministic single-process asyncio server;
+    ``"process"`` spawns one worker process per shard and relays.  Both
+    accept the same config/overrides and serve the same protocol.
+    """
+    if serving_mode == "loopback":
+        return KVServer(config, **overrides)
+    if serving_mode == "process":
+        return ProcessKVServer(config, **overrides)
+    raise InvalidArgumentError(
+        f"unknown serving_mode {serving_mode!r} (use 'loopback' or 'process')"
+    )

@@ -37,7 +37,10 @@ Statuses: ``OK``/``NOT_FOUND`` are success shapes; ``DEGRADED`` maps the
 shard's sticky :class:`repro.errors.BackgroundError` onto the wire (reads
 keep working, writes are rejected until the shard is resumed);
 ``BAD_REQUEST``/``BAD_SHARD``/``UNSUPPORTED``/``SERVER_ERROR`` are
-client- or server-side failures that retrying will not fix.
+client- or server-side failures that retrying will not fix;
+``UNAVAILABLE`` means the shard's backing worker process is down — a
+*transient* condition (clients retry it like a dropped connection, and a
+process-mode supervisor may restart the worker in between).
 """
 
 from __future__ import annotations
@@ -51,6 +54,7 @@ from repro.util.crc import crc32c, mask_crc, unmask_crc
 from repro.util.varint import (
     decode_varint32,
     decode_varint64,
+    decode_varint_run,
     encode_varint32,
     encode_varint64,
 )
@@ -123,6 +127,9 @@ class Status:
     BAD_SHARD = 4
     UNSUPPORTED = 5
     SERVER_ERROR = 6
+    #: The shard's worker process is down (process serving mode); the
+    #: condition is transient and clients retry it.
+    UNAVAILABLE = 7
 
     NAMES = {
         0: "OK",
@@ -132,6 +139,7 @@ class Status:
         4: "BAD_SHARD",
         5: "UNSUPPORTED",
         6: "SERVER_ERROR",
+        7: "UNAVAILABLE",
     }
 
 
@@ -414,8 +422,8 @@ def _decode_response(data: bytes, request_id: int, offset: int) -> Response:
         key, offset = _get_bytes(data, offset)
         value, offset = _get_bytes(data, offset)
         resp.pairs.append((key, value))
-    resp.snapshot, offset = decode_varint64(data, offset)
-    resp.client_id, offset = decode_varint64(data, offset)
+    # Adjacent varint64 pair: one batched decode instead of two calls.
+    (resp.snapshot, resp.client_id), offset = decode_varint_run(data, offset, 2)
     resp.shard_count, offset = decode_varint32(data, offset)
     count, offset = decode_varint32(data, offset)
     for _ in range(count):

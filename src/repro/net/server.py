@@ -294,9 +294,25 @@ class Shard:
 
 
 class KVServer:
-    """Hosts the shards and speaks the wire protocol."""
+    """Hosts the shards and speaks the wire protocol.
 
-    def __init__(self, config: Optional[ServerConfig] = None, **overrides) -> None:
+    ``shard_ids`` restricts the server to a subset of the cluster's
+    shards while keeping their *global* identity — shard ``i`` keeps its
+    ``shardN/`` storage prefix and ``seed + i`` engine seed, so a
+    process-mode worker hosting one shard produces byte-identical state
+    to the same shard inside a full loopback server.  The HELLO response
+    still publishes the full cluster map (router boundaries are a
+    cluster property); requests for shards this server does not host
+    answer ``BAD_SHARD``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        *,
+        shard_ids: Optional[List[int]] = None,
+        **overrides,
+    ) -> None:
         if config is None:
             config = ServerConfig(**overrides)
         elif overrides:
@@ -308,7 +324,14 @@ class KVServer:
                 f"{config.shards} shards need {config.shards - 1} boundaries, "
                 f"got {self.router.num_shards - 1}"
             )
-        self.shards = [Shard(i, config) for i in range(config.shards)]
+        if shard_ids is None:
+            shard_ids = list(range(config.shards))
+        elif any(not 0 <= i < config.shards for i in shard_ids):
+            raise InvalidArgumentError(
+                f"shard_ids {shard_ids} out of range for {config.shards} shards"
+            )
+        self.shards = [Shard(i, config) for i in shard_ids]
+        self._shard_map = {shard.index: shard for shard in self.shards}
         #: Frames that failed CRC/format checks (the CI smoke asserts 0).
         self.protocol_errors = 0
         self._next_anonymous_client = 1
@@ -436,13 +459,16 @@ class KVServer:
         return (trace_id, span_id) if span_id else None
 
     async def _dispatch(self, request: Request, client_id: int) -> Response:
-        if not 0 <= request.shard < len(self.shards):
+        shard = self._shard_map.get(request.shard)
+        if shard is None:
             return Response(
                 request_id=request.request_id,
                 status=Status.BAD_SHARD,
-                message=f"no shard {request.shard} (have {len(self.shards)})",
+                message=(
+                    f"no shard {request.shard} "
+                    f"(hosting {sorted(self._shard_map)})"
+                ),
             )
-        shard = self.shards[request.shard]
         trc = shard.tracer
         if trc is None:
             return await self._dispatch_op(shard, request, client_id, None)

@@ -46,7 +46,7 @@ def _entry_key(entry: Entry) -> InternalKey:
 class DecodedBlock:
     """One parsed data block: its entries and a memoized key array."""
 
-    __slots__ = ("entries", "nbytes", "_keys")
+    __slots__ = ("entries", "nbytes", "_keys", "_sks")
 
     def __init__(
         self,
@@ -58,6 +58,7 @@ class DecodedBlock:
         #: Budget charge: raw payload plus parsed-object overhead.
         self.nbytes = raw_size + _ENTRY_OVERHEAD * len(entries)
         self._keys = keys
+        self._sks: Optional[List[tuple]] = None
 
     @property
     def keys(self) -> List[InternalKey]:
@@ -70,14 +71,17 @@ class DecodedBlock:
     def bisect(self, probe: InternalKey) -> int:
         """Index of the first entry with key >= ``probe``.
 
-        Uses the memoized key array when it exists (cached blocks build
-        it once, on insertion).  A block that is not retained — cache
-        disabled or a bypassing scan — bisects with ``key=`` instead of
-        materializing a throwaway key list, where the interpreter
-        supports it.
+        Cached (retained) blocks bisect a memoized sort-key tuple list —
+        every comparison is a C tuple compare, no ``InternalKey.__lt__``
+        frames.  A block that is not retained — cache disabled or a
+        bypassing scan — bisects with ``key=`` instead of materializing
+        throwaway arrays, where the interpreter supports it.
         """
         if self._keys is not None:
-            return bisect_left(self._keys, probe)
+            sks = self._sks
+            if sks is None:
+                sks = self._sks = [key._sort_key() for key in self._keys]
+            return bisect_left(sks, probe._sort_key())
         if _HAVE_BISECT_KEY:
             return bisect_left(self.entries, probe, key=_entry_key)
         return bisect_left(self.keys, probe)

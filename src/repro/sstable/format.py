@@ -26,10 +26,15 @@ from typing import List, Tuple
 
 from repro.errors import CorruptionError
 from repro.util.crc import crc32c, mask_crc, unmask_crc
-from repro.util.keys import InternalKey, pack_internal_key, unpack_internal_key
+from repro.util.keys import (
+    KIND_PUT,
+    InternalKey,
+    pack_internal_key,
+    unpack_internal_key,
+)
 from repro.util.varint import (
     decode_varint32,
-    decode_varint64,
+    decode_varint_run,
     encode_varint32,
     encode_varint64,
 )
@@ -93,42 +98,79 @@ def seal_block(payload: bytes) -> bytes:
     return payload + mask_crc(crc32c(payload)).to_bytes(4, "little")
 
 
-def decode_block(data: bytes) -> List[Tuple[InternalKey, bytes]]:
+def decode_block(
+    data: bytes, zero_copy: bool = False
+) -> List[Tuple[InternalKey, bytes]]:
     """Verify and parse one data block into ``(internal key, value)``s."""
-    return decode_block_with_keys(data)[0]
+    return decode_block_with_keys(data, zero_copy)[0]
 
 
 def decode_block_with_keys(
-    data: bytes,
+    data: bytes, zero_copy: bool = False
 ) -> Tuple[List[Tuple[InternalKey, bytes]], List[InternalKey]]:
     """Verify and parse one data block, returning entries and key array.
 
     The key array (``[key for key, _ in entries]``) is built during the
     same parse pass; the decoded-block cache stores it alongside the
     entries so point lookups bisect without rebuilding it per probe.
+
+    With ``zero_copy`` the values are returned as read-only
+    :class:`memoryview` slices into ``data`` instead of per-entry
+    ``bytes`` copies — callers materialize (``bytes(value)``) only the
+    value they actually hand out.  User keys are always materialized:
+    they participate in orderings (bisect, merge heaps) that memoryviews
+    do not support against ``bytes``.  Both modes raise identical
+    :class:`CorruptionError`\\ s on damaged input; the varint and
+    internal-key parsing is inlined because this loop dominates the
+    wall-clock cost of an uncached point read.
     """
-    if len(data) < BLOCK_TRAILER_SIZE:
+    nbytes = len(data)
+    if nbytes < BLOCK_TRAILER_SIZE:
         raise CorruptionError("data block shorter than its checksum")
-    payload, trailer = data[:-BLOCK_TRAILER_SIZE], data[-BLOCK_TRAILER_SIZE:]
-    if crc32c(payload) != unmask_crc(int.from_bytes(trailer, "little")):
+    view = memoryview(data)
+    end = nbytes - BLOCK_TRAILER_SIZE
+    payload = view[:end]
+    if crc32c(payload) != unmask_crc(int.from_bytes(view[end:], "little")):
         raise CorruptionError("data block checksum mismatch")
     out: List[Tuple[InternalKey, bytes]] = []
     keys: List[InternalKey] = []
+    entry_append = out.append
+    key_append = keys.append
+    from_bytes = int.from_bytes
     offset = 0
-    end = len(payload)
-    data = payload
     while offset < end:
-        klen, offset = decode_varint32(data, offset)
-        if offset + klen > end:
+        # Inlined varint32 (klen); lengths are almost always one byte.
+        byte = data[offset]
+        if byte < 0x80:
+            klen = byte
+            offset += 1
+        else:
+            klen, offset = decode_varint32(data, offset)
+        key_end = offset + klen
+        if key_end > end:
             raise CorruptionError("data block key overruns block")
-        key = unpack_internal_key(data[offset : offset + klen])
-        offset += klen
-        vlen, offset = decode_varint32(data, offset)
-        if offset + vlen > end:
+        # Inlined unpack_internal_key: user key + 8-byte (seq, kind) trailer.
+        if klen < 8:
+            raise CorruptionError("internal key shorter than trailer")
+        trailer = from_bytes(view[key_end - 8 : key_end], "little")
+        kind = trailer & 0xFF
+        if kind > KIND_PUT:  # kinds are 0 (delete) and 1 (put)
+            raise CorruptionError(f"bad internal key kind: {kind}")
+        key = InternalKey(bytes(view[offset : key_end - 8]), trailer >> 8, kind)
+        offset = key_end
+        byte = data[offset] if offset < end else 0x80
+        if byte < 0x80:
+            vlen = byte
+            offset += 1
+        else:
+            vlen, offset = decode_varint32(data, offset)
+        value_end = offset + vlen
+        if value_end > end:
             raise CorruptionError("data block value overruns block")
-        out.append((key, data[offset : offset + vlen]))
-        keys.append(key)
-        offset += vlen
+        value = payload[offset:value_end] if zero_copy else bytes(view[offset:value_end])
+        entry_append((key, value))
+        key_append(key)
+        offset = value_end
     return out, keys
 
 
@@ -161,8 +203,7 @@ def decode_index(data: bytes) -> List[IndexEntry]:
             raise CorruptionError("index entry key overruns block")
         key = unpack_internal_key(data[offset : offset + klen])
         offset += klen
-        blk_offset, offset = decode_varint64(data, offset)
-        blk_size, offset = decode_varint64(data, offset)
+        (blk_offset, blk_size), offset = decode_varint_run(data, offset, 2)
         out.append(IndexEntry(key, blk_offset, blk_size))
     return out
 

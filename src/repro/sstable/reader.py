@@ -53,12 +53,21 @@ class _TableMeta:
     exact simulated reads ``open`` would issue.
     """
 
-    __slots__ = ("footer", "index", "index_keys", "bloom", "load_bloom", "nbytes")
+    __slots__ = (
+        "footer",
+        "index",
+        "index_keys",
+        "index_sks",
+        "bloom",
+        "load_bloom",
+        "nbytes",
+    )
 
-    def __init__(self, footer, index, index_keys, bloom, load_bloom) -> None:
+    def __init__(self, footer, index, index_keys, index_sks, bloom, load_bloom) -> None:
         self.footer = footer
         self.index = index
         self.index_keys = index_keys
+        self.index_sks = index_sks
         self.bloom = bloom
         self.load_bloom = load_bloom
         self.nbytes = (
@@ -82,6 +91,8 @@ class SSTableReader:
         block_cache: Optional[DecodedBlockCache] = None,
         cache_key: Optional[Hashable] = None,
         index_keys: Optional[List[InternalKey]] = None,
+        index_sks: Optional[List[tuple]] = None,
+        zero_copy: bool = True,
     ) -> None:
         self._storage = storage
         self.name = name
@@ -90,9 +101,21 @@ class SSTableReader:
         self._index_keys = (
             index_keys if index_keys is not None else [entry.last_key for entry in index]
         )
+        #: Sort-key tuples of ``_index_keys``: bisecting a tuple list is a
+        #: pure C comparison per step (no InternalKey.__lt__ frames).
+        #: Shared through _TableMeta, so reopens don't rebuild it.
+        self._index_sks = (
+            index_sks
+            if index_sks is not None
+            else [key._sort_key() for key in self._index_keys]
+        )
         self.bloom = bloom
         self.file_size = file_size
         self._block_cache = block_cache
+        #: When set, block decode keeps values as memoryview slices into
+        #: the raw block; ``get`` (and the engine scan paths) materialize
+        #: bytes only for the value actually returned.
+        self._zero_copy = zero_copy
         #: Decoded-cache namespace for this table (the engine passes its
         #: file number); defaults to the file name for standalone readers.
         self._cache_key: Hashable = cache_key if cache_key is not None else name
@@ -108,6 +131,7 @@ class SSTableReader:
         load_bloom: bool = True,
         block_cache: Optional[DecodedBlockCache] = None,
         cache_key: Optional[Hashable] = None,
+        zero_copy: bool = True,
     ) -> "SSTableReader":
         """Read footer + index (+ bloom) and return a ready reader.
 
@@ -141,6 +165,8 @@ class SSTableReader:
                     block_cache=block_cache,
                     cache_key=ckey,
                     index_keys=meta.index_keys,
+                    index_sks=meta.index_sks,
+                    zero_copy=zero_copy,
                 )
         footer = Footer.decode(storage.read(name, size - FOOTER_SIZE, FOOTER_SIZE, account))
         index_raw = storage.read(name, footer.index_offset, footer.index_size, account)
@@ -160,12 +186,20 @@ class SSTableReader:
             size,
             block_cache=block_cache,
             cache_key=ckey,
+            zero_copy=zero_copy,
         )
         if block_cache is not None:
             block_cache.put(
                 ckey,
                 _META_OFFSET,
-                _TableMeta(footer, index, reader._index_keys, bloom, load_bloom),
+                _TableMeta(
+                    footer,
+                    index,
+                    reader._index_keys,
+                    reader._index_sks,
+                    bloom,
+                    load_bloom,
+                ),
             )
         return reader
 
@@ -194,13 +228,23 @@ class SSTableReader:
         bloom_bytes = self.bloom.size_bytes if self.bloom is not None else 0
         return index_bytes + bloom_bytes
 
-    def may_contain(self, user_key: bytes, account: IoAccount) -> bool:
-        """Bloom-filter test; True when no filter is loaded."""
+    def may_contain(
+        self, user_key: bytes, account: IoAccount, h: Optional[int] = None
+    ) -> bool:
+        """Bloom-filter test; True when no filter is loaded.
+
+        ``h`` is an optional precomputed ``murmur3_64(user_key)`` digest:
+        the engine get path hashes the key once and shares the digest
+        across every table it screens (the simulated ``bloom_check``
+        charge is per probe, exactly as before).
+        """
         if self.bloom is None:
             return True
         cpu = self._storage.cpu
         account.charge(cpu.charge("bloom_check", cpu.bloom_check))
-        return self.bloom.may_contain(user_key)
+        if h is None:
+            return self.bloom.may_contain(user_key)
+        return self.bloom.may_contain_hash(h)
 
     # ------------------------------------------------------------------
     def _decoded_block(
@@ -236,7 +280,7 @@ class SSTableReader:
         )
         if cache is not None and cache_insert:
             try:
-                entries, keys = decode_block_with_keys(raw)
+                entries, keys = decode_block_with_keys(raw, self._zero_copy)
             except CorruptionError:
                 # Never leave a partially-decoded table in the cache: a
                 # later open of the same file number must re-read the
@@ -248,14 +292,27 @@ class SSTableReader:
             return block
         # Not retained: skip the key-array pass (scans never bisect, and
         # a one-shot probe bisects with ``key=`` instead).
-        return DecodedBlock(decode_block(raw), len(raw))
+        return DecodedBlock(decode_block(raw, self._zero_copy), len(raw))
 
-    def get(self, user_key: bytes, snapshot: int, account: IoAccount) -> GetResult:
-        """Newest visible version of ``user_key`` in this table."""
+    def get(
+        self,
+        user_key: bytes,
+        snapshot: int,
+        account: IoAccount,
+        probe: Optional[InternalKey] = None,
+    ) -> GetResult:
+        """Newest visible version of ``user_key`` in this table.
+
+        Callers probing many tables for the same key (the engine get
+        path) pass a pre-built ``probe`` so the internal key — and its
+        memoized sort tuple — is constructed once per lookup, not once
+        per table.
+        """
         cpu = self._storage.cpu
         account.charge(cpu.charge("sstable_search", cpu.sstable_search))
-        probe = InternalKey(user_key, min(snapshot, MAX_SEQUENCE), KIND_PUT)
-        idx = bisect_left(self._index_keys, probe)
+        if probe is None:
+            probe = InternalKey(user_key, min(snapshot, MAX_SEQUENCE), KIND_PUT)
+        idx = bisect_left(self._index_sks, probe._sort_key())
         while idx < len(self._index):
             block = self._decoded_block(self._index[idx], account)
             pos = block.bisect(probe)
@@ -267,7 +324,7 @@ class SSTableReader:
                 if key.sequence <= snapshot:
                     if key.kind == KIND_DELETE:
                         return GetResult(True, True, None, key.sequence)
-                    return GetResult(True, False, value, key.sequence)
+                    return GetResult(True, False, bytes(value), key.sequence)
             # All matching entries in this block were newer than the
             # snapshot; the next block may hold older versions.
             idx += 1
@@ -290,7 +347,7 @@ class SSTableReader:
         """Iterate entries starting at the first internal key >= probe."""
         cpu = self._storage.cpu
         account.charge(cpu.charge("sstable_search", cpu.sstable_search))
-        idx = bisect_left(self._index_keys, probe)
+        idx = bisect_left(self._index_sks, probe._sort_key())
         first = True
         for entry in self._index[idx:]:
             block = self._decoded_block(entry, account)

@@ -5,6 +5,12 @@ instances and speaks the :mod:`repro.net.protocol` wire format::
 
     python -m repro.tools.server --engine pebblesdb --shards 4 --port 7380
 
+``--serving-mode process`` spawns one worker *process* per shard (spawn
+start method) behind a relaying frontend, so shard work runs on separate
+cores instead of one GIL-bound event loop::
+
+    python -m repro.tools.server --shards 4 --serving-mode process
+
 Clients connect with :meth:`repro.net.ClusterClient.open_tcp` (or the
 ``repro-netbench`` CLI) and learn the shard map from the HELLO response.
 Boundaries default to uniform quantiles over db_bench-style ``user...``
@@ -20,7 +26,7 @@ import sys
 from typing import List, Optional
 
 from repro.engines.registry import ENGINES
-from repro.net.server import KVServer, ServerConfig
+from repro.net.server import ServerConfig
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +64,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="acknowledge writes without waiting for the WAL sync",
     )
+    parser.add_argument(
+        "--serving-mode",
+        choices=("loopback", "process"),
+        default="loopback",
+        help="'loopback' hosts every shard on one asyncio loop "
+        "(deterministic); 'process' spawns one worker process per shard "
+        "(true multi-core)",
+    )
     return parser
 
 
@@ -78,13 +92,15 @@ def config_from_args(args) -> ServerConfig:
 
 
 async def _serve(args) -> int:
-    server = KVServer(config_from_args(args))
+    from repro.net.mp import make_server
+
+    server = make_server(config_from_args(args), serving_mode=args.serving_mode)
     tcp = await server.serve_tcp(args.host, args.port)
     host, port = server.tcp_address
     bounds = ", ".join(b.decode("utf-8", "replace") for b in server.router.boundaries)
     print(
         f"repro-server: engine={args.engine} shards={args.shards} "
-        f"listening on {host}:{port}"
+        f"mode={args.serving_mode} listening on {host}:{port}"
     )
     if bounds:
         print(f"shard boundaries: {bounds}")

@@ -26,7 +26,7 @@ _TRAILER_LEN = 8
 class InternalKey:
     """A versioned key.  Orders by (user_key asc, sequence desc)."""
 
-    __slots__ = ("user_key", "sequence", "kind")
+    __slots__ = ("user_key", "sequence", "kind", "_sk")
 
     def __init__(self, user_key: bytes, sequence: int, kind: int) -> None:
         if not 0 <= sequence <= MAX_SEQUENCE:
@@ -39,8 +39,15 @@ class InternalKey:
 
     def _sort_key(self) -> Tuple[bytes, int, int]:
         # Negating the sequence makes plain tuple comparison give the
-        # newest-first order within a user key.
-        return (self.user_key, -self.sequence, -self.kind)
+        # newest-first order within a user key.  The tuple is memoized in
+        # the ``_sk`` slot: a bisect probe compares the same key O(log n)
+        # times, and rebuilding it dominated comparison cost.
+        try:
+            return self._sk
+        except AttributeError:
+            sk = (self.user_key, -self.sequence, -self.kind)
+            self._sk = sk
+            return sk
 
     def __lt__(self, other: "InternalKey") -> bool:
         return self._sort_key() < other._sort_key()

@@ -1,0 +1,226 @@
+"""Process serving mode: digest parity with loopback, worker crash and
+restart, shard-subset servers, and the UNAVAILABLE retry mapping.
+
+The differential tests drive operations *sequentially*, so every write
+is its own group commit in both serving modes and the WAL byte streams
+— hence the state digests — must match exactly.  Anything that needs a
+worker process is marked with a module-local helper so a sandbox that
+cannot spawn processes skips rather than fails.
+"""
+
+import asyncio
+import multiprocessing
+import os
+
+import pytest
+
+from repro.net.client import ClusterClient
+from repro.net.errors import ServerUnavailableError
+from repro.net.mp import ProcessKVServer, make_server
+from repro.net.protocol import Op, Request, Status
+from repro.net.server import KVServer, ServerConfig
+from repro.workloads.distributions import KeyCodec, value_bytes
+
+CODEC = KeyCodec(16)
+
+
+def K(i):
+    return CODEC.encode(i)
+
+
+def V(i, size=64):
+    return value_bytes(i, size)
+
+
+def config(shards=2, num_keys=400, seed=7, **overrides):
+    return ServerConfig(
+        shards=shards,
+        uniform_keys=num_keys,
+        seed=seed,
+        cache_bytes=1 << 20,
+        **overrides,
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# Shard-subset servers (the worker building block, no processes needed)
+# ----------------------------------------------------------------------
+class TestShardSubset:
+    def test_subset_keeps_global_identity(self):
+        async def main():
+            full = KVServer(config(shards=3))
+            subset = KVServer(config(shards=3), shard_ids=[1])
+            assert [s.index for s in subset.shards] == [1]
+            # Same prefix and seed as the shard inside the full server.
+            assert subset.shards[0].db is not full.shards[1].db
+            ops = [K(i) for i in range(0, 300, 7)]
+            for key in ops:
+                full.shards[1].db.put(key, b"x" + key)
+                subset.shards[0].db.put(key, b"x" + key)
+            full.shards[1].db.wait_idle()
+            subset.shards[0].db.wait_idle()
+            assert subset.shards[0].state_digest() == full.shards[1].state_digest()
+            await full.aclose()
+            await subset.aclose()
+
+        run(main())
+
+    def test_unhosted_shard_answers_bad_shard(self):
+        async def main():
+            server = KVServer(config(shards=2), shard_ids=[0])
+            client = await ClusterClient.open_loopback(server)
+            # Direct request to the unhosted shard: BAD_SHARD, not a crash.
+            from repro.net.errors import RemoteError
+
+            with pytest.raises(RemoteError) as excinfo:
+                await client._call(
+                    Request(
+                        op=Op.GET,
+                        request_id=client._alloc_id(),
+                        shard=1,
+                        key=K(1),
+                    )
+                )
+            assert excinfo.value.status == Status.BAD_SHARD
+            await client.aclose()
+            await server.aclose()
+
+        run(main())
+
+    def test_shard_ids_out_of_range_rejected(self):
+        from repro.errors import InvalidArgumentError
+
+        with pytest.raises(InvalidArgumentError):
+            KVServer(config(shards=2), shard_ids=[5])
+
+
+# ----------------------------------------------------------------------
+# Differential: process mode vs loopback mode
+# ----------------------------------------------------------------------
+async def _drive_workload(server, ops=240, keys=96):
+    """A seeded mixed workload, driven sequentially; returns everything
+    a client can observe (get results, applied flags, scans)."""
+    client = await ClusterClient.open_loopback(server)
+    observed = []
+    for i in range(ops):
+        key = K((i * 13) % keys)
+        observed.append(await client.put(key, V(i)))
+        if i % 3 == 0:
+            observed.append(await client.get(key))
+        if i % 17 == 0:
+            observed.append(await client.delete(K((i * 5) % keys)))
+        if i % 40 == 0:
+            observed.append(tuple(await client.scan(limit=20)))
+    observed.append(tuple(await client.scan()))
+    await server.wait_idle()
+    digests = server.state_digests()
+    totals = server.total_ops()
+    await client.aclose()
+    await server.aclose()
+    return digests, observed, totals
+
+
+class TestProcessModeDifferential:
+    def test_digests_and_results_match_loopback(self):
+        async def main():
+            loop_digests, loop_obs, loop_totals = await _drive_workload(
+                KVServer(config(shards=2, seed=21))
+            )
+            proc_digests, proc_obs, proc_totals = await _drive_workload(
+                ProcessKVServer(config(shards=2, seed=21))
+            )
+            assert proc_digests == loop_digests  # byte-identical state
+            assert proc_obs == loop_obs  # identical client-visible results
+            assert proc_totals == loop_totals
+            # Re-run process mode: process mode is self-deterministic too.
+            again_digests, again_obs, _ = await _drive_workload(
+                ProcessKVServer(config(shards=2, seed=21))
+            )
+            assert again_digests == proc_digests
+            assert again_obs == proc_obs
+
+        run(main())
+
+
+# ----------------------------------------------------------------------
+# Worker crash → UNAVAILABLE → restart/resume
+# ----------------------------------------------------------------------
+class TestWorkerCrash:
+    def test_crash_unavailable_restart_resume(self):
+        async def main():
+            server = ProcessKVServer(config(shards=2))
+            client = await ClusterClient.open_loopback(
+                server, max_retries=2, backoff_base=0.001, backoff_max=0.01
+            )
+            key = K(1)
+            shard = None
+            assert await client.put(key, b"before-crash")
+            shard = client.router.shard_for(key)
+            # Kill the worker process outright (simulates a crash).
+            worker = server._workers[shard]
+            worker.process.kill()
+            worker.process.join(10)
+            assert not server.worker_alive(shard)
+            with pytest.raises(ServerUnavailableError):
+                await client.get(key)
+            assert client.stats.retries > 0  # UNAVAILABLE was retried
+            # The other shard keeps serving while one is down.
+            other_key = next(
+                K(i) for i in range(400) if client.router.shard_for(K(i)) != shard
+            )
+            assert await client.put(other_key, b"other-shard-alive")
+            assert await client.get(other_key) == b"other-shard-alive"
+            # Restart: serving resumes (state restarts empty — the store
+            # is process-private simulated storage; see mp.py docstring).
+            server.restart_shard(shard)
+            assert server.worker_alive(shard)
+            assert await client.put(key, b"after-restart")
+            assert await client.get(key) == b"after-restart"
+            await client.aclose()
+            await server.aclose()
+            assert all(not w.alive for w in server._workers)
+
+        run(main())
+
+    def test_clean_shutdown_leaves_no_orphans(self):
+        async def main():
+            server = ProcessKVServer(config(shards=2))
+            client = await ClusterClient.open_loopback(server)
+            assert await client.put(K(2), b"v")
+            assert await client.get(K(2)) == b"v"
+            pids = [w.process.pid for w in server._workers]
+            await client.aclose()
+            await server.aclose()
+            return pids
+
+        pids = run(main())
+        assert not multiprocessing.active_children()
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+
+# ----------------------------------------------------------------------
+# make_server dispatch
+# ----------------------------------------------------------------------
+class TestMakeServer:
+    def test_modes(self):
+        async def main():
+            loop_server = make_server(config(shards=1))
+            assert isinstance(loop_server, KVServer)
+            await loop_server.aclose()
+            proc_server = make_server(config(shards=1), serving_mode="process")
+            assert isinstance(proc_server, ProcessKVServer)
+            await proc_server.aclose()
+
+        run(main())
+
+    def test_unknown_mode_rejected(self):
+        from repro.errors import InvalidArgumentError
+
+        with pytest.raises(InvalidArgumentError):
+            make_server(config(shards=1), serving_mode="threads")

@@ -149,6 +149,76 @@ class TestBuilderReader:
             assert reader.get(key, MAX_SEQUENCE, acct).value == value
 
 
+class TestZeroCopyDecode:
+    """Zero-copy block decode: same entries, same errors, no value copies."""
+
+    def _one_block(self, entries):
+        from repro.sstable.format import BlockBuilder, seal_block
+
+        builder = BlockBuilder()
+        for key, value in entries:
+            builder.add(key, value)
+        return seal_block(builder.finish())
+
+    def test_modes_decode_identically(self):
+        entries = make_entries(40, value=b"some-longer-value-")
+        block = self._one_block(entries)
+        copied = decode_block(block, zero_copy=False)
+        shared = decode_block(block, zero_copy=True)
+        assert copied == shared == entries
+        assert all(isinstance(v, bytes) for _, v in copied)
+        assert all(isinstance(v, memoryview) for _, v in shared)
+        # The memoryviews alias the block buffer, not per-entry copies.
+        assert all(v.obj is block for _, v in shared)
+
+    @given(st.binary(min_size=5, max_size=200), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_corruption_error_parity(self, junk, zero_copy):
+        """Random damage raises the same CorruptionError in both modes."""
+        entries = make_entries(6)
+        block = bytearray(self._one_block(entries))
+        block[: len(junk)] = junk  # stomp the front of the payload
+        damaged = bytes(block)
+        outcomes = []
+        for mode in (False, True):
+            try:
+                outcomes.append(("ok", decode_block(damaged, zero_copy=mode)))
+            except CorruptionError as exc:
+                outcomes.append(("err", str(exc)))
+        assert outcomes[0] == outcomes[1]
+
+    def test_reader_get_returns_bytes_in_both_modes(self, storage):
+        entries = make_entries(100)
+        blob, _, _ = build_table(entries)
+        acct = storage.foreground_account()
+        storage.create("t.sst")
+        storage.append("t.sst", blob, acct)
+        storage.sync("t.sst", acct)
+        for zero_copy in (False, True):
+            reader = SSTableReader.open(
+                storage, "t.sst", acct, zero_copy=zero_copy
+            )
+            hit = reader.get(b"key000042", MAX_SEQUENCE, acct)
+            assert hit.found
+            assert hit.value == b"v42"
+            # The escape hatch materializes: users always get bytes.
+            assert isinstance(hit.value, bytes)
+
+    def test_probe_param_equivalent(self, storage):
+        entries = make_entries(100)
+        blob, _, _ = build_table(entries)
+        reader = write_table(storage, "t.sst", blob)
+        acct = storage.foreground_account()
+        probe = InternalKey(b"key000042", MAX_SEQUENCE, KIND_PUT)
+        with_probe = reader.get(b"key000042", MAX_SEQUENCE, acct, probe)
+        without = reader.get(b"key000042", MAX_SEQUENCE, acct)
+        assert (with_probe.found, with_probe.value, with_probe.sequence) == (
+            without.found,
+            without.value,
+            without.sequence,
+        )
+
+
 class TestFooter:
     def test_roundtrip(self):
         footer = Footer(1, 2, 3, 4, 5)

@@ -7,6 +7,7 @@ from repro.errors import CorruptionError
 from repro.util.varint import (
     decode_varint32,
     decode_varint64,
+    decode_varint_run,
     encode_varint32,
     encode_varint64,
 )
@@ -82,3 +83,82 @@ class TestCorruption:
         data = encode_varint64(2**33)
         with pytest.raises(CorruptionError):
             decode_varint32(data)
+
+
+def _scalar_run(buf, offset, count):
+    """Reference: the batched decoder must equal ``count`` scalar calls —
+    same values, same final offset, and the same error at the same point."""
+    values = []
+    for _ in range(count):
+        value, offset = decode_varint64(buf, offset)
+        values.append(value)
+    return values, offset
+
+
+class TestVarintRun:
+    """decode_varint_run vs the scalar decoders (the fuzz satellite)."""
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=30))
+    def test_matches_scalar_on_valid_streams(self, values):
+        blob = b"".join(encode_varint64(v) for v in values)
+        assert decode_varint_run(blob, 0, len(values)) == (values, len(blob))
+        assert decode_varint_run(memoryview(blob), 0, len(values)) == (
+            values,
+            len(blob),
+        )
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=10),
+        st.binary(max_size=12),
+    )
+    def test_trailing_garbage_error_parity(self, values, garbage):
+        """Random bytes after a valid prefix: batched and scalar decoding
+        agree on success values *and* on which error truncated/overlong
+        input raises."""
+        blob = b"".join(encode_varint64(v) for v in values) + garbage
+        count = len(values) + 2  # force decoding into the garbage
+        try:
+            expected = _scalar_run(blob, 0, count)
+        except CorruptionError as exc:
+            with pytest.raises(CorruptionError) as excinfo:
+                decode_varint_run(blob, 0, count)
+            assert str(excinfo.value) == str(exc)
+        else:
+            assert decode_varint_run(blob, 0, count) == expected
+
+    @given(st.binary(max_size=40), st.integers(min_value=0, max_value=8))
+    def test_arbitrary_buffers_error_parity(self, blob, count):
+        try:
+            expected = _scalar_run(blob, 0, count)
+        except CorruptionError as exc:
+            with pytest.raises(CorruptionError) as excinfo:
+                decode_varint_run(blob, 0, count)
+            assert str(excinfo.value) == str(exc)
+        else:
+            assert decode_varint_run(blob, 0, count) == expected
+
+    def test_truncated_mid_run(self):
+        blob = encode_varint64(300) + encode_varint64(2**40)[:-1]
+        with pytest.raises(CorruptionError, match="truncated varint"):
+            decode_varint_run(blob, 0, 2)
+
+    def test_overlong_encoding_rejected(self):
+        # 10 continuation bytes: "varint too long", exactly like the
+        # scalar decoder, even when the buffer ends right there.
+        with pytest.raises(CorruptionError, match="varint too long"):
+            decode_varint_run(b"\xff" * 10, 0, 1)
+        with pytest.raises(CorruptionError, match="varint too long"):
+            decode_varint64(b"\xff" * 10)
+
+    def test_zero_count(self):
+        assert decode_varint_run(b"anything", 3, 0) == ([], 3)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            decode_varint_run(b"", 0, -1)
+
+    def test_offset_resumes_mid_buffer(self):
+        blob = b"\x01" + encode_varint64(128) + encode_varint64(2**56)
+        values, offset = decode_varint_run(blob, 1, 2)
+        assert values == [128, 2**56]
+        assert offset == len(blob)
