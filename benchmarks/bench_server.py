@@ -28,11 +28,18 @@ shards, and verifies the acceptance contract:
    length-prefix frame walk, so the workers (not the GIL-bound parent)
    are the measured bottleneck.  On machines with fewer than 4 cores the
    numbers are still recorded but the floor is skipped, with the reason
-   logged and stored in the report.
+   logged and stored in the report;
+6. **availability** — killing a shard worker mid-workload (SIGKILL, no
+   warning) must lose **zero** acknowledged writes: the supervisor
+   restarts the worker and replays the parent's durable ship log while
+   the client retries through the outage.  The report records the
+   server-side time-to-recover and the client-observed unavailability
+   window, both bounded by the contract.
 
 Results land in ``BENCH_server.json`` at the repo root (simulated sweep
-plus a ``wall_clock`` section).  ``--smoke`` shrinks the workload for
-CI; any contract violation exits non-zero.
+plus ``wall_clock`` and ``availability`` sections).  ``--smoke``
+shrinks the workload for CI; ``--availability-only`` runs just the
+kill-a-shard phase; any contract violation exits non-zero.
 
 Run: ``PYTHONPATH=src python benchmarks/bench_server.py [--smoke]``
 """
@@ -154,6 +161,103 @@ async def _run_cluster(shards: int, num_keys: int, reads: int) -> Dict[str, obje
     await client.aclose()
     await server.aclose()
     return record
+
+
+# ----------------------------------------------------------------------
+# Availability phase: kill a shard worker mid-workload, measure recovery
+# ----------------------------------------------------------------------
+async def _run_availability(ops: int) -> Dict[str, object]:
+    """Kill one shard worker mid-workload and measure the recovery.
+
+    A sequential put stream runs against a supervised 2-shard process
+    cluster; a third of the way in, the victim shard's worker is killed
+    outright (SIGKILL).  The supervisor detects the death, restarts the
+    worker, and replays the parent's durable ship log; the client just
+    retries through the outage.  Reported: the server-side time to
+    recover (kill -> restart complete), the client-observed
+    unavailability window (kill -> first acknowledged write on the
+    victim shard), and ``ops_lost`` — acknowledged writes whose value is
+    missing or wrong after recovery, which the contract pins at zero.
+    """
+    server = ProcessKVServer(
+        ServerConfig(
+            engine="pebblesdb",
+            shards=2,
+            uniform_keys=ops,
+            seed=SEED,
+            cache_bytes=1 << 20,
+            heartbeat_interval=0.05,
+            restart_backoff_base=0.01,
+            restart_backoff_max=0.05,
+        )
+    )
+    client = await ClusterClient.open_loopback(
+        server, max_retries=60, backoff_base=0.01, backoff_max=0.25
+    )
+    codec = KeyCodec(16)
+    victim = 0
+    kill_at = ops // 3
+    kill_time = recover_time = None
+    deduped = 0
+    for i in range(ops):
+        if i == kill_at:
+            server._workers[victim].process.kill()
+            kill_time = time.monotonic()
+        applied = await client.put(codec.encode(i), value_bytes(i, VALUE_SIZE))
+        if not applied:
+            deduped += 1  # retried write the replayed dedup table caught
+        if (
+            kill_time is not None
+            and recover_time is None
+            and server.router.shard_for(codec.encode(i)) == victim
+        ):
+            recover_time = time.monotonic()
+    restart_after_kill = next(
+        (when for shard, when in server.restart_events
+         if shard == victim and kill_time is not None and when >= kill_time),
+        None,
+    )
+    ops_lost = 0
+    for i in range(ops):
+        if await client.get(codec.encode(i)) != value_bytes(i, VALUE_SIZE):
+            ops_lost += 1
+    record = {
+        "shards": 2,
+        "ops": ops,
+        "kill_after_ops": kill_at,
+        "restarts": int(server.registry.value("supervisor.restarts", shard=victim)),
+        "time_to_recover_seconds": round(restart_after_kill - kill_time, 3)
+        if restart_after_kill is not None and kill_time is not None
+        else None,
+        "client_unavailability_seconds": round(recover_time - kill_time, 3)
+        if recover_time is not None and kill_time is not None
+        else None,
+        "ops_lost": ops_lost,
+        "deduped_retries": deduped,
+        "client_retries": client.stats.retries,
+    }
+    await client.aclose()
+    await server.aclose()
+    return record
+
+
+def _check_availability(record: Dict[str, object], failures: List[str]) -> None:
+    if record["ops_lost"]:
+        failures.append(
+            f"{record['ops_lost']} acknowledged writes lost across the "
+            "worker kill; the durability contract requires 0"
+        )
+    if record["restarts"] < 1:
+        failures.append("worker kill never triggered a supervised restart")
+    for key in ("time_to_recover_seconds", "client_unavailability_seconds"):
+        value = record[key]
+        if value is None:
+            failures.append(f"availability run never measured {key}")
+        elif value > 30.0:
+            failures.append(
+                f"{key} was {value}s; the contract requires bounded "
+                "recovery (<= 30s)"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -322,9 +426,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--smoke", action="store_true", help="reduced workload for CI smoke runs"
     )
     parser.add_argument("--num-keys", type=int, default=None)
+    parser.add_argument(
+        "--availability-only",
+        action="store_true",
+        help="run only the kill-a-shard availability phase (merges its "
+        "section into an existing BENCH_server.json when present)",
+    )
     args = parser.parse_args(argv)
     num_keys = args.num_keys or (1200 if args.smoke else 4000)
     reads = num_keys
+    avail_ops = 600 if args.smoke else 2000
+
+    if args.availability_only:
+        failures: List[str] = []
+        availability = asyncio.run(_run_availability(avail_ops))
+        _check_availability(availability, failures)
+        print(
+            f"availability: kill at op {availability['kill_after_ops']}, "
+            f"recover {availability['time_to_recover_seconds']}s, "
+            f"client outage {availability['client_unavailability_seconds']}s, "
+            f"ops_lost={availability['ops_lost']}"
+        )
+        payload = {"benchmark": "sharded_serving_layer"}
+        if _JSON_PATH.exists():
+            try:
+                payload = json.loads(_JSON_PATH.read_text())
+            except json.JSONDecodeError:
+                pass
+        payload["availability"] = availability
+        _JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"results written to {_JSON_PATH}")
+        if failures:
+            for failure in failures:
+                print(f"CONTRACT VIOLATION: {failure}", file=sys.stderr)
+            return 1
+        print("contract: PASS")
+        return 0
 
     t0 = time.perf_counter()
     sweep: List[Dict[str, object]] = []
@@ -429,8 +566,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"at {record['workers']} workers (process mode)"
             )
 
+    # ---- availability phase: kill a shard worker, supervised recovery ----
+    availability = asyncio.run(_run_availability(avail_ops))
+    _check_availability(availability, failures)
+    print(
+        f"\navailability: kill at op {availability['kill_after_ops']}, "
+        f"recover {availability['time_to_recover_seconds']}s, "
+        f"client outage {availability['client_unavailability_seconds']}s, "
+        f"ops_lost={availability['ops_lost']}"
+    )
+
     payload = {
         "benchmark": "sharded_serving_layer",
+        "availability": availability,
         "engine": "pebblesdb",
         "num_keys": num_keys,
         "reads": reads,

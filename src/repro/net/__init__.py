@@ -17,7 +17,10 @@ key-value service.  Four layers, bottom to top:
   retry/backoff and idempotent (deduplicated) write retries;
 * :mod:`repro.net.mp` — the multiprocessing serving mode: one worker
   process per shard behind a relaying parent, turning the simulated
-  shard scaling into wall-clock multi-core scaling.
+  shard scaling into wall-clock multi-core scaling.  The parent keeps a
+  durable per-shard ship log of acknowledged commits, supervises worker
+  death/hangs with auto-restart + replay, and supports graceful shard
+  handoff for rolling restarts.
 """
 
 from repro.net.client import BlockingClusterClient, ClusterClient, ClusterSnapshot
@@ -25,6 +28,7 @@ from repro.net.errors import (
     FrameError,
     NetError,
     RemoteError,
+    RetriesExhaustedError,
     ServerUnavailableError,
     ShardDegradedError,
     TransientNetError,
@@ -61,6 +65,7 @@ __all__ = [
     "ProcessKVServer",
     "RemoteError",
     "Request",
+    "RetriesExhaustedError",
     "Response",
     "ServerConfig",
     "ServerUnavailableError",

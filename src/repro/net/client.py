@@ -35,6 +35,7 @@ from repro.net.errors import (
     FrameError,
     NetError,
     RemoteError,
+    RetriesExhaustedError,
     ServerUnavailableError,
     ShardDegradedError,
     TransientNetError,
@@ -153,9 +154,11 @@ class ClusterClient:
         connect: ConnectFn,
         *,
         pool_size: int = 2,
-        max_retries: int = 4,
+        max_retries: int = 10,
         backoff_base: float = 0.01,
         backoff_max: float = 0.5,
+        retry_budget: Optional[float] = None,
+        retry_jitter: bool = True,
         sleep: Optional[Callable[[float], Awaitable[None]]] = None,
         endpoint_wrap: Optional[Callable[[object, int], object]] = None,
     ) -> None:
@@ -163,9 +166,20 @@ class ClusterClient:
             raise InvalidArgumentError("pool_size must be >= 1")
         self._connect = connect
         self._pool_size = pool_size
+        #: The default attempt cap is sized so the cumulative backoff
+        #: (~2s expected with jitter) rides through a supervised worker
+        #: restart in the process serving mode, not just a dropped
+        #: connection.
         self._max_retries = max_retries
         self._backoff_base = backoff_base
         self._backoff_max = backoff_max
+        #: Total backoff seconds one call may spend before it raises
+        #: :class:`RetriesExhaustedError` (None = attempt cap only).
+        self._retry_budget = retry_budget
+        #: Capped *deterministic* jitter: the delay is scaled into
+        #: [0.5, 1.0) by a pure function of (request_id, attempt), so
+        #: retry storms decorrelate without sacrificing reproducibility.
+        self._retry_jitter = retry_jitter
         self._sleep = sleep if sleep is not None else asyncio.sleep
         self._endpoint_wrap = endpoint_wrap
         self._pool: List[Optional[Connection]] = [None] * pool_size
@@ -296,46 +310,71 @@ class ClusterClient:
             span.set(status=Status.NAMES.get(response.status, str(response.status)))
             return response
 
+    def _backoff_delay(self, request_id: int, attempt: int) -> float:
+        """Capped exponential backoff with deterministic jitter.
+
+        The jitter multiplier lives in [0.5, 1.0) and is a pure function
+        of (request_id, attempt) — a Knuth-style multiplicative hash —
+        so two clients retrying different requests decorrelate while a
+        same-seed rerun backs off identically.
+        """
+        delay = min(self._backoff_base * (2 ** attempt), self._backoff_max)
+        if self._retry_jitter:
+            h = (request_id * 2654435761 + attempt * 40503 + 97) & 0xFFFFFFFF
+            delay *= 0.5 + (h / 2.0 ** 32) * 0.5
+        return delay
+
+    async def _retry_backoff(
+        self, request: Request, span, attempt: int, spent: float, error: str
+    ) -> float:
+        """Account one transient failure; sleep or raise when exhausted.
+
+        Returns the updated backoff-seconds total.  Raises
+        :class:`RetriesExhaustedError` (a :class:`ServerUnavailableError`)
+        when the attempt cap or the backoff budget is spent — bounded
+        behaviour against a shard that stays dead, instead of retrying
+        forever.
+        """
+        self.stats.transient_errors += 1
+        delay = self._backoff_delay(request.request_id, attempt)
+        budget = self._retry_budget
+        if attempt >= self._max_retries or (
+            budget is not None and spent + delay > budget
+        ):
+            raise RetriesExhaustedError(
+                f"request {request.request_id} failed after {attempt + 1} "
+                f"attempts ({spent:.3f}s backoff): {error}",
+                attempts=attempt + 1,
+                backoff_spent=spent,
+            )
+        self.stats.retries += 1
+        if span is not None:
+            span.event("retry", attempt=attempt + 1, error=error)
+        await self._sleep(delay)
+        return spent + delay
+
     async def _call_with_retry(
         self, request: Request, span
     ) -> Response:
         attempt = 0
+        spent = 0.0
         while True:
             try:
                 conn = await self._connection()
                 response = await conn.call(request)
             except (TransientNetError, FrameError) as exc:
-                self.stats.transient_errors += 1
-                if attempt >= self._max_retries:
-                    raise ServerUnavailableError(
-                        f"request {request.request_id} failed after "
-                        f"{attempt + 1} attempts: {exc}"
-                    ) from exc
-                self.stats.retries += 1
-                if span is not None:
-                    span.event(
-                        "retry", attempt=attempt + 1, error=type(exc).__name__
-                    )
-                await self._sleep(
-                    min(self._backoff_base * (2 ** attempt), self._backoff_max)
+                spent = await self._retry_backoff(
+                    request, span, attempt, spent, type(exc).__name__
                 )
                 attempt += 1
                 continue
             if response.status == Status.UNAVAILABLE:
-                # The shard's worker process is down.  Transient: a
-                # supervisor may restart it, so retry like a dropped
-                # connection rather than failing the call outright.
-                self.stats.transient_errors += 1
-                if attempt >= self._max_retries:
-                    raise ServerUnavailableError(
-                        f"request {request.request_id} unavailable after "
-                        f"{attempt + 1} attempts: {response.message}"
-                    )
-                self.stats.retries += 1
-                if span is not None:
-                    span.event("retry", attempt=attempt + 1, error="UNAVAILABLE")
-                await self._sleep(
-                    min(self._backoff_base * (2 ** attempt), self._backoff_max)
+                # The shard's worker process is down.  Transient: the
+                # supervisor restarts it (replaying the ship log), so
+                # retry like a dropped connection rather than failing
+                # the call outright.
+                spent = await self._retry_backoff(
+                    request, span, attempt, spent, "UNAVAILABLE"
                 )
                 attempt += 1
                 continue

@@ -44,6 +44,24 @@ class ServerUnavailableError(NetError):
     """Retries exhausted or connection refused: the server is unreachable."""
 
 
+class RetriesExhaustedError(ServerUnavailableError):
+    """The client's retry budget ran out against an unavailable shard.
+
+    Raised instead of retrying indefinitely: either the attempt cap
+    (``max_retries``) or the total-backoff budget (``retry_budget``
+    seconds) was exhausted.  Subclasses
+    :class:`ServerUnavailableError`, so existing handlers keep working;
+    ``attempts`` and ``backoff_spent`` say what the retry loop consumed.
+    """
+
+    def __init__(
+        self, message: str, *, attempts: int = 0, backoff_spent: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.backoff_spent = backoff_spent
+
+
 class RemoteError(NetError):
     """The server answered with an error status.
 

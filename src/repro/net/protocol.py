@@ -342,6 +342,122 @@ class Response:
         return bytes(buf)
 
 
+# ----------------------------------------------------------------------
+# Replication (ship-log) records — process serving mode durability
+# ----------------------------------------------------------------------
+#: A shipped group commit: the dedup-filtered ops plus the fresh
+#: (client_id, request_id) pairs the commit acknowledged.
+SHIP_COMMIT = 1
+#: A compact snapshot: the shard's full logical state (sorted pairs)
+#: plus the dedup table, superseding every earlier record.
+SHIP_SNAPSHOT = 2
+
+#: One dedup-table entry: (client_id, max_request_id, sorted request ids).
+DedupEntry = Tuple[int, int, List[int]]
+
+
+@dataclass
+class ShipRecord:
+    """One decoded replication record from a worker's ship stream.
+
+    ``seq`` is the worker's commit ordinal (1-based, monotonic): replay
+    applies commit records in ``seq`` order on top of the newest
+    snapshot, reproducing the exact ``write_batch`` sequence — and hence
+    byte-identical engine state when no snapshot truncated the history.
+    """
+
+    kind: int
+    seq: int
+    #: SHIP_COMMIT: fresh (client_id, request_id) pairs this commit acked.
+    ids: List[Tuple[int, int]] = field(default_factory=list)
+    #: SHIP_COMMIT: the combined (dedup-filtered) batch ops.
+    ops: List[BatchOp] = field(default_factory=list)
+    #: SHIP_SNAPSHOT: the shard's full logical state.
+    pairs: List[Tuple[bytes, bytes]] = field(default_factory=list)
+    #: SHIP_SNAPSHOT: the dedup table (exactly-once across restarts).
+    dedup: List[DedupEntry] = field(default_factory=list)
+
+
+def encode_ship_commit(
+    seq: int, ids: List[Tuple[int, int]], ops: List[BatchOp]
+) -> bytes:
+    buf = bytearray([SHIP_COMMIT])
+    buf += encode_varint64(seq)
+    buf += encode_varint32(len(ids))
+    for client_id, request_id in ids:
+        buf += encode_varint64(client_id)
+        buf += encode_varint64(request_id)
+    buf += encode_varint32(len(ops))
+    for kind, key, value in ops:
+        buf.append(kind)
+        _put_bytes(buf, key)
+        _put_bytes(buf, value)
+    return bytes(buf)
+
+
+def encode_ship_snapshot(
+    seq: int, pairs: List[Tuple[bytes, bytes]], dedup: List[DedupEntry]
+) -> bytes:
+    buf = bytearray([SHIP_SNAPSHOT])
+    buf += encode_varint64(seq)
+    buf += encode_varint32(len(pairs))
+    for key, value in pairs:
+        _put_bytes(buf, key)
+        _put_bytes(buf, value)
+    buf += encode_varint32(len(dedup))
+    for client_id, max_id, ids in dedup:
+        buf += encode_varint64(client_id)
+        buf += encode_varint64(max_id + 1)  # max_id may be -1 (no writes yet)
+        buf += encode_varint32(len(ids))
+        for request_id in ids:
+            buf += encode_varint64(request_id)
+    return bytes(buf)
+
+
+def decode_ship_record(data: bytes) -> ShipRecord:
+    """Parse one replication record; raises :class:`FrameError` on damage."""
+    try:
+        kind = data[0]
+        seq, offset = decode_varint64(data, 1)
+        record = ShipRecord(kind=kind, seq=seq)
+        if kind == SHIP_COMMIT:
+            count, offset = decode_varint32(data, offset)
+            for _ in range(count):
+                (client_id, request_id), offset = decode_varint_run(
+                    data, offset, 2
+                )
+                record.ids.append((client_id, request_id))
+            count, offset = decode_varint32(data, offset)
+            for _ in range(count):
+                op_kind = data[offset]
+                offset += 1
+                key, offset = _get_bytes(data, offset)
+                value, offset = _get_bytes(data, offset)
+                record.ops.append((op_kind, key, value))
+        elif kind == SHIP_SNAPSHOT:
+            count, offset = decode_varint32(data, offset)
+            for _ in range(count):
+                key, offset = _get_bytes(data, offset)
+                value, offset = _get_bytes(data, offset)
+                record.pairs.append((key, value))
+            count, offset = decode_varint32(data, offset)
+            for _ in range(count):
+                client_id, offset = decode_varint64(data, offset)
+                max_plus_one, offset = decode_varint64(data, offset)
+                nids, offset = decode_varint32(data, offset)
+                ids, offset = (
+                    decode_varint_run(data, offset, nids) if nids else ((), offset)
+                )
+                record.dedup.append((client_id, max_plus_one - 1, list(ids)))
+        else:
+            raise FrameError(f"unknown ship record kind {kind}")
+        return record
+    except FrameError:
+        raise
+    except Exception as exc:  # truncated varints etc. → framing error
+        raise FrameError(f"malformed ship record: {exc}") from exc
+
+
 def decode_payload(payload: bytes) -> Union[Request, Response]:
     """Parse one frame payload into a :class:`Request` or :class:`Response`."""
     if not payload:

@@ -79,6 +79,31 @@ class ServerConfig:
     sync_commits: bool = True
     #: Recently applied write ids remembered per client for dedup.
     dedup_window: int = 4096
+    # -- process serving mode: durability + supervision (see net/mp.py) --
+    #: Workers ship every acknowledged group commit to the parent, which
+    #: keeps a durable per-shard log so acknowledged writes survive a
+    #: worker crash (restart replays the log into the fresh worker).
+    ship_log: bool = True
+    #: Ship a compact snapshot every N commits so the parent can truncate
+    #: the log (0 = never; replay then reproduces byte-identical state).
+    snapshot_interval: int = 0
+    #: Run the supervisor loop: heartbeat worker processes, auto-restart
+    #: dead/hung ones with replay, trip the restart-storm breaker.
+    supervise: bool = True
+    #: Seconds between supervisor ticks (wall clock).
+    heartbeat_interval: float = 0.25
+    #: A worker that does not answer a ping within this deadline is
+    #: declared hung and killed (then restarted like a crash).
+    heartbeat_timeout: float = 5.0
+    #: Consecutive failed restarts before the breaker trips the shard
+    #: into sticky DEGRADED (resume_shard clears it).
+    max_consecutive_restarts: int = 5
+    #: Deterministic capped exponential backoff between auto-restarts.
+    restart_backoff_base: float = 0.05
+    restart_backoff_max: float = 2.0
+    #: A restarted worker alive this long resets the consecutive-failure
+    #: count (distinguishes a crash storm from isolated crashes).
+    restart_probation: float = 1.0
 
     def make_router(self) -> ShardRouter:
         if self.boundaries is not None:
@@ -142,6 +167,18 @@ class _DedupTable:
             ids = {i for i in ids if i > floor}
         self._applied[client_id] = (new_max, ids)
 
+    def export(self) -> List[Tuple[int, int, List[int]]]:
+        """Deterministic dump: (client_id, max_id, sorted ids) per client."""
+        return [
+            (client_id, max_id, sorted(ids))
+            for client_id, (max_id, ids) in sorted(self._applied.items())
+        ]
+
+    def restore(self, entries: List[Tuple[int, int, List[int]]]) -> None:
+        self._applied = {
+            client_id: (max_id, set(ids)) for client_id, max_id, ids in entries
+        }
+
 
 class Shard:
     """One engine instance plus its serving state."""
@@ -161,6 +198,11 @@ class Shard:
         #: Engine tracer (component ``shardN``) once tracing is enabled;
         #: server-side dispatch spans share it with the engine's spans.
         self.tracer = None
+        #: Called with ``(combined_ops, fresh_ids)`` after every group
+        #: commit the engine accepted, *before* the writes are
+        #: acknowledged — the log-shipping hook of the process serving
+        #: mode (see :mod:`repro.net.mp`).
+        self.on_commit: Optional[Callable[[list, List[Tuple[int, int]]], None]] = None
         self._snapshots: Dict[int, object] = {}
         self._next_snapshot_token = 1
         self._dedup = _DedupTable(config.dedup_window)
@@ -243,7 +285,53 @@ class Shard:
             self.stats.coalesced_writes += len(fresh)
         for client_id, request_id in fresh:
             self._dedup.record(client_id, request_id)
+        if fresh and self.on_commit is not None:
+            # Ship the acknowledged commit before any future resolves:
+            # once the record is externalized, a crash between here and
+            # the client's response cannot lose the write.
+            self.on_commit(combined, fresh)
         return applied_flags
+
+    # ------------------------------------------------------------------
+    # Replay (process serving mode: restore a restarted worker)
+    # ------------------------------------------------------------------
+    def apply_shipped_commit(
+        self, ops: list, ids: List[Tuple[int, int]]
+    ) -> None:
+        """Re-apply one shipped group commit from the parent's log.
+
+        Issues the exact ``write_batch`` call the original commit made
+        (same combined ops, same sync flag) and re-records its dedup
+        ids, so a full-log replay reproduces byte-identical engine state
+        and retried writes stay exactly-once across the restart.  The
+        :attr:`on_commit` hook is deliberately not invoked — the parent
+        already holds these records.
+        """
+        if ops:
+            self.db.write_batch(list(ops), sync=self.config.sync_commits)
+        for client_id, request_id in ids:
+            self._dedup.record(client_id, request_id)
+
+    def restore_snapshot(
+        self,
+        pairs: List[Tuple[bytes, bytes]],
+        dedup_entries: List[Tuple[int, int, List[int]]],
+    ) -> None:
+        """Load a shipped compact snapshot into a fresh shard (logical
+        restore: the key-value state and dedup table are exact, the
+        physical sstable layout is not)."""
+        from repro.util.keys import KIND_PUT
+
+        if pairs:
+            self.db.write_batch(
+                [(KIND_PUT, key, value) for key, value in pairs],
+                sync=self.config.sync_commits,
+            )
+        self._dedup.restore(dedup_entries)
+
+    def export_snapshot(self) -> Tuple[list, List[Tuple[int, int, List[int]]]]:
+        """The shard's full logical state for a compact ship snapshot."""
+        return list(self.db.scan()), self._dedup.export()
 
     # ------------------------------------------------------------------
     # Snapshots

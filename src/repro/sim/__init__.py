@@ -33,6 +33,7 @@ from repro.sim.faults import (
     FaultPlan,
     FaultSpec,
     FaultStats,
+    KillPoint,
 )
 from repro.sim.storage import (
     CRASH_BITFLIP,
@@ -58,6 +59,7 @@ __all__ = [
     "Job",
     "FaultInjector",
     "FaultPlan",
+    "KillPoint",
     "FaultSpec",
     "FaultStats",
     "TRANSIENT",

@@ -29,7 +29,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import PersistentIOError, TransientIOError
 
@@ -185,6 +185,54 @@ class FaultPlan:
                     raise ValueError(f"bad fault spec field {extra!r}")
             specs.append(FaultSpec(op=op, name_pattern=pattern, kind=kind, **kwargs))
         return cls(specs, seed=seed)
+
+
+@dataclass
+class KillPoint:
+    """A seeded process-kill point for the multiprocessing chaos tests.
+
+    Storage faults above model a *device* misbehaving under a process
+    that keeps running; a kill point models the *process* dying at an
+    exact group-commit boundary.  The serving layer arms it via
+    ``ProcessKVServer.arm_worker_kill``: the shard worker ``os._exit``\\ s
+    after its ``after_commits``-th commit, either before the commit's
+    record was shipped to the parent (``before_ship`` — applied but
+    never externalized nor acknowledged) or after (``after_ship`` —
+    externalized but never acknowledged, so the client's retry must be
+    deduplicated).  Both sides of the ship boundary must converge to the
+    same state as an uninterrupted run; the differential durability
+    tests sweep seeded kill points across both modes to check that.
+    """
+
+    after_commits: int = 1
+    mode: str = "after_ship"
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        lo: int = 1,
+        hi: int = 8,
+        modes: Sequence[str] = ("before_ship", "after_ship"),
+    ) -> "KillPoint":
+        """Pick a deterministic commit index in [lo, hi] and a mode.
+
+        A SplitMix64 hash (no RNG state) maps the seed to the kill
+        point, so a given seed names the same point on every run and
+        machine regardless of interpreter hash randomization.
+        """
+        h = _mix(seed)
+        after = lo + h % max(1, hi - lo + 1)
+        mode = modes[_mix(h) % len(modes)]
+        return cls(after_commits=after, mode=mode)
+
+
+def _mix(value: int) -> int:
+    """SplitMix64 finalizer: a cheap, well-distributed integer hash."""
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
 
 
 @dataclass

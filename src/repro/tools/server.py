@@ -72,6 +72,26 @@ def build_parser() -> argparse.ArgumentParser:
         "(deterministic); 'process' spawns one worker process per shard "
         "(true multi-core)",
     )
+    parser.add_argument(
+        "--no-ship-log",
+        action="store_true",
+        help="process mode: disable log shipping (worker crashes lose "
+        "acknowledged writes, as in the pre-durability serving mode)",
+    )
+    parser.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=0,
+        help="process mode: ship a compact snapshot every N commits so "
+        "the parent can truncate the ship log (0 = full log; replay "
+        "from a full log is byte-identical, from a snapshot logical)",
+    )
+    parser.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help="process mode: disable the heartbeat supervisor "
+        "(no automatic restart of dead or hung shard workers)",
+    )
     return parser
 
 
@@ -88,6 +108,9 @@ def config_from_args(args) -> ServerConfig:
         cache_bytes=int(args.cache_mb * 1024 * 1024),
         group_commit=not args.no_group_commit,
         sync_commits=not args.async_commits,
+        ship_log=not args.no_ship_log,
+        snapshot_interval=args.snapshot_interval,
+        supervise=not args.no_supervise,
     )
 
 

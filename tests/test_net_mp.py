@@ -152,7 +152,9 @@ class TestProcessModeDifferential:
 class TestWorkerCrash:
     def test_crash_unavailable_restart_resume(self):
         async def main():
-            server = ProcessKVServer(config(shards=2))
+            # supervise=False: this test exercises the *manual* restart
+            # path, so the auto-restart supervisor must stay out of it.
+            server = ProcessKVServer(config(shards=2, supervise=False))
             client = await ClusterClient.open_loopback(
                 server, max_retries=2, backoff_base=0.001, backoff_max=0.01
             )
@@ -174,10 +176,12 @@ class TestWorkerCrash:
             )
             assert await client.put(other_key, b"other-shard-alive")
             assert await client.get(other_key) == b"other-shard-alive"
-            # Restart: serving resumes (state restarts empty — the store
-            # is process-private simulated storage; see mp.py docstring).
+            # Restart: serving resumes and the replacement worker is
+            # restored from the parent's durable ship log, so the write
+            # acknowledged before the crash survives it.
             server.restart_shard(shard)
             assert server.worker_alive(shard)
+            assert await client.get(key) == b"before-crash"
             assert await client.put(key, b"after-restart")
             assert await client.get(key) == b"after-restart"
             await client.aclose()
