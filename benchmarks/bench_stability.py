@@ -1,0 +1,317 @@
+"""Tail-latency stability benchmark: graduated backpressure vs the cliff.
+
+Runs the same seeded fillrandom workload twice — once with the
+historical binary slowdown/stop gates (``backpressure="cliff"``), once
+with the graduated debt-proportional controller
+(``backpressure="graduated"``) — and slices per-write simulated latency
+into fixed sim-time windows (:class:`repro.obs.WindowedHistogram`).
+Means hide stall cliffs; the per-window p99/p999 series is where they
+show up, as a spike with a measurable height (the worst window's p99)
+and width (how many consecutive windows stay bad).
+
+Contract (any violation exits non-zero; CI runs ``--contract-only``):
+
+1. **stability** — graduated mode's worst-window p99 write latency must
+   be strictly lower than cliff mode's on the same workload;
+2. **max stall** — no single graduated-mode write may stall longer than
+   ``MAX_STALL_SECONDS`` of simulated time (the SLO regression gate);
+3. **no lost writes** — the admission-control phase (a loopback server
+   with a tiny write-debt cap, hammered by concurrent writers) must
+   shed load via OVERLOADED yet lose zero acknowledged writes
+   (``ops_lost == 0``), with every retried write applied exactly once;
+4. **determinism** — repeating the graduated run reproduces identical
+   simulated timing and stall totals.
+
+Results land in ``BENCH_stability.json`` (override with
+``--stability-out``).
+
+Run: ``PYTHONPATH=src python benchmarks/bench_stability.py [--contract-only]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import repro
+from repro.engines.options import StoreOptions
+from repro.obs import SUMMARY_PERCENTILES, WindowedHistogram
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_stability.json"
+
+SEED = 7
+VALUE_SIZE = 512
+KEY_SPACE = 20000
+#: Sim seconds per stability window.  Narrow enough that a stalled
+#: write dominates its own window's p99 instead of hiding below the
+#: 1% mark of a wide one — the window is the spike detector.
+WINDOW_SECONDS = 0.002
+#: Contract: the longest single graduated-mode write stall allowed.
+MAX_STALL_SECONDS = 0.010
+#: A window is part of a stall spike when its p99 exceeds this multiple
+#: of the run's median window p99.
+SPIKE_FACTOR = 5.0
+
+
+def _options(mode: str) -> StoreOptions:
+    base = StoreOptions.for_preset("pebblesdb")
+    return dataclasses.replace(
+        base,
+        memtable_bytes=16 * 1024,
+        level1_max_bytes=64 * 1024,
+        target_file_bytes=32 * 1024,
+        background_workers=2,
+        max_immutable_memtables=2,
+        level0_compaction_trigger=4,
+        level0_slowdown_trigger=6,
+        level0_stop_trigger=10,
+        backpressure=mode,
+        # A deliberately light cliff brake: the fixed delay barely slows
+        # the writer, so Level 0 climbs to the stop trigger and the
+        # cliff appears.  The graduated ramp shares the same floor but
+        # rises to 1 ms at high debt, holding L0 below the stop.
+        slowdown_delay=0.05e-3,
+        slowdown_delay_max=1.0e-3,
+        top_level_bits=6,
+        bit_decrement=1,
+    )
+
+
+def _spike(series: List[float]) -> Dict[str, float]:
+    """Height and width of the worst stall spike in a p99 series."""
+    if not series:
+        return {"height": 0.0, "width_windows": 0, "threshold": 0.0}
+    baseline = sorted(series)[len(series) // 2]
+    threshold = baseline * SPIKE_FACTOR
+    height = max(series)
+    width = best = 0
+    for value in series:
+        if value > threshold:
+            width += 1
+            best = max(best, width)
+        else:
+            width = 0
+    return {
+        "height": round(height, 6),
+        "width_windows": best,
+        "threshold": round(threshold, 6),
+    }
+
+
+def _fill_random(mode: str, num_ops: int) -> Dict[str, object]:
+    env = repro.Environment(cache_bytes=1 << 20)
+    db = repro.open_store(
+        "pebblesdb", env.storage, options=_options(mode), prefix="db/"
+    )
+    rng = random.Random(SEED)
+    value = b"v" * VALUE_SIZE
+    windows = WindowedHistogram(WINDOW_SECONDS)
+    clock = env.clock
+    max_latency = 0.0
+    wall0 = time.perf_counter()
+    for _ in range(num_ops):
+        key = b"key%06d" % rng.randrange(KEY_SPACE)
+        before = clock.now
+        db.put(key, value)
+        latency = clock.now - before
+        windows.record(before, latency)
+        if latency > max_latency:
+            max_latency = latency
+    db.wait_idle()
+    wall = time.perf_counter() - wall0
+    db.check_invariants()
+    stats = db.stats()
+    causes = {}
+    for metric in db.registry:
+        if metric.name == "stall.cause_seconds":
+            causes[dict(metric.labels)["cause"]] = round(metric.value, 6)
+    p99_series = [value for _, value in windows.percentile_series(0.99)]
+    record = {
+        "mode": mode,
+        "sim_seconds": round(clock.now, 6),
+        "kops_per_sec": round(num_ops / clock.now / 1000.0, 3) if clock.now else 0.0,
+        "stall_seconds": round(stats.stall_seconds, 6),
+        "stall_causes": causes,
+        "max_write_latency": round(max_latency, 6),
+        "worst_window_p99": round(windows.worst(0.99), 6),
+        "worst_window_p999": round(windows.worst(0.999), 6),
+        "worst_window": windows.worst_window(0.99),
+        "windows": len(windows),
+        "window_seconds": WINDOW_SECONDS,
+        "spike": _spike(p99_series),
+        "percentile_names": [name for name, _ in SUMMARY_PERCENTILES],
+        "window_summary": [
+            {key: (round(val, 9) if isinstance(val, float) else val)
+             for key, val in row.items()}
+            for row in windows.summary()
+        ],
+        "wall_seconds": round(wall, 3),
+    }
+    db.close()
+    return record
+
+
+async def _overload_run(num_clients: int, writes_per_client: int) -> Dict[str, object]:
+    from repro.net import ClusterClient, KVServer, ServerConfig
+
+    server = KVServer(
+        ServerConfig(
+            shards=2,
+            uniform_keys=KEY_SPACE,
+            seed=SEED,
+            max_write_debt=2,
+            overload_retry_after=0.001,
+        )
+    )
+    clients = [await ClusterClient.open_loopback(server) for _ in range(num_clients)]
+    acked: List[bytes] = []
+
+    async def hammer(index: int, client) -> None:
+        for i in range(writes_per_client):
+            key = f"user{index:03d}{i:09d}".encode()
+            if await client.put(key, b"v%d.%d" % (index, i)):
+                acked.append(key)
+
+    await asyncio.gather(
+        *(hammer(i, client) for i, client in enumerate(clients))
+    )
+    reader = clients[0]
+    lost = 0
+    for key in acked:
+        if await reader.get(key) is None:
+            lost += 1
+    rejects = sum(shard.stats.overload_rejects for shard in server.shards)
+    duplicates = sum(shard.stats.duplicate_writes for shard in server.shards)
+    backoffs = sum(client.stats.overload_backoffs for client in clients)
+    for client in clients:
+        await client.aclose()
+    await server.aclose()
+    return {
+        "clients": num_clients,
+        "writes_per_client": writes_per_client,
+        "ops_acked": len(acked),
+        "ops_lost": lost,
+        "overload_rejects": rejects,
+        "client_overload_backoffs": backoffs,
+        "duplicate_writes": duplicates,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--contract-only",
+        action="store_true",
+        help="reduced workload; enforce the contract and exit (CI gate)",
+    )
+    parser.add_argument("--num-ops", type=int, default=None)
+    parser.add_argument(
+        "--stability-out",
+        type=Path,
+        default=_JSON_PATH,
+        help="where to write the results JSON",
+    )
+    args = parser.parse_args(argv)
+    num_ops = args.num_ops or (8000 if args.contract_only else 16000)
+
+    t0 = time.perf_counter()
+    cliff = _fill_random("cliff", num_ops)
+    graduated = _fill_random("graduated", num_ops)
+    for record in (cliff, graduated):
+        print(
+            f"mode={record['mode']:<9} {record['kops_per_sec']:>8.1f} KOps/s  "
+            f"stall={record['stall_seconds']:.4f}s  "
+            f"worst-window p99={record['worst_window_p99'] * 1e3:.3f}ms "
+            f"p999={record['worst_window_p999'] * 1e3:.3f}ms  "
+            f"spike width={record['spike']['width_windows']}"
+        )
+    repeat = _fill_random("graduated", num_ops)
+    deterministic = all(
+        repeat[key] == graduated[key]
+        for key in (
+            "sim_seconds",
+            "stall_seconds",
+            "stall_causes",
+            "worst_window_p99",
+            "worst_window_p999",
+            "max_write_latency",
+        )
+    )
+    overload = asyncio.run(
+        _overload_run(4, 100 if args.contract_only else 250)
+    )
+    print(
+        f"overload phase: acked={overload['ops_acked']} "
+        f"lost={overload['ops_lost']} rejects={overload['overload_rejects']} "
+        f"honored-backoffs={overload['client_overload_backoffs']}"
+    )
+
+    failures = []
+    if graduated["worst_window_p99"] >= cliff["worst_window_p99"]:
+        failures.append(
+            f"graduated worst-window p99 {graduated['worst_window_p99']:.6f}s "
+            f"not below cliff {cliff['worst_window_p99']:.6f}s"
+        )
+    if graduated["max_write_latency"] > MAX_STALL_SECONDS:
+        failures.append(
+            f"max graduated write stall {graduated['max_write_latency']:.6f}s "
+            f"exceeds the {MAX_STALL_SECONDS:.3f}s contract"
+        )
+    if overload["ops_lost"] != 0:
+        failures.append(f"{overload['ops_lost']} acknowledged writes lost")
+    if overload["overload_rejects"] == 0:
+        failures.append("overload phase never triggered admission control")
+    if not deterministic:
+        failures.append("repeated graduated run diverged")
+
+    wall = time.perf_counter() - t0
+    payload = {
+        "benchmark": "stability",
+        "contract_only": args.contract_only,
+        "num_ops": num_ops,
+        "value_size": VALUE_SIZE,
+        "key_space": KEY_SPACE,
+        "window_seconds": WINDOW_SECONDS,
+        "max_stall_seconds_contract": MAX_STALL_SECONDS,
+        "max_stall_seconds": graduated["max_write_latency"],
+        "worst_window_p99_cliff": cliff["worst_window_p99"],
+        "worst_window_p99_graduated": graduated["worst_window_p99"],
+        "p99_improvement": (
+            round(cliff["worst_window_p99"] / graduated["worst_window_p99"], 3)
+            if graduated["worst_window_p99"]
+            else 0.0
+        ),
+        "ops_lost": overload["ops_lost"],
+        "deterministic": deterministic,
+        "passed": not failures,
+        "failures": failures,
+        "wall_seconds": round(wall, 3),
+        "modes": [cliff, graduated],
+        "overload": overload,
+    }
+    args.stability_out.write_text(json.dumps(payload, indent=2) + "\n")
+    print("-" * 70)
+    print(
+        f"worst-window p99: cliff {cliff['worst_window_p99'] * 1e3:.3f}ms -> "
+        f"graduated {graduated['worst_window_p99'] * 1e3:.3f}ms "
+        f"({payload['p99_improvement']}x), "
+        f"max stall {payload['max_stall_seconds'] * 1e3:.3f}ms "
+        f"(contract {MAX_STALL_SECONDS * 1e3:.0f}ms), ops_lost={overload['ops_lost']}"
+    )
+    print(f"results -> {args.stability_out.name} ({wall:.1f}s wall)")
+    if failures:
+        for failure in failures:
+            print(f"CONTRACT VIOLATION: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1334,7 +1334,11 @@ class PebblesDBStore(LSMStoreBase):
             self._schedule_compactions()
 
         self._compaction_seconds.record(acct.seconds)
-        job_ref.append(self.executor.submit("compaction", acct.seconds, apply))
+        bytes_in = sum(f.file_size for f in consumed)
+        start_at = self._compaction_start_time(bytes_in + bytes_written)
+        job_ref.append(
+            self.executor.submit("compaction", acct.seconds, apply, at=start_at)
+        )
 
     def _add_guard_live(self, level: int, key: bytes) -> None:
         guarded = self._guarded[level]

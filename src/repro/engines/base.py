@@ -29,6 +29,7 @@ from repro.errors import (
 )
 from repro.memtable import Memtable
 from repro.sim.executor import BackgroundExecutor, Job
+from repro.sim.ratelimit import TokenBucket
 from repro.sim.storage import IoAccount, SimulatedStorage
 from repro.sstable import (
     DecodedBlockCache,
@@ -446,6 +447,29 @@ class LSMStoreBase(KeyValueStore):
         self._op_seeks = self._stats.bind("seeks")
         self._op_next_calls = self._stats.bind("next_calls")
         self._stall_cause_counters: Dict[str, Counter] = {}
+        #: Exactly-once stall attribution: sim time up to which stall
+        #: seconds have already been charged to a cause.  Nested or
+        #: back-to-back stall sites (imm backpressure draining straight
+        #: into an L0 stop inside one write) attribute only the part of
+        #: their interval past this watermark, so no sim-clock second is
+        #: ever reported under two causes.
+        self._stall_accounted_until = 0.0
+        #: Token-bucket pacing of compaction job start times (None = no
+        #: limit).  Flushes and due-L0 drains bypass it; see
+        #: :meth:`_compaction_start_time`.
+        self._compaction_limiter: Optional[TokenBucket] = None
+        if self.options.compaction_rate_bytes_per_sec is not None:
+            self._compaction_limiter = TokenBucket(
+                self.options.compaction_rate_bytes_per_sec
+            )
+            self._rate_limited_jobs = self.registry.counter(
+                "compaction.rate_limited_jobs"
+            )
+            self._rate_limit_delay = self.registry.counter(
+                "compaction.rate_limit_delay_seconds"
+            )
+            #: stall.seconds at the last reservation (auto-widen input).
+            self._limiter_stall_mark = 0.0
         #: Per-level read-path tallies.  The per-probe path does a plain
         #: list add; the sums fold into ``read.files_probed`` /
         #: ``read.bloom_skipped`` registry counters when stats are read.
@@ -1022,30 +1046,93 @@ class LSMStoreBase(KeyValueStore):
                 self._schedule_compactions()
                 guard += 1
         elif l0 >= opts.level0_slowdown_trigger:
-            self.clock.advance(opts.slowdown_delay)
-            self._stats.stall_seconds += opts.slowdown_delay
-            self._stall_cause("l0_slowdown").value += opts.slowdown_delay
-            trc = self.tracer
-            if trc is not None:
-                span = trc.start_span(
-                    "stall",
-                    start=self.clock.now - opts.slowdown_delay,
-                    cause="l0_slowdown",
+            # Soft-limit band.  Both backpressure modes inject their delay
+            # at exactly this decision point and nowhere else, so the
+            # background schedule — and therefore the MANIFEST — is
+            # byte-identical across modes; only the *amount* differs.
+            delay = self._soft_limit_delay(l0)
+            if delay > 0.0:
+                before = self.clock.now
+                self.clock.advance(delay)
+                cause = (
+                    "l0_slowdown"
+                    if opts.backpressure == "cliff"
+                    else "l0_graduated"
                 )
-                span.end(at=self.clock.now)
+                self._attribute_stall(cause, before, self.clock.now)
+
+    def _soft_limit_delay(self, l0: int) -> float:
+        """Per-write delay while Level 0 sits in the slowdown band.
+
+        ``cliff`` mode returns the fixed historical ``slowdown_delay``.
+        ``graduated`` mode ramps linearly with debt: ``slowdown_delay``
+        at the soft limit, rising to ``slowdown_delay_max`` one file
+        short of the stop trigger, further scaled up by immutable-
+        memtable debt — monotone in both, so heavier debt always means
+        at least as much delay.
+        """
+        opts = self.options
+        if opts.backpressure == "cliff":
+            return opts.slowdown_delay
+        band = max(1, opts.level0_stop_trigger - 1 - opts.level0_slowdown_trigger)
+        l0_debt = (l0 - opts.level0_slowdown_trigger) / band
+        imm_debt = len(self._imm) / max(1, opts.max_immutable_memtables)
+        debt = min(1.0, max(0.0, l0_debt, imm_debt))
+        return opts.slowdown_delay + (opts.slowdown_delay_max - opts.slowdown_delay) * debt
+
+    def _attribute_stall(self, cause: str, start: float, end: float) -> None:
+        """Charge the stall interval ``[start, end]`` to ``cause``.
+
+        Only the part past the attribution watermark is charged, and the
+        watermark then advances to ``end`` — so when stall sites nest or
+        chain within one write, each sim-clock second lands in exactly
+        one ``stall.cause_seconds`` label and the per-cause counters
+        always sum to ``stall.seconds``.
+        """
+        start = max(start, self._stall_accounted_until)
+        if end <= start:
+            return
+        self._stall_accounted_until = end
+        waited = end - start
+        self._stats.stall_seconds += waited
+        self._stall_cause(cause).value += waited
+        trc = self.tracer
+        if trc is not None:
+            span = trc.start_span("stall", start=start, cause=cause)
+            span.end(at=end)
 
     def _stall_until(self, job: Optional[Job], cause: str = "flush_wait") -> None:
         if job is None:
             return
         before = self.clock.now
         self.executor.wait_for(job)
-        waited = self.clock.now - before
-        self._stats.stall_seconds += waited
-        self._stall_cause(cause).value += waited
-        trc = self.tracer
-        if trc is not None and waited > 0:
-            span = trc.start_span("stall", start=before, cause=cause)
-            span.end(at=self.clock.now)
+        self._attribute_stall(cause, before, self.clock.now)
+
+    def _compaction_start_time(self, amount_bytes: float) -> Optional[float]:
+        """Token-bucket admission for one compaction job.
+
+        Returns the sim time the job may start (to pass as ``at=`` to the
+        executor), or None when it may start immediately.  Bypasses the
+        limiter entirely while Level 0 is at or past the slowdown
+        trigger: a due L0 drain must never queue behind the limiter's
+        debt, which is what makes "rate limiter never deadlocks a due L0
+        compaction" an invariant rather than a tuning outcome.
+        """
+        limiter = self._compaction_limiter
+        if limiter is None:
+            return None
+        if self._level0_file_count() >= self.options.level0_slowdown_trigger:
+            return None
+        if self.options.compaction_rate_auto:
+            stalled = self._stats.stall_seconds > self._limiter_stall_mark
+            self._limiter_stall_mark = self._stats.stall_seconds
+            limiter.adapt(stalled)
+        start = limiter.reserve(amount_bytes, self.clock.now)
+        if start <= self.clock.now:
+            return None
+        self._rate_limited_jobs.value += 1
+        self._rate_limit_delay.value += start - self.clock.now
+        return start
 
     def _next_pending_job(self) -> Optional[Job]:
         return self.executor.peek_next()

@@ -565,7 +565,11 @@ class LeveledLSMStore(LSMStoreBase):
             self._schedule_compactions()
 
         self._compaction_seconds.record(acct.seconds)
-        job_ref.append(self.executor.submit("compaction", acct.seconds, apply))
+        bytes_in = sum(f.file_size for f in all_inputs)
+        start_at = self._compaction_start_time(bytes_in + bytes_written)
+        job_ref.append(
+            self.executor.submit("compaction", acct.seconds, apply, at=start_at)
+        )
 
     @staticmethod
     def _mutually_disjoint(metas: List[FileMetadata]) -> bool:

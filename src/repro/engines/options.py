@@ -70,6 +70,32 @@ class StoreOptions:
     #: Extra write delay while Level 0 is in the slowdown band (LevelDB
     #: sleeps 1 ms; scaled with everything else).
     slowdown_delay: float = 0.25e-3
+    #: Write-stall shape between the slowdown and stop triggers.  "cliff"
+    #: is the historical LevelDB behaviour: a fixed ``slowdown_delay``
+    #: per write for the whole band.  "graduated" injects a delay
+    #: proportional to Level-0 debt inside the band — starting at
+    #: ``slowdown_delay`` at the soft limit and ramping linearly to
+    #: ``slowdown_delay_max`` one file short of the stop trigger — so
+    #: per-write latency rises smoothly instead of oscillating between
+    #: "free" and "hard stall".  Both modes delay at exactly the same
+    #: decision points, so same-seed runs produce byte-identical
+    #: MANIFESTs; only timing and stall metrics differ.
+    backpressure: str = "cliff"
+    #: Ceiling of the graduated delay ramp (per write, simulated seconds).
+    slowdown_delay_max: float = 1.0e-3
+    #: Token-bucket rate limit on compaction I/O (bytes read + written
+    #: per simulated second); ``None`` disables the limiter.  Flushes are
+    #: exempt — throttling the path that empties memtables would turn
+    #: the limiter into a stall amplifier — and so are compactions out
+    #: of a Level 0 at or above the slowdown trigger, which guarantees
+    #: the limiter can never deadlock a due L0 compaction behind the
+    #: very debt it is supposed to drain.
+    compaction_rate_bytes_per_sec: "int | None" = None
+    #: Let the limiter widen itself when write stalls climb: each time a
+    #: reservation is made after new stall seconds accrued, the effective
+    #: rate doubles (capped at 16x the configured rate); it decays back
+    #: one halving per stall-free reservation.
+    compaction_rate_auto: bool = False
     #: Compaction scheduling granularity for the FLSM engine: "guard"
     #: serializes in-flight jobs with a per-(level, key-range) conflict
     #: map so independent guards compact concurrently; "level" restores
@@ -175,6 +201,17 @@ class StoreOptions:
             )
         if self.max_parallel_compactions is not None and self.max_parallel_compactions < 1:
             raise ValueError("max_parallel_compactions must be >= 1 (or None)")
+        if self.backpressure not in ("cliff", "graduated"):
+            raise ValueError(f"unknown backpressure mode: {self.backpressure!r}")
+        if self.slowdown_delay < 0 or self.slowdown_delay_max < 0:
+            raise ValueError("slowdown delays must be >= 0")
+        if self.backpressure == "graduated" and self.slowdown_delay_max < self.slowdown_delay:
+            raise ValueError("slowdown_delay_max must be >= slowdown_delay")
+        if (
+            self.compaction_rate_bytes_per_sec is not None
+            and self.compaction_rate_bytes_per_sec <= 0
+        ):
+            raise ValueError("compaction_rate_bytes_per_sec must be > 0 (or None)")
 
     def level_target_bytes(self, level: int) -> int:
         """Size target for ``level`` (level 0 is file-count-triggered)."""

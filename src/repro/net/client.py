@@ -65,6 +65,9 @@ class ClientStats:
     retries: int = 0
     connections_opened: int = 0
     transient_errors: int = 0
+    #: OVERLOADED responses honored: admission-control retries where the
+    #: backoff was raised to at least the server's retry-after hint.
+    overload_backoffs: int = 0
 
 
 @dataclass
@@ -325,7 +328,13 @@ class ClusterClient:
         return delay
 
     async def _retry_backoff(
-        self, request: Request, span, attempt: int, spent: float, error: str
+        self,
+        request: Request,
+        span,
+        attempt: int,
+        spent: float,
+        error: str,
+        min_delay: float = 0.0,
     ) -> float:
         """Account one transient failure; sleep or raise when exhausted.
 
@@ -333,10 +342,12 @@ class ClusterClient:
         :class:`RetriesExhaustedError` (a :class:`ServerUnavailableError`)
         when the attempt cap or the backoff budget is spent — bounded
         behaviour against a shard that stays dead, instead of retrying
-        forever.
+        forever.  ``min_delay`` floors the computed backoff (an
+        OVERLOADED retry-after hint); the raised delay still counts
+        against the same retry budget.
         """
         self.stats.transient_errors += 1
-        delay = self._backoff_delay(request.request_id, attempt)
+        delay = max(self._backoff_delay(request.request_id, attempt), min_delay)
         budget = self._retry_budget
         if attempt >= self._max_retries or (
             budget is not None and spent + delay > budget
@@ -375,6 +386,23 @@ class ClusterClient:
                 # the call outright.
                 spent = await self._retry_backoff(
                     request, span, attempt, spent, "UNAVAILABLE"
+                )
+                attempt += 1
+                continue
+            if response.status == Status.OVERLOADED:
+                # Admission control shed this write.  Honor the server's
+                # retry-after hint (flooring the normal backoff) inside
+                # the same retry budget; the retried request keeps its
+                # request id, so the eventual apply is still
+                # exactly-once via server-side dedup.
+                self.stats.overload_backoffs += 1
+                spent = await self._retry_backoff(
+                    request,
+                    span,
+                    attempt,
+                    spent,
+                    "OVERLOADED",
+                    min_delay=response.retry_after,
                 )
                 attempt += 1
                 continue

@@ -130,6 +130,10 @@ class Status:
     #: The shard's worker process is down (process serving mode); the
     #: condition is transient and clients retry it.
     UNAVAILABLE = 7
+    #: Admission control shed this write: the shard's in-flight write
+    #: debt hit its cap.  Carries a retry-after hint; clients back off at
+    #: least that long (inside the normal retry budget) and retry.
+    OVERLOADED = 8
 
     NAMES = {
         0: "OK",
@@ -140,6 +144,7 @@ class Status:
         5: "UNSUPPORTED",
         6: "SERVER_ERROR",
         7: "UNAVAILABLE",
+        8: "OVERLOADED",
     }
 
 
@@ -318,6 +323,9 @@ class Response:
     client_id: int = 0
     shard_count: int = 0
     boundaries: List[bytes] = field(default_factory=list)
+    #: OVERLOADED: server's suggested minimum backoff before retrying,
+    #: in seconds (microsecond wire granularity).
+    retry_after: float = 0.0
 
     def encode(self) -> bytes:
         buf = bytearray([Op.RESPONSE])
@@ -325,6 +333,8 @@ class Response:
         buf.append(self.status)
         if self.status not in (Status.OK, Status.NOT_FOUND):
             _put_bytes(buf, self.message.encode("utf-8"))
+            if self.status == Status.OVERLOADED:
+                buf += encode_varint64(int(round(self.retry_after * 1e6)))
             return bytes(buf)
         flags = (0x01 if self.found else 0) | (0x02 if self.applied else 0)
         buf.append(flags)
@@ -527,6 +537,9 @@ def _decode_response(data: bytes, request_id: int, offset: int) -> Response:
     if status not in (Status.OK, Status.NOT_FOUND):
         message, offset = _get_bytes(data, offset)
         resp.message = message.decode("utf-8", errors="replace")
+        if status == Status.OVERLOADED:
+            micros, offset = decode_varint64(data, offset)
+            resp.retry_after = micros / 1e6
         return resp
     flags = data[offset]
     offset += 1

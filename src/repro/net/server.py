@@ -79,6 +79,15 @@ class ServerConfig:
     sync_commits: bool = True
     #: Recently applied write ids remembered per client for dedup.
     dedup_window: int = 4096
+    #: Admission control: maximum write requests a shard may have queued
+    #: for group commit before new writes are shed with
+    #: ``Status.OVERLOADED`` (0 = unlimited).  Shedding keeps the commit
+    #: queue bounded instead of letting overload turn into unbounded
+    #: in-process queueing.
+    max_write_debt: int = 0
+    #: Minimum backoff hint (seconds) carried by OVERLOADED responses;
+    #: scaled up with how far past the cap the queue is.
+    overload_retry_after: float = 0.005
     # -- process serving mode: durability + supervision (see net/mp.py) --
     #: Workers ship every acknowledged group commit to the parent, which
     #: keeps a durable per-shard log so acknowledged writes survive a
@@ -136,6 +145,8 @@ class ShardStats:
     duplicate_writes: int = 0
     #: Writes rejected because the shard is degraded.
     degraded_rejects: int = 0
+    #: Writes shed by admission control (OVERLOADED responses).
+    overload_rejects: int = 0
     errors: int = 0
 
 
@@ -209,6 +220,11 @@ class Shard:
         # Group-commit queue: (ops, client_id, request_id, future, trace_ctx).
         self._write_queue: List[Tuple[list, int, int, asyncio.Future, object]] = []
         self._writer_task: Optional[asyncio.Task] = None
+
+    @property
+    def write_debt(self) -> int:
+        """Write requests queued for group commit (admission input)."""
+        return len(self._write_queue)
 
     # ------------------------------------------------------------------
     # Write path (group commit)
@@ -672,6 +688,23 @@ class KVServer:
                 request_id=request.request_id,
                 status=Status.DEGRADED,
                 message=shard.db.get_property("repro.background-error") or "degraded",
+            )
+        cap = self.config.max_write_debt
+        if cap and shard.write_debt >= cap:
+            # Shed instead of queueing: the client backs off at least
+            # ``retry_after`` (scaled by how oversubscribed the queue is)
+            # and retries inside its normal retry budget, so an
+            # acknowledged write is still exactly-once via dedup.
+            shard.stats.overload_rejects += 1
+            hint = self.config.overload_retry_after * max(
+                1.0, shard.write_debt / cap
+            )
+            return Response(
+                request_id=request.request_id,
+                status=Status.OVERLOADED,
+                message=f"shard {shard.index} write queue full "
+                f"({shard.write_debt}/{cap})",
+                retry_after=hint,
             )
         try:
             applied = await shard.submit_write(

@@ -24,12 +24,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.trace import Span, Tracer, TraceSink, read_trace, verify_nesting
+from repro.obs.windows import SUMMARY_PERCENTILES, WindowedHistogram
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "WindowedHistogram",
+    "SUMMARY_PERCENTILES",
     "Span",
     "Tracer",
     "TraceSink",

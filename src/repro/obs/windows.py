@@ -1,0 +1,162 @@
+"""Windowed percentile tracking over simulated time.
+
+A plain :class:`~repro.obs.metrics.Histogram` answers "what was p99 over
+the whole run" — which is exactly the number that hides stall cliffs: a
+half-second write stall disappears into a million fast writes.  This
+module slices the same log-bucketed histograms into fixed-width windows
+of *simulated* time, so a latency spike shows up as one bad window
+(height = that window's p99/p999, width = how many consecutive windows
+stay bad) instead of vanishing into the aggregate.
+
+Windows are keyed by ``int(at // window_seconds)``; everything is a pure
+function of the recorded ``(at, value)`` stream, so same-seed runs
+produce byte-identical summaries, and per-shard reducers merge into the
+cluster-wide view window-by-window (partial windows included).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.metrics import HIST_GROWTH, HIST_LO, Histogram
+
+#: Percentiles reported by :meth:`WindowedHistogram.summary`.  The
+#: stability bench and the ``repro-trace stalls`` report both read this,
+#: so the two always agree on which quantiles exist.
+SUMMARY_PERCENTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p99", 0.99),
+    ("p999", 0.999),
+)
+
+
+class WindowedHistogram:
+    """Per-window log-bucketed histograms over sim time.
+
+    ``record(at, value)`` lands the sample in the window containing sim
+    time ``at``.  Window boundaries follow half-open interval
+    convention: window ``i`` covers ``[i * w, (i + 1) * w)``, so a
+    sample recorded exactly on a boundary starts the next window.
+    """
+
+    __slots__ = ("window_seconds", "lo", "growth", "_windows")
+
+    def __init__(
+        self,
+        window_seconds: float,
+        lo: float = HIST_LO,
+        growth: float = HIST_GROWTH,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be > 0")
+        self.window_seconds = window_seconds
+        self.lo = lo
+        self.growth = growth
+        self._windows: Dict[int, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def window_index(self, at: float) -> int:
+        return int(at // self.window_seconds)
+
+    def record(self, at: float, value: float) -> None:
+        index = int(at // self.window_seconds)
+        hist = self._windows.get(index)
+        if hist is None:
+            hist = Histogram(
+                f"window[{index}]", lo=self.lo, growth=self.growth
+            )
+            self._windows[index] = hist
+        hist.record(value)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def __bool__(self) -> bool:
+        return bool(self._windows)
+
+    @property
+    def total_count(self) -> int:
+        return sum(h.count for h in self._windows.values())
+
+    def window(self, index: int) -> Optional[Histogram]:
+        return self._windows.get(index)
+
+    def windows(self) -> Iterator[Tuple[int, Histogram]]:
+        """(index, histogram) pairs in window order (gaps skipped)."""
+        for index in sorted(self._windows):
+            yield index, self._windows[index]
+
+    def percentile_series(self, q: float) -> List[Tuple[int, float]]:
+        """``(window index, percentile)`` per populated window, in order."""
+        return [(i, h.percentile(q)) for i, h in self.windows()]
+
+    def worst(self, q: float) -> float:
+        """The highest per-window percentile — the stability headline."""
+        return max((h.percentile(q) for h in self._windows.values()), default=0.0)
+
+    def worst_window(self, q: float) -> Optional[int]:
+        """Index of the window with the highest ``q`` percentile."""
+        worst, at = 0.0, None
+        for index, hist in self.windows():
+            value = hist.percentile(q)
+            if at is None or value > worst:
+                worst, at = value, index
+        return at
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "WindowedHistogram") -> None:
+        """Fold ``other``'s windows into this reducer, index by index.
+
+        Partial windows merge like any other: two shards that each saw
+        half of window 7 contribute one combined window-7 histogram, as
+        if every sample had been recorded on one reducer.
+        """
+        if other.window_seconds != self.window_seconds:
+            raise ValueError("cannot merge different window widths")
+        if (other.lo, other.growth) != (self.lo, self.growth):
+            raise ValueError("cannot merge different bucketings")
+        for index, hist in other._windows.items():
+            mine = self._windows.get(index)
+            if mine is None:
+                mine = Histogram(
+                    f"window[{index}]", lo=self.lo, growth=self.growth
+                )
+                self._windows[index] = mine
+            mine.merge(hist)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> List[Dict[str, object]]:
+        """Deterministic per-window rows (stable key order, sorted windows).
+
+        Each row: window index, the window's sim-time start, sample
+        count, mean/max, and every :data:`SUMMARY_PERCENTILES` entry.
+        """
+        rows: List[Dict[str, object]] = []
+        for index, hist in self.windows():
+            row: Dict[str, object] = {
+                "window": index,
+                "start": index * self.window_seconds,
+                "count": hist.count,
+                "mean": hist.mean,
+                "max": hist.max if hist.count else 0.0,
+            }
+            for name, q in SUMMARY_PERCENTILES:
+                row[name] = hist.percentile(q)
+            rows.append(row)
+        return rows
+
+    def to_text(self) -> str:
+        """One fixed-format line per window (byte-stable across runs)."""
+        lines = []
+        for row in self.summary():
+            parts = [
+                f"window={row['window']}",
+                f"start={row['start']:.6f}",
+                f"count={row['count']}",
+            ]
+            for name, _ in SUMMARY_PERCENTILES:
+                parts.append(f"{name}={row[name]:.9f}")
+            parts.append(f"max={row['max']:.9f}")
+            lines.append(" ".join(parts))
+        return "\n".join(lines) + ("\n" if lines else "")

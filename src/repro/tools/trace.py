@@ -21,9 +21,22 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.obs.trace import read_trace, verify_nesting
+from repro.obs.windows import SUMMARY_PERCENTILES, WindowedHistogram
 
 #: Background span names that belong on the compaction/flush timeline.
 _TIMELINE_NAMES = ("flush", "compaction", "compaction.move", "compaction.guard")
+
+#: Every stall-cause label the engines emit, with a one-line gloss.  The
+#: stalls report annotates known causes and flags unknown ones, so a
+#: renamed label fails loudly here and in the stability bench together.
+_STALL_CAUSES = {
+    "imm_backpressure": "waiting for a memtable flush",
+    "l0_slowdown": "cliff soft-limit delay (fixed)",
+    "l0_graduated": "graduated soft-limit delay (debt-proportional)",
+    "l0_stop": "hard stop: Level 0 at stop trigger",
+    "l0_stop_conflict": "hard stop while the L0 drain was conflict-blocked",
+    "flush_wait": "explicit flush/close wait",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,6 +55,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=40,
         help="max timeline rows to print (0 = all)",
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=0.0,
+        help="sim-seconds per stability window in the stalls report "
+        "(0 = auto: 1/20 of the traced write span)",
     )
     return parser
 
@@ -115,26 +135,67 @@ def report_timeline(spans: List[Dict[str, object]], limit: int) -> None:
         print(f"... {len(jobs) - limit} more (raise --limit)")
 
 
-def report_stalls(spans: List[Dict[str, object]]) -> None:
+def report_stalls(spans: List[Dict[str, object]], window: float = 0.0) -> None:
     stalls = [s for s in spans if s["name"] == "stall"]
-    if not stalls:
-        print("no stall spans in this trace")
+    writes = [s for s in spans if s["name"] == "write"]
+    if not stalls and not writes:
+        print("no stall or write spans in this trace")
         return
-    by_cause: Dict[str, List[float]] = {}
+    if stalls:
+        by_cause: Dict[str, List[float]] = {}
+        for span in stalls:
+            cause = str(_attr(span, "cause", "unknown"))
+            by_cause.setdefault(cause, []).append(
+                float(span["end"]) - float(span["start"])
+            )
+        total = sum(sum(v) for v in by_cause.values())
+        print(f"{'cause':<20} {'count':>7} {'seconds':>12} {'share':>7}  note")
+        print("-" * 76)
+        for cause in sorted(by_cause, key=lambda c: -sum(by_cause[c])):
+            seconds = sum(by_cause[cause])
+            share = seconds / total * 100 if total else 0.0
+            note = _STALL_CAUSES.get(cause, "(unknown cause label)")
+            print(
+                f"{cause:<20} {len(by_cause[cause]):>7} {seconds:>12.6f} "
+                f"{share:>6.1f}%  {note}"
+            )
+        print("-" * 76)
+        print(f"{'total':<20} {len(stalls):>7} {total:>12.6f}")
+    else:
+        print("no stall spans in this trace")
+    if not writes:
+        return
+    # Per-window write-latency percentiles: the same reducer and quantile
+    # names the stability bench uses, so the two reports agree.
+    t_lo = min(float(s["start"]) for s in writes)
+    t_hi = max(float(s["end"]) for s in writes)
+    if window <= 0:
+        window = max((t_hi - t_lo) / 20.0, 1e-6)
+    reducer = WindowedHistogram(window)
+    for span in writes:
+        start = float(span["start"])
+        reducer.record(start, float(span["end"]) - start)
+    stall_by_window: Dict[int, float] = {}
     for span in stalls:
-        cause = str(_attr(span, "cause", "unknown"))
-        by_cause.setdefault(cause, []).append(
+        index = reducer.window_index(float(span["start"]))
+        stall_by_window[index] = stall_by_window.get(index, 0.0) + (
             float(span["end"]) - float(span["start"])
         )
-    total = sum(sum(v) for v in by_cause.values())
-    print(f"{'cause':<20} {'count':>7} {'seconds':>12} {'share':>7}")
-    print("-" * 50)
-    for cause in sorted(by_cause, key=lambda c: -sum(by_cause[c])):
-        seconds = sum(by_cause[cause])
-        share = seconds / total * 100 if total else 0.0
-        print(f"{cause:<20} {len(by_cause[cause]):>7} {seconds:>12.6f} {share:>6.1f}%")
-    print("-" * 50)
-    print(f"{'total':<20} {len(stalls):>7} {total:>12.6f}")
+    names = [name for name, _ in SUMMARY_PERCENTILES]
+    print()
+    print(f"write latency per {window:.6f}s window (us):")
+    header = f"{'window-start':>13} {'writes':>7}"
+    for name in names:
+        header += f" {name:>9}"
+    header += f" {'stall-s':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in reducer.summary():
+        line = f"{row['start']:>13.6f} {row['count']:>7}"
+        for name in names:
+            line += f" {float(row[name]) * 1e6:>9.1f}"
+        line += f" {stall_by_window.get(row['window'], 0.0):>9.6f}"
+        print(line)
 
 
 def report_reads(spans: List[Dict[str, object]]) -> None:
@@ -201,7 +262,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif args.report == "timeline":
             report_timeline(spans, args.limit)
         elif args.report == "stalls":
-            report_stalls(spans)
+            report_stalls(spans, args.window)
         else:
             report_reads(spans)
     except BrokenPipeError:  # downstream `head` closed the pipe; not an error

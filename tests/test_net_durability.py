@@ -403,3 +403,105 @@ class TestRetryBudget:
             await server.aclose()
 
         run(main())
+
+
+# ----------------------------------------------------------------------
+# Admission control under supervised restart (ISSUE 8)
+# ----------------------------------------------------------------------
+class TestOverloadDuringRestart:
+    def test_throttled_clients_lose_nothing_across_restart(self):
+        """Concurrent writers squeezed through a tiny write-debt cap
+        while shard 0's worker dies at a shipped-but-unacked commit: the
+        supervisor restores the shard, every OVERLOADED shed is retried
+        through, zero acknowledged writes are lost, and the shipped
+        commit deduplicates on retry instead of double-applying."""
+
+        async def main():
+            server = ProcessKVServer(
+                config(max_write_debt=2, overload_retry_after=0.001)
+            )
+            try:
+                clients = [await open_client(server) for _ in range(4)]
+                shard = 0
+                keys = shard_keys(server, shard, 96)
+                # after_ship: the group commit the kill lands on was
+                # shipped to the parent but never acked — the clients'
+                # retries of its writes must dedup, not re-apply.
+                server.arm_worker_kill(shard, 8, "after_ship")
+                acked = {}
+                applied_flags = []
+
+                async def hammer(client, chunk):
+                    for i in chunk:
+                        applied_flags.append(await client.put(K(i), V(i)))
+                        acked[i] = V(i)
+
+                await asyncio.gather(
+                    *(
+                        hammer(client, keys[n::4])
+                        for n, client in enumerate(clients)
+                    )
+                )
+                restarts = server.registry.value(
+                    "supervisor.restarts", shard=shard
+                )
+                assert restarts >= 1, "the armed kill never fired"
+                backoffs = sum(
+                    client.stats.overload_backoffs for client in clients
+                )
+                assert backoffs > 0, "admission control never shed a write"
+                # The shipped-unacked group commit held >= 1 write; each
+                # of its retries was recognised as a duplicate.  Nothing
+                # else may dedup, and nothing may be lost.
+                dedups = applied_flags.count(False)
+                assert 1 <= dedups <= len(clients)
+                assert len(acked) == len(keys)
+                reader = clients[0]
+                for i, value in acked.items():
+                    assert await reader.get(K(i)) == value, (
+                        f"acknowledged key {i} lost across restart"
+                    )
+                for client in clients:
+                    await client.aclose()
+            finally:
+                await server.aclose()
+
+        run(main())
+
+    def test_overload_alone_never_loses_or_duplicates(self):
+        """No crash, just pressure: the cap sheds writes, every retry
+        lands exactly once (all puts applied, none deduplicated)."""
+
+        async def main():
+            server = ProcessKVServer(
+                config(max_write_debt=2, overload_retry_after=0.001)
+            )
+            try:
+                clients = [await open_client(server) for _ in range(4)]
+                keys = list(range(80))
+                applied_flags = []
+
+                async def hammer(client, chunk):
+                    for i in chunk:
+                        applied_flags.append(await client.put(K(i), V(i)))
+
+                await asyncio.gather(
+                    *(
+                        hammer(client, keys[n::4])
+                        for n, client in enumerate(clients)
+                    )
+                )
+                backoffs = sum(
+                    client.stats.overload_backoffs for client in clients
+                )
+                assert backoffs > 0, "admission control never shed a write"
+                assert all(applied_flags)  # no spurious dedup
+                reader = clients[0]
+                for i in keys:
+                    assert await reader.get(K(i)) == V(i)
+                for client in clients:
+                    await client.aclose()
+            finally:
+                await server.aclose()
+
+        run(main())
