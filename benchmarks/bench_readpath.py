@@ -22,6 +22,11 @@ section.  Zero-copy is host-side only, so the simulated metrics must be
 identical there too.  Set ``READPATH_ZC_ABLATION=0`` to skip the extra
 run.
 
+The ablation also sweeps large values (4 KiB and 64 KiB, scaled-down
+key counts): copy cost grows with the value size, so these points show
+where zero-copy decode matters most.  Each lands in
+``zero_copy["value_sweep"]`` with the same sim-identical check.
+
 Results land in ``BENCH_readpath.json`` at the repo root (and in
 pytest-benchmark's ``extra_info``).  Scale with ``READPATH_GETS`` /
 ``READPATH_KEYS`` env vars; CI uses a reduced op count.
@@ -52,14 +57,25 @@ SPEEDUP_FLOOR = 2.0 if _FULL_SCALE else 1.2
 _JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_readpath.json"
 
 
-def _measure(block_cache_bytes: int, zero_copy: bool = True):
+#: Zero-copy ablation points at larger values: (value_size, num_keys,
+#: gets scale).  Key counts shrink so the datasets stay host-RAM sized.
+VALUE_SWEEP = [(4096, 3000, 10), (65536, 400, 40)]
+
+
+def _measure(
+    block_cache_bytes: int,
+    zero_copy: bool = True,
+    value_size: int = VALUE_SIZE,
+    num_keys: int = NUM_KEYS,
+    gets: int = GETS,
+):
     """One warmed-store random-read run; returns (wall, sim_metrics, stats)."""
     # Each measurement starts from a clean heap so an earlier run's
     # garbage cannot tax this run's timed loop.
     gc.collect()
     cfg = standard_config(
-        num_keys=NUM_KEYS,
-        value_size=VALUE_SIZE,
+        num_keys=num_keys,
+        value_size=value_size,
         seed=3,
         option_overrides={
             "pebblesdb": {
@@ -73,7 +89,7 @@ def _measure(block_cache_bytes: int, zero_copy: bool = True):
     run.db.compact_all()
     run.db.wait_idle()
     t0 = time.perf_counter()
-    result = run.bench.read_random(GETS)
+    result = run.bench.read_random(gets)
     wall = time.perf_counter() - t0
     run.db.wait_idle()
     storage = run.env.storage
@@ -126,7 +142,28 @@ def test_readpath_cache_speedup(benchmark):
                 "wall_seconds_off": round(wall_copy, 3),
                 "speedup": round(wall_copy / wall_off, 3),
                 "sim_metrics_identical": sim_copy == sim_off,
+                "value_sweep": [],
             }
+            for value_size, keys, scale in VALUE_SWEEP:
+                gets = max(GETS // scale, 1)
+                wall_zc, sim_zc, _ = _measure(
+                    0, value_size=value_size, num_keys=keys, gets=gets
+                )
+                wall_cp, sim_cp, _ = _measure(
+                    0, zero_copy=False,
+                    value_size=value_size, num_keys=keys, gets=gets,
+                )
+                report["zero_copy"]["value_sweep"].append(
+                    {
+                        "value_size": value_size,
+                        "num_keys": keys,
+                        "gets": gets,
+                        "wall_seconds_on": round(wall_zc, 3),
+                        "wall_seconds_off": round(wall_cp, 3),
+                        "speedup": round(wall_cp / wall_zc, 3),
+                        "sim_metrics_identical": sim_zc == sim_cp,
+                    }
+                )
         return report
 
     result = run_once(benchmark, experiment)
@@ -148,6 +185,13 @@ def test_readpath_cache_speedup(benchmark):
             f"zero-copy={zc['wall_seconds_on']:.2f}s "
             f"speedup={zc['speedup']:.2f}x"
         )
+        for point in zc.get("value_sweep", []):
+            print(
+                f"zero-copy at {point['value_size']}B values: "
+                f"copies={point['wall_seconds_off']:.2f}s "
+                f"zero-copy={point['wall_seconds_on']:.2f}s "
+                f"speedup={point['speedup']:.2f}x"
+            )
     print(f"recorded to {_JSON_PATH.name}")
 
     assert result["sim_metrics_identical"], (
@@ -163,3 +207,8 @@ def test_readpath_cache_speedup(benchmark):
             "zero-copy decode changed a simulated metric — it is a "
             "host-side representation change and must be invisible"
         )
+        for point in result["zero_copy"].get("value_sweep", []):
+            assert point["sim_metrics_identical"], (
+                f"zero-copy at {point['value_size']}B values changed a "
+                f"simulated metric — it must be invisible"
+            )

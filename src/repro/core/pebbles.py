@@ -38,7 +38,7 @@ from repro.engines.options import StoreOptions
 from repro.memtable.memtable import GetResult
 from repro.sim.storage import IoAccount, SimulatedStorage
 from repro.sstable import SSTableBuilder, compaction_iterator, merging_iterator
-from repro.util.keys import InternalKey, KIND_DELETE, KIND_PUT, MAX_SEQUENCE
+from repro.util.keys import InternalKey, KIND_DELETE, KIND_PUT, KIND_SEEK, MAX_SEQUENCE
 from repro.util.murmur import murmur3_64
 from repro.version import VersionEdit
 from repro.version.files import FileMetadata
@@ -293,7 +293,7 @@ class PebblesDBStore(LSMStoreBase):
             # probed for this lookup (readers would otherwise rebuild it,
             # and its memoized sort tuple, per file), and one murmur
             # digest serves every bloom filter screened.
-            probe = InternalKey(key, min(snapshot, MAX_SEQUENCE), KIND_PUT)
+            probe = InternalKey(key, min(snapshot, MAX_SEQUENCE), KIND_SEEK)
             kh = murmur3_64(key)
             get_reader = self._get_reader
             probed = 0
@@ -382,7 +382,7 @@ class PebblesDBStore(LSMStoreBase):
         self, start: Optional[bytes], account: IoAccount
     ) -> List[Iterator[Entry]]:
         start_key = start if start is not None else b""
-        probe = InternalKey(start_key, MAX_SEQUENCE, KIND_PUT)
+        probe = InternalKey(start_key, MAX_SEQUENCE, KIND_SEEK)
         iters: List[Iterator[Entry]] = []
         positioned_tables = 0
         for meta in list(self._level0):
@@ -918,13 +918,21 @@ class PebblesDBStore(LSMStoreBase):
             self._level0_claims(), 0, sum(f.file_size for f in inputs)
         )
         acct = self.storage.background_account(self.prefix + "compaction")
+        gcctx = self._vlog_context(acct)
         edit = VersionEdit()
         new_keys, straddlers = self._commit_target_guards(1, None, None, edit)
-        placements, merged_away = self._compact_stream_into(
-            inputs, 1, acct, edit, extra_inputs=straddlers, new_keys=new_keys
-        )
+        try:
+            placements, merged_away = self._compact_stream_into(
+                inputs, 1, acct, edit, extra_inputs=straddlers,
+                new_keys=new_keys, gcctx=gcctx,
+            )
+        except BaseException:
+            if gcctx is not None:
+                gcctx.abandon()
+            raise
         self._finalize_compaction_job(
-            0, inputs + straddlers + merged_away, placements, edit, acct, new_keys, token
+            0, inputs + straddlers + merged_away, placements, edit, acct,
+            new_keys, token, gcctx,
         )
 
     # ------------------------------------------------------------------
@@ -942,13 +950,21 @@ class PebblesDBStore(LSMStoreBase):
             claims, level, sum(f.file_size for f in inputs)
         )
         acct = self.storage.background_account(self.prefix + "compaction")
+        gcctx = self._vlog_context(acct)
         edit = VersionEdit()
         last = opts.num_levels - 1
 
         if level == last:
             # Last level: rewrite the guard in place as one sstable.
-            placements = self._rewrite_guard_in_place(level, inputs, acct)
-            self._finalize_compaction_job(level, inputs, placements, edit, acct, [], token)
+            try:
+                placements = self._rewrite_guard_in_place(level, inputs, acct, gcctx)
+            except BaseException:
+                if gcctx is not None:
+                    gcctx.abandon()
+                raise
+            self._finalize_compaction_job(
+                level, inputs, placements, edit, acct, [], token, gcctx
+            )
             return
 
         target = level + 1
@@ -965,17 +981,31 @@ class PebblesDBStore(LSMStoreBase):
             merge_bytes = self._estimate_last_level_merge_io(target, lo, hi, input_bytes)
             if input_bytes and merge_bytes >= opts.last_level_merge_io_ratio * input_bytes:
                 self._rollback_guard_commit(target, new_keys, straddlers, edit)
-                placements = self._rewrite_guard_in_place(level, inputs, acct)
+                try:
+                    placements = self._rewrite_guard_in_place(
+                        level, inputs, acct, gcctx
+                    )
+                except BaseException:
+                    if gcctx is not None:
+                        gcctx.abandon()
+                    raise
                 self._finalize_compaction_job(
-                    level, inputs, placements, edit, acct, [], token
+                    level, inputs, placements, edit, acct, [], token, gcctx
                 )
                 return
 
-        placements, merged_away = self._compact_stream_into(
-            inputs, target, acct, edit, extra_inputs=straddlers, new_keys=new_keys
-        )
+        try:
+            placements, merged_away = self._compact_stream_into(
+                inputs, target, acct, edit, extra_inputs=straddlers,
+                new_keys=new_keys, gcctx=gcctx,
+            )
+        except BaseException:
+            if gcctx is not None:
+                gcctx.abandon()
+            raise
         self._finalize_compaction_job(
-            level, inputs + straddlers + merged_away, placements, edit, acct, new_keys, token
+            level, inputs + straddlers + merged_away, placements, edit, acct,
+            new_keys, token, gcctx,
         )
 
     def _rollback_guard_commit(
@@ -1063,6 +1093,7 @@ class PebblesDBStore(LSMStoreBase):
         edit: VersionEdit,
         extra_inputs: Optional[List[FileMetadata]] = None,
         new_keys: Optional[List[bytes]] = None,
+        gcctx=None,
     ) -> Tuple[List[Tuple[int, Optional[bytes], FileMetadata]], List[FileMetadata]]:
         """Merge ``inputs`` and partition the stream by ``target``'s guards.
 
@@ -1092,11 +1123,15 @@ class PebblesDBStore(LSMStoreBase):
         # (forced merge) or the guard is empty, with nothing below.
         is_bottom = self._is_bottom_level(target)
         snapshots = self._active_snapshots()
-        stream = _Peekable(
-            compaction_iterator(
-                merging_iterator(iters), drop_tombstones=False, snapshots=snapshots
-            )
+        base = compaction_iterator(
+            merging_iterator(iters),
+            drop_tombstones=False,
+            snapshots=snapshots,
+            on_drop=gcctx.on_drop if gcctx is not None else None,
         )
+        if gcctx is not None:
+            base = gcctx.rewrite(base)
+        stream = _Peekable(base)
         guarded = self._guarded[target]
         assert guarded is not None
         committed = set(guarded.guard_keys)
@@ -1138,7 +1173,13 @@ class PebblesDBStore(LSMStoreBase):
                     merging_iterator(ex_iters + [chunk]),
                     drop_tombstones=is_bottom,
                     snapshots=snapshots,
+                    on_drop=gcctx.on_drop if gcctx is not None else None,
                 )
+                # Chunk entries relocated by the outer rewrite now point at
+                # the active segment (never cold), so re-wrapping cannot
+                # relocate the same record twice.
+                if gcctx is not None:
+                    merged = gcctx.rewrite(merged)
                 metas = self._emit_fragment(merged, acct)
                 merged_away.extend(existing)
                 input_entries += sum(f.num_entries for f in existing)
@@ -1187,7 +1228,7 @@ class PebblesDBStore(LSMStoreBase):
         return guard
 
     def _rewrite_guard_in_place(
-        self, level: int, inputs: List[FileMetadata], acct: IoAccount
+        self, level: int, inputs: List[FileMetadata], acct: IoAccount, gcctx=None
     ) -> List[Tuple[int, Optional[bytes], FileMetadata]]:
         """Merge a guard's sstables into one table at the same level."""
         iters = [
@@ -1199,7 +1240,10 @@ class PebblesDBStore(LSMStoreBase):
             merging_iterator(iters),
             drop_tombstones=drop,
             snapshots=self._active_snapshots(),
+            on_drop=gcctx.on_drop if gcctx is not None else None,
         )
+        if gcctx is not None:
+            merged = gcctx.rewrite(merged)
         metas = self._emit_fragment(merged, acct)
         entries = sum(f.num_entries for f in inputs)
         acct.charge(
@@ -1264,6 +1308,7 @@ class PebblesDBStore(LSMStoreBase):
         acct: IoAccount,
         new_keys: List[bytes],
         claim_token: Optional[int] = None,
+        gcctx=None,
     ) -> None:
         """Record the edit and submit the job for deferred application."""
         consumed_levels = {
@@ -1289,7 +1334,9 @@ class PebblesDBStore(LSMStoreBase):
             # edit means crash recovery replays the old version, which
             # still references them — deletion then waits for resume()).
             manifest_acct = self.storage.background_account(self.prefix + "manifest")
+            self._vlog_commit(gcctx, edit)
             durable = self._append_manifest(edit, manifest_acct)
+            self._vlog_retire(gcctx, durable)
             for key in new_keys:
                 level = [lvl for lvl, k in edit.new_guards if k == key][0]
                 self._add_guard_live(level, key)

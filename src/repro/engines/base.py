@@ -37,7 +37,9 @@ from repro.sstable import (
     SSTableReader,
     merging_iterator,
 )
-from repro.util.keys import KIND_DELETE, KIND_PUT, InternalKey
+from repro.sstable.format import ValuePointer
+from repro.util.keys import KIND_DELETE, KIND_PUT, KIND_VPTR, InternalKey
+from repro.vlog.log import ValueLog, VlogCompactionContext
 from repro.version import (
     ManifestReader,
     ManifestWriter,
@@ -394,6 +396,7 @@ class LSMStoreBase(KeyValueStore):
 
         self._user_acct = storage.foreground_account(prefix + "user")
         self._wal_acct = storage.foreground_account(prefix + "wal")
+        self._vlog_acct = storage.foreground_account(prefix + "vlog")
 
         self._mem = Memtable(seed)
         self._imm: List[Tuple[Memtable, int]] = []
@@ -435,6 +438,22 @@ class LSMStoreBase(KeyValueStore):
         self._deferred_retirements: List[int] = []
         #: WAL files whose reclaiming flush edit is not yet durable.
         self._deferred_wal_deletions: List[str] = []
+        #: Value-log segments whose retiring edit is not yet durable.
+        self._deferred_vlog_retirements: List[int] = []
+        #: Key–value separation: None unless ``value_separation_bytes`` is
+        #: set.  Constructed before recovery so WAL replay can validate
+        #: pointers against it.
+        self._vlog: Optional[ValueLog] = (
+            ValueLog(
+                storage,
+                prefix,
+                segment_bytes=self.options.vlog_segment_bytes,
+                gc_dead_ratio=self.options.vlog_gc_dead_ratio,
+                alloc_number=self._alloc_file_number,
+            )
+            if self.options.value_separation_bytes is not None
+            else None
+        )
 
         #: Typed metrics registry; ``_stats`` is the mutable attribute
         #: façade engines write through, and :meth:`stats` builds the
@@ -578,7 +597,9 @@ class LSMStoreBase(KeyValueStore):
             if result.found:
                 if span is not None:
                     span.set(source="memtable", found=not result.is_deleted)
-                return None if result.is_deleted else result.value
+                if result.is_deleted:
+                    return None
+                return self._resolve_value(result.value, result.kind, acct)
             for imm, _ in reversed(self._imm):
                 acct.charge(
                     self.cpu.charge("memtable_lookup", self.cpu.memtable_lookup)
@@ -587,14 +608,18 @@ class LSMStoreBase(KeyValueStore):
                 if result.found:
                     if span is not None:
                         span.set(source="immutable", found=not result.is_deleted)
-                    return None if result.is_deleted else result.value
+                    if result.is_deleted:
+                        return None
+                    return self._resolve_value(result.value, result.kind, acct)
             result = self._get_from_tables(key, seq, acct)
             found = result.found and not result.is_deleted
             if span is not None:
                 if result.found:
                     span.set(source="table")
                 span.set(found=found)
-            return result.value if found else None
+            if not found:
+                return None
+            return self._resolve_value(result.value, result.kind, acct)
         except BaseException as exc:
             if span is not None:
                 span.attrs.setdefault("error", type(exc).__name__)
@@ -766,6 +791,19 @@ class LSMStoreBase(KeyValueStore):
             reg.gauge("block_cache.hits").set(s.block_cache_hits)
             reg.gauge("block_cache.misses").set(s.block_cache_misses)
             reg.gauge("block_cache.bytes").set(s.block_cache_bytes)
+        if self._vlog is not None:
+            vl = self._vlog
+            reg.counter("vlog.bytes_written").value = vl.bytes_written
+            reg.counter("vlog.records_written").value = vl.records_written
+            reg.counter("vlog.gc_relocated").value = vl.gc_relocated_bytes
+            reg.counter("vlog.segments_retired").value = vl.segments_retired
+            reg.gauge("vlog.segments").set(len(vl.segment_numbers()))
+            reg.gauge("vlog.data_bytes").set(vl.data_bytes())
+            reg.gauge("vlog.dead_bytes").set(vl.dead_bytes())
+            s.extra["vlog_segments"] = len(vl.segment_numbers())
+            s.extra["vlog_bytes_written"] = vl.bytes_written
+            s.extra["vlog_gc_relocated"] = vl.gc_relocated_bytes
+            s.extra["vlog_dead_bytes"] = vl.dead_bytes()
         return s
 
     def enable_tracing(
@@ -879,6 +917,10 @@ class LSMStoreBase(KeyValueStore):
                 f"conflicts={s.compaction_conflicts} "
                 f"conflict-stall={s.conflict_stall_seconds:.6f}s"
             )
+        if name == "repro.vlog":
+            return (
+                self._vlog.state_line() if self._vlog is not None else "disabled"
+            )
         if name.startswith("repro.num-files-at-level"):
             try:
                 level = int(name[len("repro.num-files-at-level"):])
@@ -905,6 +947,7 @@ class LSMStoreBase(KeyValueStore):
             "repro.background-error",
             "repro.metrics",
             "repro.compaction-scheduler",
+            "repro.vlog",
             "repro.num-files-at-level<N>",
         ]
         names.extend(self._extra_property_names())
@@ -969,8 +1012,43 @@ class LSMStoreBase(KeyValueStore):
         self._raise_if_degraded()
         seq = self._last_sequence + 1
         opts = self.options
+        # Key–value separation happens *before* the WAL append (BVLSM):
+        # large values go to the value log now and the WAL record carries
+        # only the pointer, so the value travels through exactly one
+        # durable append instead of WAL + every later compaction.
+        tree_ops = ops
+        vlog = self._vlog
+        if vlog is not None:
+            threshold = opts.value_separation_bytes
+            pointers: List[ValuePointer] = []
+            if any(
+                kind == KIND_PUT and len(value) >= threshold
+                for kind, _, value in ops
+            ):
+                tree_ops = list(ops)
+                try:
+                    for i, (kind, key, value) in enumerate(ops):
+                        if kind == KIND_PUT and len(value) >= threshold:
+                            pointer = vlog.append(
+                                key, value, seq + i, self._vlog_acct
+                            )
+                            pointers.append(pointer)
+                            tree_ops[i] = (KIND_VPTR, key, pointer.encode())
+                    if opts.sync_writes or sync:
+                        vlog.sync(self._vlog_acct)
+                except StorageError:
+                    # A torn value-log record, or complete records whose
+                    # batch then failed: nothing references them, but they
+                    # occupy their segment.  Burn the batch's sequence
+                    # numbers (a phantom record carries its sequence; were
+                    # a later write to reuse it, repair tools rebuilding
+                    # from log records could shadow acknowledged data with
+                    # the phantom) and count the orphan bytes dead.
+                    self._last_sequence = seq + len(ops) - 1
+                    vlog.abandon_tail(pointers)
+                    raise
         if opts.wal_enabled:
-            payload = encode_batch(seq, ops)
+            payload = encode_batch(seq, tree_ops)
             assert self._wal is not None
             size_before = self.storage.size(self._wal.name)
             try:
@@ -992,6 +1070,9 @@ class LSMStoreBase(KeyValueStore):
                     # and skip the acknowledged one as a duplicate,
                     # silently replacing acknowledged data.
                     self._last_sequence = seq + len(ops) - 1
+                if vlog is not None and tree_ops is not ops:
+                    # The batch's value-log records are unreferenced now.
+                    vlog.abandon_tail(pointers)
                 self._switch_wal_file()
                 raise
             self._wal_acct.charge(
@@ -1002,12 +1083,15 @@ class LSMStoreBase(KeyValueStore):
                 if span is not None:
                     span.set(wal_sync=True)
         bytes_written = 0
-        for i, (kind, key, value) in enumerate(ops):
+        for i, (kind, key, value) in enumerate(tree_ops):
             self._mem.add(seq + i, kind, key, value)
             self._user_acct.charge(
                 self.cpu.charge("memtable_insert", self.cpu.memtable_insert)
             )
-            bytes_written += len(key) + len(value)
+            # User bytes count the *original* value size: write
+            # amplification must keep its meaning when the memtable holds
+            # a 20-byte pointer in place of a 64 KiB value.
+            bytes_written += len(key) + len(ops[i][2])
             self._on_insert_key(key)
         self._stats.user_bytes_written += bytes_written
         if span is not None:
@@ -1467,6 +1551,10 @@ class LSMStoreBase(KeyValueStore):
                 if self.storage.exists(name):
                     self.storage.delete(name)
             self._deferred_wal_deletions.clear()
+            if self._vlog is not None:
+                for segment in self._deferred_vlog_retirements:
+                    self._vlog.retire_segment(segment)
+                self._deferred_vlog_retirements.clear()
         except (CorruptionError, StorageError) as exc:
             self._background_error = BackgroundError(
                 f"store degraded to read-only: resume failed: {exc}", cause=exc
@@ -1490,6 +1578,36 @@ class LSMStoreBase(KeyValueStore):
             self._retire_file(number)
         else:
             self._deferred_retirements.append(number)
+
+    # ------------------------------------------------------------------
+    # Value-log GC hooks (engines call these around compaction jobs)
+    # ------------------------------------------------------------------
+    def _vlog_context(
+        self, account: IoAccount
+    ) -> Optional[VlogCompactionContext]:
+        """Fresh GC context for one compaction compute attempt.
+
+        Fresh per *attempt* — a retried attempt must not inherit the
+        failed one's relocation bookkeeping (``abandon`` turned those
+        copies into stray dead bytes already).
+        """
+        if self._vlog is None:
+            return None
+        return VlogCompactionContext(self._vlog, account)
+
+    def _vlog_commit(
+        self, gcctx: Optional[VlogCompactionContext], edit: VersionEdit
+    ) -> None:
+        """Fold a job's GC counters into its edit (before the MANIFEST append)."""
+        if gcctx is not None:
+            gcctx.commit(edit)
+
+    def _vlog_retire(
+        self, gcctx: Optional[VlogCompactionContext], durable: bool
+    ) -> None:
+        """Delete fully-dead segments, durable-gated like sstable retirement."""
+        if gcctx is not None:
+            self._deferred_vlog_retirements.extend(gcctx.retire(durable))
 
     def _switch_wal_file(self) -> None:
         """Abandon the current WAL file after a failed append.
@@ -1632,6 +1750,15 @@ class LSMStoreBase(KeyValueStore):
     # ------------------------------------------------------------------
     # Read helpers
     # ------------------------------------------------------------------
+    def _resolve_value(self, value, kind: int, account: IoAccount) -> bytes:
+        """Materialize one result value, chasing a value-log pointer."""
+        if kind == KIND_VPTR:
+            assert self._vlog is not None
+            return self._vlog.read_value(
+                ValuePointer.decode(bytes(value)), account
+            )
+        return bytes(value)
+
     def _visible_entries(
         self, start: bytes, snap: Optional[Snapshot] = None
     ) -> Iterator[Tuple[bytes, bytes]]:
@@ -1642,18 +1769,33 @@ class LSMStoreBase(KeyValueStore):
         iters.extend(imm.seek(start) for imm, _ in self._imm)
         iters.extend(self._table_iterators(start, acct))
         merged = merging_iterator(iters, cpu=self.cpu, account=acct)
-        prev: Optional[bytes] = None
-        for key, value in merged:
-            if key.sequence > snapshot:
-                continue
-            if key.user_key == prev:
-                continue
-            prev = key.user_key
-            if key.kind == KIND_DELETE:
-                continue
-            # bytes() materializes zero-copy (memoryview) sstable values;
-            # it is a no-op for memtable values, which are bytes already.
-            yield key.user_key, bytes(value)
+        # Pin the value log for the generator's lifetime: consumer code
+        # between yields may trigger compactions whose GC would otherwise
+        # delete a segment this scan still has pointers into.
+        vlog = self._vlog
+        if vlog is not None:
+            vlog.pin()
+        try:
+            prev: Optional[bytes] = None
+            for key, value in merged:
+                if key.sequence > snapshot:
+                    continue
+                if key.user_key == prev:
+                    continue
+                prev = key.user_key
+                if key.kind == KIND_DELETE:
+                    continue
+                if key.kind == KIND_VPTR:
+                    yield key.user_key, vlog.read_value(
+                        ValuePointer.decode(bytes(value)), acct
+                    )
+                    continue
+                # bytes() materializes zero-copy (memoryview) sstable
+                # values; a no-op for memtable values (bytes already).
+                yield key.user_key, bytes(value)
+        finally:
+            if vlog is not None:
+                vlog.unpin()
 
     def _visible_entries_reverse(
         self, start: Optional[bytes], snap: Optional[Snapshot] = None
@@ -1672,31 +1814,42 @@ class LSMStoreBase(KeyValueStore):
         iters.extend(imm.reverse_iter(start) for imm, _ in self._imm)
         iters.extend(self._table_iterators_reverse(start, acct))
         merged = _heapq.merge(*iters, key=lambda e: e[0], reverse=True)
-        current_key: Optional[bytes] = None
-        candidate: Optional[Entry] = None
+        vlog = self._vlog
+        if vlog is not None:
+            vlog.pin()
+        try:
+            current_key: Optional[bytes] = None
+            candidate: Optional[Entry] = None
 
-        def emit(entry: Optional[Entry]):
-            if entry is not None and entry[0].kind != KIND_DELETE:
-                # bytes() materializes zero-copy sstable memoryviews.
-                return entry[0].user_key, bytes(entry[1])
-            return None
+            def emit(entry: Optional[Entry]):
+                if entry is not None and entry[0].kind != KIND_DELETE:
+                    if entry[0].kind == KIND_VPTR:
+                        return entry[0].user_key, vlog.read_value(
+                            ValuePointer.decode(bytes(entry[1])), acct
+                        )
+                    # bytes() materializes zero-copy sstable memoryviews.
+                    return entry[0].user_key, bytes(entry[1])
+                return None
 
-        for key, value in merged:
-            acct.charge(self.cpu.charge("iterator_step", self.cpu.iterator_step))
-            if key.sequence > snapshot:
-                continue
-            if key.user_key != current_key:
-                out = emit(candidate)
-                if out is not None:
-                    yield out
-                current_key = key.user_key
-                candidate = (key, value)
-            else:
-                # Ascending sequence within the key: later entry is newer.
-                candidate = (key, value)
-        out = emit(candidate)
-        if out is not None:
-            yield out
+            for key, value in merged:
+                acct.charge(self.cpu.charge("iterator_step", self.cpu.iterator_step))
+                if key.sequence > snapshot:
+                    continue
+                if key.user_key != current_key:
+                    out = emit(candidate)
+                    if out is not None:
+                        yield out
+                    current_key = key.user_key
+                    candidate = (key, value)
+                else:
+                    # Ascending sequence within the key: later entry is newer.
+                    candidate = (key, value)
+            out = emit(candidate)
+            if out is not None:
+                yield out
+        finally:
+            if vlog is not None:
+                vlog.unpin()
 
     def _table_iterators_reverse(
         self, start: Optional[bytes], account: IoAccount
@@ -1742,6 +1895,8 @@ class LSMStoreBase(KeyValueStore):
 
     def _recover(self, manifest_name: str, acct: IoAccount) -> None:
         log_number = 0
+        vlog_dead: Dict[int, int] = {}
+        vlog_deleted: set = set()
         for edit in ManifestReader(self.storage, manifest_name).edits(acct):
             if edit.last_sequence is not None:
                 self._last_sequence = max(self._last_sequence, edit.last_sequence)
@@ -1757,6 +1912,11 @@ class LSMStoreBase(KeyValueStore):
                 self._recover_file(level, meta, marker, guard_key)
             for level, number in edit.deleted_files:
                 self._recover_drop_file(level, number)
+            for segment, dead in edit.vlog_dead:
+                vlog_dead[segment] = vlog_dead.get(segment, 0) + dead
+            for segment in edit.deleted_vlog_segments:
+                vlog_deleted.add(segment)
+                vlog_dead.pop(segment, None)
         self._manifest = ManifestWriter(self.storage, manifest_name)
         # Files written by in-flight background jobs that never committed
         # are orphans; their numbers may exceed the persisted counter
@@ -1764,6 +1924,8 @@ class LSMStoreBase(KeyValueStore):
         self._remove_orphans()
         for name in self.storage.list_files(self.prefix):
             if name.endswith((".sst", ".log")):
+                number = int(name[len(self.prefix) : -4])
+            elif name.endswith(".vlg"):
                 number = int(name[len(self.prefix) : -4])
             elif name.startswith(self.prefix + "MANIFEST-"):
                 # The live MANIFEST's number is allocated at rotation time;
@@ -1773,6 +1935,10 @@ class LSMStoreBase(KeyValueStore):
             else:
                 continue
             self._next_file_number = max(self._next_file_number, number + 1)
+        if self._vlog is not None:
+            # Before WAL replay: replayed pointer ops validate against the
+            # recovered segments.
+            self._vlog.recover(vlog_dead, vlog_deleted)
         self._replay_wals(log_number, acct)
         self._wal_number = self._alloc_file_number()
         if self.options.wal_enabled:
@@ -1808,6 +1974,16 @@ class LSMStoreBase(KeyValueStore):
         for _, name in wal_names:
             for record in LogReader(self.storage, name).records(acct, strict=strict):
                 seq, ops = decode_batch(record)
+                if not self._batch_pointers_intact(seq, ops, acct, strict):
+                    # A pointer op leads to a torn value-log record: the
+                    # batch was never acknowledged (acknowledged pointers
+                    # sync their records before the WAL record), so drop
+                    # it whole — batches are atomic — while still burning
+                    # its sequence numbers.
+                    self._last_sequence = max(
+                        self._last_sequence, seq + len(ops) - 1
+                    )
+                    continue
                 for i, (kind, key, value) in enumerate(ops):
                     op_seq = seq + i
                     if op_seq <= self._last_sequence:
@@ -1827,6 +2003,47 @@ class LSMStoreBase(KeyValueStore):
             self._mem = Memtable(self.seed)
         for _, name in wal_names:
             self.storage.delete(name)
+
+    def _batch_pointers_intact(
+        self, seq: int, ops: List[Tuple[int, bytes, bytes]], acct: IoAccount, strict: bool
+    ) -> bool:
+        """Validate every value pointer a replayed WAL batch carries.
+
+        A pointer whose record fails to parse beyond its segment's synced
+        boundary is the value-log half of a torn write — the batch is
+        droppable (never acknowledged).  In strict mode a bad record
+        *inside* the synced region means acknowledged data was damaged
+        and recovery fails loudly, mirroring strict WAL replay.
+        """
+        vlog = self._vlog
+        if vlog is None:
+            if any(kind == KIND_VPTR for kind, _, _ in ops):
+                raise CorruptionError(
+                    "WAL contains value-log pointers but value separation "
+                    "is disabled; reopen with value_separation_bytes set"
+                )
+            return True
+        for kind, key, value in ops:
+            if kind != KIND_VPTR:
+                continue
+            try:
+                pointer = ValuePointer.decode(bytes(value))
+            except CorruptionError:
+                return False
+            if vlog.pointer_intact(pointer, acct):
+                continue
+            if (
+                strict
+                and pointer.offset + pointer.record_length
+                <= vlog.synced_size(pointer.segment)
+            ):
+                raise CorruptionError(
+                    f"WAL batch at sequence {seq} references a damaged "
+                    f"value-log record inside the synced region of "
+                    f"segment {pointer.segment}"
+                )
+            return False
+        return True
 
     def _remove_orphans(self) -> None:
         """Delete sstables not referenced by the recovered version."""

@@ -22,7 +22,7 @@ from repro.engines.base import Entry, LSMStoreBase
 from repro.memtable.memtable import GetResult
 from repro.sim.storage import IoAccount
 from repro.sstable import compaction_iterator, merging_iterator
-from repro.util.keys import InternalKey, KIND_PUT, MAX_SEQUENCE
+from repro.util.keys import InternalKey, KIND_PUT, KIND_SEEK, MAX_SEQUENCE
 from repro.util.murmur import murmur3_64
 from repro.version import VersionEdit
 from repro.version.files import FileMetadata
@@ -109,7 +109,7 @@ class LeveledLSMStore(LSMStoreBase):
             # across all candidates wins, decided by sequence number.
             # One interned probe key serves every table probed below, and
             # one murmur digest serves every bloom filter screened.
-            probe = InternalKey(key, min(snapshot, MAX_SEQUENCE), KIND_PUT)
+            probe = InternalKey(key, min(snapshot, MAX_SEQUENCE), KIND_SEEK)
             kh = murmur3_64(key)
             get_reader = self._get_reader
             probed = 0
@@ -200,7 +200,7 @@ class LeveledLSMStore(LSMStoreBase):
         self, start: Optional[bytes], account: IoAccount
     ) -> List[Iterator[Entry]]:
         start_key = start if start is not None else b""
-        probe = InternalKey(start_key, MAX_SEQUENCE, KIND_PUT)
+        probe = InternalKey(start_key, MAX_SEQUENCE, KIND_SEEK)
         iters: List[Iterator[Entry]] = []
         touched: List[FileMetadata] = []
         for meta in list(self._levels[0]):
@@ -505,12 +505,22 @@ class LeveledLSMStore(LSMStoreBase):
             for f in all_inputs
         ]
         drop = self._is_bottom(target)
+        gcctx = self._vlog_context(acct)
         merged = compaction_iterator(
             merging_iterator(iters),
             drop_tombstones=drop,
             snapshots=self._active_snapshots(),
+            on_drop=gcctx.on_drop if gcctx is not None else None,
         )
-        metas = self._write_sstables(merged, acct, split_bytes=opts.target_file_bytes)
+        stream = merged if gcctx is None else gcctx.rewrite(merged)
+        try:
+            metas = self._write_sstables(stream, acct, split_bytes=opts.target_file_bytes)
+        except BaseException:
+            # A faulted attempt may have relocated records already; the
+            # retry gets a fresh context, so these copies are stray dead.
+            if gcctx is not None:
+                gcctx.abandon()
+            raise
         acct.charge(
             self.cpu.charge(
                 "compaction_merge",
@@ -543,7 +553,9 @@ class LeveledLSMStore(LSMStoreBase):
         job_ref: List = []
 
         def apply() -> None:
-            self._apply_compaction_edit(level, target, inputs, next_inputs, metas, edit)
+            self._apply_compaction_edit(
+                level, target, inputs, next_inputs, metas, edit, gcctx
+            )
             self._note_compaction_inflight(-1)
             self._stats.compactions += 1
             self._stats.compaction_bytes_written += bytes_written
@@ -623,12 +635,18 @@ class LeveledLSMStore(LSMStoreBase):
         next_inputs: List[FileMetadata],
         metas: List[FileMetadata],
         edit: VersionEdit,
+        gcctx=None,
     ) -> None:
         manifest_acct = self.storage.background_account(self.prefix + "manifest")
+        # Value-log GC counters join the edit before the append so recovery
+        # replays the same liveness state (and relocated records are synced
+        # before the manifest can make them reachable).
+        self._vlog_commit(gcctx, edit)
         # The edit must reach the MANIFEST before any input file dies: if
         # it does not, crash recovery replays the old version, which still
         # references the inputs, so their deletion is deferred to resume().
         durable = self._append_manifest(edit, manifest_acct)
+        self._vlog_retire(gcctx, durable)
         for meta in inputs:
             self._remove_from_level(level, meta.number)
             self._busy.discard(meta.number)

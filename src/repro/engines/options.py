@@ -112,6 +112,19 @@ class StoreOptions:
     #: is never compressed, matching LevelDB.
     compression_ratio: float = 1.0
 
+    # --- key–value separation (WiscKey/BVLSM-style value log) -------------
+    #: Values at least this many bytes go to the append-only value log at
+    #: WAL-append time; the tree then carries only a pointer.  ``None``
+    #: disables separation entirely (byte-identical behaviour to a build
+    #: without the value log).
+    value_separation_bytes: "int | None" = None
+    #: Rotate value-log segments at this size.
+    vlog_segment_bytes: int = 256 * KiB
+    #: A non-active segment whose dead-byte fraction reaches this ratio is
+    #: *cold*: compactions rewriting a key range relocate live pointers out
+    #: of cold segments, driving them to fully-dead and retirement.
+    vlog_gc_dead_ratio: float = 0.5
+
     # --- read path ---------------------------------------------------------
     block_bytes: int = 4 * KiB
     bloom_bits_per_key: int = 10
@@ -212,6 +225,12 @@ class StoreOptions:
             and self.compaction_rate_bytes_per_sec <= 0
         ):
             raise ValueError("compaction_rate_bytes_per_sec must be > 0 (or None)")
+        if self.value_separation_bytes is not None and self.value_separation_bytes < 1:
+            raise ValueError("value_separation_bytes must be >= 1 (or None)")
+        if self.vlog_segment_bytes <= 0:
+            raise ValueError("vlog_segment_bytes must be positive")
+        if not 0.0 < self.vlog_gc_dead_ratio <= 1.0:
+            raise ValueError("vlog_gc_dead_ratio must be in (0, 1]")
 
     def level_target_bytes(self, level: int) -> int:
         """Size target for ``level`` (level 0 is file-count-triggered)."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Tuple
 
-from repro.util.keys import KIND_DELETE, KIND_PUT, MAX_SEQUENCE, InternalKey
+from repro.util.keys import KIND_DELETE, KIND_PUT, KIND_SEEK, MAX_SEQUENCE, InternalKey
 from repro.memtable.skiplist import SkipList
 
 #: Approximate per-entry bookkeeping bytes (node + pointers), used for the
@@ -26,7 +26,7 @@ class GetResult:
     the highest sequence among the candidates.
     """
 
-    __slots__ = ("found", "is_deleted", "value", "sequence")
+    __slots__ = ("found", "is_deleted", "value", "sequence", "kind")
 
     def __init__(
         self,
@@ -34,11 +34,13 @@ class GetResult:
         is_deleted: bool,
         value: Optional[bytes],
         sequence: int = 0,
+        kind: int = KIND_PUT,
     ) -> None:
         self.found = found
         self.is_deleted = is_deleted
         self.value = value
         self.sequence = sequence
+        self.kind = kind
 
 
 class Memtable:
@@ -75,13 +77,13 @@ class Memtable:
     # ------------------------------------------------------------------
     def get(self, user_key: bytes, snapshot: int = MAX_SEQUENCE) -> GetResult:
         """Newest version of ``user_key`` visible at ``snapshot``."""
-        probe = InternalKey(user_key, snapshot, KIND_PUT)
+        probe = InternalKey(user_key, snapshot, KIND_SEEK)
         for ikey, value in self._table.seek(probe):
             if ikey.user_key != user_key:
                 break
             if ikey.kind == KIND_DELETE:
                 return GetResult(True, True, None, ikey.sequence)
-            return GetResult(True, False, value, ikey.sequence)
+            return GetResult(True, False, value, ikey.sequence, ikey.kind)
         return GetResult(False, False, None)
 
     # ------------------------------------------------------------------
@@ -91,7 +93,7 @@ class Memtable:
 
     def seek(self, user_key: bytes) -> Iterator[Tuple[InternalKey, bytes]]:
         """Entries starting at the first internal key for ``user_key``."""
-        return self._table.seek(InternalKey(user_key, MAX_SEQUENCE, KIND_PUT))
+        return self._table.seek(InternalKey(user_key, MAX_SEQUENCE, KIND_SEEK))
 
     def reverse_iter(
         self, max_user_key: Optional[bytes] = None

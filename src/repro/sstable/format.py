@@ -27,7 +27,7 @@ from typing import List, Tuple
 from repro.errors import CorruptionError
 from repro.util.crc import crc32c, mask_crc, unmask_crc
 from repro.util.keys import (
-    KIND_PUT,
+    KIND_VPTR,
     InternalKey,
     pack_internal_key,
     unpack_internal_key,
@@ -154,7 +154,7 @@ def decode_block_with_keys(
             raise CorruptionError("internal key shorter than trailer")
         trailer = from_bytes(view[key_end - 8 : key_end], "little")
         kind = trailer & 0xFF
-        if kind > KIND_PUT:  # kinds are 0 (delete) and 1 (put)
+        if kind > KIND_VPTR:  # kinds are 0 (delete), 1 (put), 2 (vlog pointer)
             raise CorruptionError(f"bad internal key kind: {kind}")
         key = InternalKey(bytes(view[offset : key_end - 8]), trailer >> 8, kind)
         offset = key_end
@@ -172,6 +172,42 @@ def decode_block_with_keys(
         key_append(key)
         offset = value_end
     return out, keys
+
+
+@dataclass(frozen=True)
+class ValuePointer:
+    """Locates one value inside the value log.
+
+    ``record_length`` is the full framed record length (header + key +
+    value), so resolution is a single contiguous storage read;
+    ``value_length`` lets sizing decisions (cache accounting, stats)
+    avoid that read entirely.
+    """
+
+    segment: int
+    offset: int
+    record_length: int
+    value_length: int
+
+    def encode(self) -> bytes:
+        return (
+            encode_varint64(self.segment)
+            + encode_varint64(self.offset)
+            + encode_varint64(self.record_length)
+            + encode_varint64(self.value_length)
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ValuePointer":
+        try:
+            (segment, offset, record_length, value_length), end = decode_varint_run(
+                bytes(data), 0, 4
+            )
+        except (IndexError, ValueError) as exc:
+            raise CorruptionError(f"truncated value pointer: {exc}") from exc
+        if end != len(data):
+            raise CorruptionError("trailing bytes after value pointer")
+        return cls(segment, offset, record_length, value_length)
 
 
 @dataclass

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_left
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.sim.storage import IoAccount
 from repro.sim.cpu import CpuCosts
@@ -47,6 +47,7 @@ def compaction_iterator(
     *,
     drop_tombstones: bool = False,
     snapshots: Sequence[int] = (),
+    on_drop: Optional[Callable[[InternalKey, bytes], None]] = None,
 ) -> Iterator[Entry]:
     """Collapse a merged stream for writing to the next level.
 
@@ -59,6 +60,10 @@ def compaction_iterator(
     Tombstones are retained unless ``drop_tombstones`` (bottom level) —
     dropping one higher up would resurrect versions buried below.  A
     tombstone kept alive only for a snapshot is never dropped.
+
+    ``on_drop`` is invoked for every entry the collapse discards (value-log
+    liveness accounting: a dropped pointer entry makes its log record
+    dead).
     """
     boundaries = sorted(snapshots)
     prev_user_key: Optional[bytes] = None
@@ -73,6 +78,8 @@ def compaction_iterator(
                 # and dropping the tombstone would resurrect that PUT for
                 # present-time readers.
                 if not boundaries or boundaries[0] >= key.sequence:
+                    if on_drop is not None:
+                        on_drop(key, value)
                     continue
             yield key, value
             continue
@@ -80,6 +87,8 @@ def compaction_iterator(
         if _visible_to_some_snapshot(boundaries, key.sequence, prev_kept_seq):
             prev_kept_seq = key.sequence
             yield key, value
+        elif on_drop is not None:
+            on_drop(key, value)
 
 
 def _visible_to_some_snapshot(boundaries: Sequence[int], seq: int, newer_seq: int) -> bool:

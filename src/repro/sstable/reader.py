@@ -35,7 +35,7 @@ from repro.sstable.format import (
     decode_block_with_keys,
     decode_index,
 )
-from repro.util.keys import KIND_DELETE, KIND_PUT, MAX_SEQUENCE, InternalKey
+from repro.util.keys import KIND_DELETE, KIND_PUT, KIND_SEEK, MAX_SEQUENCE, InternalKey
 
 #: Sentinel "offset" under which a table's parsed metadata lives in the
 #: decoded cache.  Real block offsets are non-negative, so it can't collide.
@@ -311,7 +311,7 @@ class SSTableReader:
         cpu = self._storage.cpu
         account.charge(cpu.charge("sstable_search", cpu.sstable_search))
         if probe is None:
-            probe = InternalKey(user_key, min(snapshot, MAX_SEQUENCE), KIND_PUT)
+            probe = InternalKey(user_key, min(snapshot, MAX_SEQUENCE), KIND_SEEK)
         idx = bisect_left(self._index_sks, probe._sort_key())
         while idx < len(self._index):
             block = self._decoded_block(self._index[idx], account)
@@ -324,7 +324,7 @@ class SSTableReader:
                 if key.sequence <= snapshot:
                     if key.kind == KIND_DELETE:
                         return GetResult(True, True, None, key.sequence)
-                    return GetResult(True, False, bytes(value), key.sequence)
+                    return GetResult(True, False, bytes(value), key.sequence, key.kind)
             # All matching entries in this block were newer than the
             # snapshot; the next block may hold older versions.
             idx += 1
@@ -362,7 +362,7 @@ class SSTableReader:
         Tuple[InternalKey, bytes]
     ]:
         """Iterate starting at the newest entry for ``user_key``."""
-        return self.seek(InternalKey(user_key, MAX_SEQUENCE, KIND_PUT), account)
+        return self.seek(InternalKey(user_key, MAX_SEQUENCE, KIND_SEEK), account)
 
     def iter_reverse(
         self, account: IoAccount, max_user_key: Optional[bytes] = None

@@ -53,11 +53,13 @@ def _live_files(storage: SimulatedStorage, prefix: str) -> List[str]:
         raise ReproError(f"no CURRENT under {prefix!r}: nothing to back up")
     live: set = set()
     dead: set = set()
+    retired_vlog: set = set()
     for edit in ManifestReader(storage, manifest).edits(acct):
         for _, meta, _, _ in edit.new_files:
             live.add(meta.number)
         for _, number in edit.deleted_files:
             dead.add(number)
+        retired_vlog.update(edit.deleted_vlog_segments)
     live -= dead
     names = [manifest]
     for number in sorted(live):
@@ -68,6 +70,11 @@ def _live_files(storage: SimulatedStorage, prefix: str) -> List[str]:
     for name in storage.list_files(prefix):
         if name.endswith(".log"):
             names.append(name)
+        elif name.endswith(".vlg"):
+            # Value-log segments: every surviving segment may hold records
+            # the live sstables point into; manifest-retired ones are dead.
+            if int(name[len(prefix):-4]) not in retired_vlog:
+                names.append(name)
     return names
 
 

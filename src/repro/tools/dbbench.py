@@ -40,6 +40,7 @@ BENCHMARKS = (
     "deleterandom",
     "mixed",
     "compact",
+    "fillrandom-large",
 )
 
 
@@ -85,6 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="FLSM compaction scheduling granularity: 'on' runs "
         "independent guard jobs concurrently under the conflict map, "
         "'off' restores whole-level serialization (pebblesdb only)",
+    )
+    parser.add_argument(
+        "--value-separation-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="store values >= N bytes in the garbage-collected value log "
+        "instead of the LSM tree (KV separation; default: off)",
     )
     parser.add_argument("--aged-fs", action="store_true", help="age the file system first")
     parser.add_argument(
@@ -175,6 +184,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "tool": "repro-dbbench",
             "num_keys": args.num,
             "value_size": args.value_size,
+            "value_separation_bytes": args.value_separation_bytes,
             "threads": args.threads,
             "seed": args.seed,
             "device": args.device,
@@ -204,6 +214,10 @@ def _run_one(
         )
     if args.compaction_workers is not None and lsm_engine:
         overrides.setdefault(engine, {})["background_workers"] = args.compaction_workers
+    if args.value_separation_bytes is not None and lsm_engine:
+        overrides.setdefault(engine, {})["value_separation_bytes"] = (
+            args.value_separation_bytes or None  # 0 means off
+        )
     if engine == "pebblesdb":
         overrides.setdefault(engine, {})["compaction_scheduler"] = (
             "guard" if args.guard_parallel == "on" else "level"
@@ -253,6 +267,7 @@ def _run_one(
         "rangequery": lambda: bench.seek_random(seeks, nexts=args.nexts),
         "deleterandom": lambda: bench.delete_random(),
         "mixed": lambda: bench.mixed_read_write(reads, reads),
+        "fillrandom-large": lambda: bench.fill_random_large(),
     }
     results: List[BenchResult] = []
     for name in names:
@@ -289,6 +304,9 @@ def _run_one(
     scheduler = run.db.get_property("repro.compaction-scheduler")
     if scheduler is not None:
         print(f"compaction scheduler: {scheduler}")
+    vlog = run.db.get_property("repro.vlog")
+    if vlog is not None and vlog != "disabled":
+        print(f"value log: {vlog}")
     if stats.block_cache_hits or stats.block_cache_misses:
         print(
             f"decoded-block cache (host-side): "

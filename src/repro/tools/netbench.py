@@ -59,6 +59,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--num", type=int, default=2000, help="keys to fill")
     parser.add_argument("--reads", type=int, default=None, help="gets (default: num)")
     parser.add_argument("--value-size", type=int, default=100)
+    parser.add_argument(
+        "--value-separation-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="store values >= N bytes in each shard's value log "
+        "(KV separation; default: off)",
+    )
     parser.add_argument("--concurrency", type=int, default=16)
     parser.add_argument("--pool-size", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
@@ -139,11 +147,22 @@ async def _run(args) -> int:
             host, int(port), pool_size=args.pool_size
         )
     else:
+        options = None
+        if args.value_separation_bytes:
+            from dataclasses import replace
+
+            from repro.engines.options import StoreOptions
+
+            options = replace(
+                StoreOptions.for_preset(args.engine),
+                value_separation_bytes=args.value_separation_bytes,
+            )
         server = KVServer(
             ServerConfig(
                 engine=args.engine,
                 shards=args.shards,
                 uniform_keys=max(args.num, 1),
+                options=options,
                 seed=args.seed,
             )
         )

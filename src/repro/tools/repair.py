@@ -19,15 +19,18 @@ normal compaction, exactly as a fresh store would.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import ReproError
 from repro.memtable import Memtable
 from repro.sim.storage import SimulatedStorage
 from repro.sstable import SSTableBuilder, SSTableReader
+from repro.sstable.format import ValuePointer
+from repro.util.keys import KIND_VPTR
 from repro.version import ManifestWriter, VersionEdit, set_current
 from repro.version.files import FileMetadata
 from repro.version.manifest import CURRENT_NAME, GUARD_NONE
+from repro.vlog.log import SEGMENT_SUFFIX
 from repro.wal import LogReader, decode_batch
 
 
@@ -50,6 +53,26 @@ def repair_store(storage: SimulatedStorage, prefix: str = "db/") -> RepairReport
 
     tables: List[Tuple[int, FileMetadata, int]] = []  # (number, meta, max_seq)
     max_number = 0
+
+    # Value-log segments are data files too: they are kept as-is (the
+    # reopened store re-registers them from disk), their numbers must not
+    # be re-allocated, and pointers into them are validated below.
+    segments: Dict[int, int] = {}
+    for name in storage.list_files(prefix):
+        if name.endswith(SEGMENT_SUFFIX):
+            number = int(name[len(prefix) : -len(SEGMENT_SUFFIX)])
+            segments[number] = storage.size(name)
+            max_number = max(max_number, number)
+
+    def pointer_ok(value: bytes) -> bool:
+        try:
+            pointer = ValuePointer.decode(bytes(value))
+        except ReproError:
+            return False
+        return pointer.offset + pointer.record_length <= segments.get(
+            pointer.segment, 0
+        )
+
     for name in storage.list_files(prefix):
         if not name.endswith(".sst"):
             continue
@@ -60,12 +83,14 @@ def repair_store(storage: SimulatedStorage, prefix: str = "db/") -> RepairReport
             max_seq = 0
             entries = 0
             first_key = last_key = None
-            for key, _ in reader.iter_all(acct):
+            for key, value in reader.iter_all(acct):
                 if first_key is None:
                     first_key = key
                 last_key = key
                 max_seq = max(max_seq, key.sequence)
                 entries += 1
+                if key.kind == KIND_VPTR and not pointer_ok(value):
+                    raise ReproError("dangling value pointer")
             if first_key is None or last_key is None:
                 raise ReproError("empty sstable")
         except (ReproError, AssertionError):
@@ -98,6 +123,16 @@ def repair_store(storage: SimulatedStorage, prefix: str = "db/") -> RepairReport
                 seq, ops = decode_batch(record)
             except ReproError:
                 break
+            # A batch whose value pointers lead nowhere (torn vlog tail)
+            # is dropped whole — batch atomicity — but its sequence range
+            # is still burned so later writes cannot collide with any
+            # phantom vlog records that carry those sequences.
+            report.last_sequence = max(report.last_sequence, seq + len(ops) - 1)
+            if any(
+                kind == KIND_VPTR and not pointer_ok(value)
+                for kind, _, value in ops
+            ):
+                continue
             for i, (kind, key, value) in enumerate(ops):
                 try:
                     mem.add(seq + i, kind, key, value)

@@ -48,10 +48,27 @@ commands:
 class StoreShell:
     """Parses and executes shell commands against one store."""
 
-    def __init__(self, engine: str, out: IO[str] = sys.stdout) -> None:
+    def __init__(
+        self,
+        engine: str,
+        out: IO[str] = sys.stdout,
+        value_separation_bytes: Optional[int] = None,
+    ) -> None:
         self.engine = engine
         self.env = repro.Environment()
-        self.db = repro.open_store(engine, self.env.storage, prefix="db/")
+        self.options = None
+        if value_separation_bytes is not None:
+            import dataclasses
+
+            from repro.engines.options import StoreOptions
+
+            self.options = dataclasses.replace(
+                StoreOptions.for_preset(engine),
+                value_separation_bytes=value_separation_bytes,
+            )
+        self.db = repro.open_store(
+            engine, self.env.storage, options=self.options, prefix="db/"
+        )
         self.out = out
 
     def _print(self, text: str = "") -> None:
@@ -133,6 +150,9 @@ class StoreShell:
             scheduler = self.db.get_property("repro.compaction-scheduler")
             if scheduler is not None:
                 self._print(f"compaction scheduler: {scheduler}")
+            vlog = self.db.get_property("repro.vlog")
+            if vlog is not None and vlog != "disabled":
+                self._print(f"value log: {vlog}")
             if stats.block_cache_hits or stats.block_cache_misses:
                 self._print(
                     f"block cache: {stats.block_cache_hit_rate * 100:.1f}% hits "
@@ -160,7 +180,9 @@ class StoreShell:
             self._print("flushed")
         elif cmd == "crash":
             self.env.storage.crash()
-            self.db = repro.open_store(self.engine, self.env.storage, prefix="db/")
+            self.db = repro.open_store(
+                self.engine, self.env.storage, options=self.options, prefix="db/"
+            )
             self._print("crashed and recovered")
         elif cmd == "time":
             self._print(f"{self.env.now:.6f} s")
@@ -174,8 +196,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro-shell", description="Interactive simulated key-value store."
     )
     parser.add_argument("--engine", choices=ENGINES, default="pebblesdb")
+    parser.add_argument(
+        "--value-separation-bytes", type=int, default=None, metavar="N",
+        help="store values >= N bytes in the value log (LSM engines)",
+    )
     args = parser.parse_args(argv)
-    shell = StoreShell(args.engine)
+    shell = StoreShell(args.engine, value_separation_bytes=args.value_separation_bytes)
     interactive = sys.stdin.isatty()
     if interactive:
         print(f"repro shell ({args.engine}); 'help' for commands")

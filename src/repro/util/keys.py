@@ -16,6 +16,14 @@ from repro.errors import CorruptionError
 
 KIND_DELETE = 0
 KIND_PUT = 1
+#: A put whose value is a :class:`repro.vlog.ValuePointer` into the value
+#: log rather than the user bytes.  Travels through memtable, WAL,
+#: sstables, and compaction exactly like a put; read paths resolve it.
+KIND_VPTR = 2
+#: Kind used when building *probe* keys.  Ordering negates the kind, so a
+#: probe at snapshot ``s`` must carry the highest kind or it would sort
+#: after (and a seek would skip) a same-sequence entry of a higher kind.
+KIND_SEEK = KIND_VPTR
 
 #: Largest representable sequence number (56 bits, as in LevelDB).
 MAX_SEQUENCE = (1 << 56) - 1
@@ -31,7 +39,7 @@ class InternalKey:
     def __init__(self, user_key: bytes, sequence: int, kind: int) -> None:
         if not 0 <= sequence <= MAX_SEQUENCE:
             raise ValueError(f"sequence out of range: {sequence}")
-        if kind not in (KIND_DELETE, KIND_PUT):
+        if kind not in (KIND_DELETE, KIND_PUT, KIND_VPTR):
             raise ValueError(f"bad kind: {kind}")
         self.user_key = user_key
         self.sequence = sequence
@@ -74,7 +82,7 @@ class InternalKey:
         return hash((self.user_key, self.sequence, self.kind))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        kind = "PUT" if self.kind == KIND_PUT else "DEL"
+        kind = {KIND_PUT: "PUT", KIND_DELETE: "DEL", KIND_VPTR: "VPTR"}[self.kind]
         return f"InternalKey({self.user_key!r}, seq={self.sequence}, {kind})"
 
 
@@ -91,6 +99,6 @@ def unpack_internal_key(data: bytes) -> InternalKey:
     trailer = int.from_bytes(data[-_TRAILER_LEN:], "little")
     kind = trailer & 0xFF
     sequence = trailer >> 8
-    if kind not in (KIND_DELETE, KIND_PUT):
+    if kind not in (KIND_DELETE, KIND_PUT, KIND_VPTR):
         raise CorruptionError(f"bad internal key kind: {kind}")
     return InternalKey(data[:-_TRAILER_LEN], sequence, kind)

@@ -30,6 +30,8 @@ _TAG_NEW_FILE = 4
 _TAG_DELETED_FILE = 5
 _TAG_NEW_GUARD = 6
 _TAG_DELETED_GUARD = 7
+_TAG_VLOG_DEAD = 8
+_TAG_DELETED_VLOG = 9
 
 #: Guard association of a new file: none (plain LSM level or Level 0),
 #: the sentinel guard, or a named guard key.
@@ -51,6 +53,12 @@ class VersionEdit:
     deleted_files: List[Tuple[int, int]] = field(default_factory=list)
     new_guards: List[Tuple[int, bytes]] = field(default_factory=list)
     deleted_guards: List[Tuple[int, bytes]] = field(default_factory=list)
+    #: Value-log liveness deltas ``(segment, dead_bytes_added)`` and
+    #: retired segments.  Empty lists encode to nothing, so stores with
+    #: separation disabled produce byte-identical MANIFESTs to before
+    #: these tags existed.
+    vlog_dead: List[Tuple[int, int]] = field(default_factory=list)
+    deleted_vlog_segments: List[int] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def add_file(
@@ -99,6 +107,13 @@ class VersionEdit:
             buf += encode_varint32(level)
             buf += encode_varint32(len(key))
             buf += key
+        for segment, dead in self.vlog_dead:
+            buf.append(_TAG_VLOG_DEAD)
+            buf += encode_varint64(segment)
+            buf += encode_varint64(dead)
+        for segment in self.deleted_vlog_segments:
+            buf.append(_TAG_DELETED_VLOG)
+            buf += encode_varint64(segment)
         return bytes(buf)
 
     @classmethod
@@ -146,6 +161,13 @@ class VersionEdit:
                     edit.new_guards.append((level, key))
                 else:
                     edit.deleted_guards.append((level, key))
+            elif tag == _TAG_VLOG_DEAD:
+                segment, offset = decode_varint64(data, offset)
+                dead, offset = decode_varint64(data, offset)
+                edit.vlog_dead.append((segment, dead))
+            elif tag == _TAG_DELETED_VLOG:
+                segment, offset = decode_varint64(data, offset)
+                edit.deleted_vlog_segments.append(segment)
             else:
                 raise CorruptionError(f"unknown version edit tag: {tag}")
         return edit

@@ -1,0 +1,23 @@
+"""Key–value separation: the garbage-collected value log."""
+
+from repro.sstable.format import ValuePointer
+from repro.vlog.log import (
+    SEGMENT_SUFFIX,
+    SegmentState,
+    ValueLog,
+    VlogCompactionContext,
+    decode_record,
+    encode_record,
+    segment_name,
+)
+
+__all__ = [
+    "SEGMENT_SUFFIX",
+    "SegmentState",
+    "ValueLog",
+    "ValuePointer",
+    "VlogCompactionContext",
+    "decode_record",
+    "encode_record",
+    "segment_name",
+]

@@ -17,7 +17,7 @@ from typing import Iterator, List, Optional, Tuple
 from repro.errors import CorruptionError
 from repro.sim.storage import IoAccount, SimulatedStorage
 from repro.util.crc import crc32c, mask_crc, unmask_crc
-from repro.util.keys import KIND_DELETE, KIND_PUT
+from repro.util.keys import KIND_DELETE, KIND_PUT, KIND_VPTR
 from repro.util.varint import decode_varint32, encode_varint32
 
 BLOCK_SIZE = 32 * 1024
@@ -38,12 +38,12 @@ def encode_batch(sequence: int, ops: List[Op]) -> bytes:
     buf += sequence.to_bytes(8, "little")
     buf += len(ops).to_bytes(4, "little")
     for kind, key, value in ops:
-        if kind not in (KIND_PUT, KIND_DELETE):
+        if kind not in (KIND_PUT, KIND_DELETE, KIND_VPTR):
             raise ValueError(f"bad op kind: {kind}")
         buf.append(kind)
         buf += encode_varint32(len(key))
         buf += key
-        if kind == KIND_PUT:
+        if kind != KIND_DELETE:
             buf += encode_varint32(len(value))
             buf += value
     return bytes(buf)
@@ -68,7 +68,7 @@ def decode_batch(data: bytes) -> Tuple[int, List[Op]]:
             raise CorruptionError("write batch key truncated")
         offset += klen
         value = b""
-        if kind == KIND_PUT:
+        if kind in (KIND_PUT, KIND_VPTR):
             vlen, offset = decode_varint32(data, offset)
             value = data[offset : offset + vlen]
             if len(value) != vlen:

@@ -193,6 +193,21 @@ class DBBench:
         result.latencies = latencies
         return result
 
+    def fill_random_large(
+        self, count: Optional[int] = None, value_size: Optional[int] = None
+    ) -> BenchResult:
+        """``fillrandom`` with large values (the KV-separation showcase:
+        with a value log the tree compacts pointers, not bodies)."""
+        big = value_size if value_size is not None else max(self.value_size, 16 * 1024)
+        saved = self.value_size
+        self.value_size = big
+        try:
+            result = self.fill_random(count)
+        finally:
+            self.value_size = saved
+        result.name = "fillrandom-large"
+        return result
+
     def overwrite(self, count: Optional[int] = None) -> BenchResult:
         """Update existing keys in random order."""
         n = count if count is not None else self.num_keys
