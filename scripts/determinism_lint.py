@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Determinism lint: no wall-clock or ambient randomness in engine code.
+
+Everything under ``src/repro`` must run on the simulated clock and on
+explicitly seeded ``random.Random`` instances — that is what makes
+same-seed runs byte-identical, traces/dumps reproducible, and the
+differential tests meaningful.  This lint fails CI when a module calls:
+
+* ``time.time()`` or ``time.perf_counter()`` (or a bare
+  ``perf_counter()`` imported from :mod:`time`),
+* any **module-level** :mod:`random` function (``random.random()``,
+  ``random.randint()``, ...) — seeding the *shared* global generator
+  would still leak cross-test state, so only ``random.Random`` /
+  ``random.SystemRandom`` instantiations are allowed.
+
+Exempt: ``src/repro/sim/`` (the simulation substrate itself) and
+``src/repro/tools/`` (operator CLIs that legitimately sleep/refresh on
+the wall clock).  ``time.sleep``/``time.monotonic`` stay allowed
+everywhere: the process serving mode schedules real OS processes with
+them, which is outside the simulated timeline by design.
+
+Usage: ``python scripts/determinism_lint.py [root]`` — exits 1 and lists
+offending call sites when any are found.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import List, Tuple
+
+#: Directories under src/repro that may touch the wall clock / entropy.
+EXEMPT_DIRS = ("sim", "tools")
+
+#: random.<attr> calls that construct an explicitly seeded generator.
+ALLOWED_RANDOM_ATTRS = {"Random", "SystemRandom", "getstate", "setstate"}
+
+BANNED_TIME_ATTRS = {"time", "perf_counter", "perf_counter_ns"}
+
+
+def _violations_in(path: str, source: str) -> List[Tuple[int, str]]:
+    tree = ast.parse(source, filename=path)
+    found: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            module, attr = func.value.id, func.attr
+            if module == "time" and attr in BANNED_TIME_ATTRS:
+                found.append((node.lineno, f"time.{attr}()"))
+            elif module == "random" and attr not in ALLOWED_RANDOM_ATTRS:
+                found.append((node.lineno, f"random.{attr}()"))
+        elif isinstance(func, ast.Name) and func.id in (
+            "perf_counter",
+            "perf_counter_ns",
+        ):
+            found.append((node.lineno, f"{func.id}()"))
+    return found
+
+
+def main(argv: List[str]) -> int:
+    root = argv[1] if len(argv) > 1 else "src/repro"
+    failures: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        rel = os.path.relpath(dirpath, root)
+        top = rel.split(os.sep, 1)[0]
+        if top in EXEMPT_DIRS:
+            dirnames[:] = []
+            continue
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            for lineno, what in _violations_in(path, source):
+                failures.append(f"{path}:{lineno}: {what}")
+    if failures:
+        print("determinism lint: wall-clock / ambient randomness in engine code:")
+        for failure in failures:
+            print(f"  {failure}")
+        print(
+            f"{len(failures)} violation(s); use the simulated clock "
+            "(env.clock.now) or a seeded random.Random instead."
+        )
+        return 1
+    print(f"determinism lint: OK ({root}, exempt: {', '.join(EXEMPT_DIRS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

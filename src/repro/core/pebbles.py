@@ -917,7 +917,7 @@ class PebblesDBStore(LSMStoreBase):
         token = self._acquire_claims(
             self._level0_claims(), 0, sum(f.file_size for f in inputs)
         )
-        acct = self.storage.background_account(self.prefix + "compaction")
+        acct = self.storage.background_account(self.prefix + "compaction.guard.L0")
         gcctx = self._vlog_context(acct)
         edit = VersionEdit()
         new_keys, straddlers = self._commit_target_guards(1, None, None, edit)
@@ -949,7 +949,9 @@ class PebblesDBStore(LSMStoreBase):
         token = self._acquire_claims(
             claims, level, sum(f.file_size for f in inputs)
         )
-        acct = self.storage.background_account(self.prefix + "compaction")
+        acct = self.storage.background_account(
+            self.prefix + f"compaction.guard.L{level}"
+        )
         gcctx = self._vlog_context(acct)
         edit = VersionEdit()
         last = opts.num_levels - 1
@@ -1380,11 +1382,14 @@ class PebblesDBStore(LSMStoreBase):
                 span.end(at=job.completion)
             self._schedule_compactions()
 
-        self._compaction_seconds.record(acct.seconds)
+        # GC relocation IO lives on its own ledger account; the job's
+        # duration covers both so the timeline matches the pre-split one.
+        job_seconds = acct.seconds + (gcctx.seconds if gcctx is not None else 0.0)
+        self._compaction_seconds.record(job_seconds)
         bytes_in = sum(f.file_size for f in consumed)
         start_at = self._compaction_start_time(bytes_in + bytes_written)
         job_ref.append(
-            self.executor.submit("compaction", acct.seconds, apply, at=start_at)
+            self.executor.submit("compaction", job_seconds, apply, at=start_at)
         )
 
     def _add_guard_live(self, level: int, key: bytes) -> None:

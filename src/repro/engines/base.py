@@ -17,8 +17,11 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.obs.ledger import IoLedger
 from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.recorder import FlightRecorder
 from repro.obs.trace import Tracer, TraceSink
+from repro.obs.windows import SUMMARY_PERCENTILES, WindowedHistogram
 from repro.errors import (
     BackgroundError,
     CorruptionError,
@@ -356,10 +359,22 @@ def _health_line(stats: StoreStats) -> str:
     conflict-stall attribution.
     """
     state = "degraded" if stats.degraded else "ok"
-    return (
+    line = (
         f"{state} parallel-peak={stats.compactions_parallel_peak} "
         f"conflict-stall={stats.conflict_stall_seconds:.6f}s"
     )
+    extra = stats.extra
+    if "overload_rejects" in extra:
+        line += (
+            f" overload-rejects={int(extra['overload_rejects'])}"
+            f" retry-after-hints={int(extra['retry_after_hints'])}"
+        )
+    if "vlog_gc_relocated" in extra:
+        line += (
+            f" vlog-gc-relocated={int(extra['vlog_gc_relocated'])}"
+            f" vlog-dead-bytes={int(extra['vlog_dead_bytes'])}"
+        )
+    return line
 
 
 def _validate_key(key: bytes) -> None:
@@ -502,6 +517,27 @@ class LSMStoreBase(KeyValueStore):
         #: the simulated clock — it never advances it or charges IO, so
         #: enabling tracing cannot change any simulated outcome.
         self.tracer: Optional[Tracer] = None
+        #: Always-on flight recorder (``trace_sample`` knob).  In the
+        #: default ``"errors"`` mode the hot path stays uninstrumented
+        #: (``tracer`` above remains None) and only degraded/faulted
+        #: paths record; ``"1/N"`` installs a sampling tracer.
+        self.recorder = FlightRecorder(
+            component=prefix or "store",
+            seed=seed,
+            clock=self.clock,
+            mode=self.options.trace_sample,
+            capacity=self.options.trace_ring_capacity,
+            dump_dir=self.options.trace_dump_dir,
+        )
+        if self.recorder.sampling_tracer is not None:
+            self.tracer = self.recorder.sampling_tracer
+        #: Per-op latency percentiles over simulated time (admin plane
+        #: ``windows`` section).  Recorded on the sim clock, so the
+        #: series is byte-identical traced or untraced.
+        self.op_windows: Dict[str, WindowedHistogram] = {
+            "get": WindowedHistogram(window_seconds=0.5),
+            "write": WindowedHistogram(window_seconds=0.5),
+        }
         self._open_or_recover()
 
     # ==================================================================
@@ -586,6 +622,7 @@ class LSMStoreBase(KeyValueStore):
         self.executor.drain()
         self._op_gets.value += 1
         trc = self.tracer
+        t0 = self.clock.now
         # One body for both paths (an extra call per get is measurable);
         # the try/finally is free on 3.11 when nothing raises.
         span = trc.span("get") if trc is not None else None
@@ -625,6 +662,7 @@ class LSMStoreBase(KeyValueStore):
                 span.attrs.setdefault("error", type(exc).__name__)
             raise
         finally:
+            self.op_windows["get"].record(t0, self.clock.now - t0)
             if span is not None:
                 span.end()
 
@@ -804,6 +842,11 @@ class LSMStoreBase(KeyValueStore):
             s.extra["vlog_bytes_written"] = vl.bytes_written
             s.extra["vlog_gc_relocated"] = vl.gc_relocated_bytes
             s.extra["vlog_dead_bytes"] = vl.dead_bytes()
+        # Serving-layer counters the server mirrors into this registry
+        # (0 for stores that never served requests) — surfaced so one
+        # health/stats line reflects the whole store state.
+        s.extra["overload_rejects"] = reg.counter("server.overload_rejects").value
+        s.extra["retry_after_hints"] = reg.counter("server.retry_after_hints").value
         return s
 
     def enable_tracing(
@@ -819,6 +862,20 @@ class LSMStoreBase(KeyValueStore):
             sink, clock=self.clock, component=component, seed=self.seed
         )
         return self.tracer
+
+    def io_ledger(self) -> IoLedger:
+        """Per-cause I/O attribution for this store's traffic."""
+        return IoLedger.from_storage(self.storage, self.prefix)
+
+    def windows_payload(self) -> Dict[str, object]:
+        """JSON-friendly per-op windowed-percentile series (admin plane)."""
+        series: Dict[str, Dict[str, List]] = {}
+        for op, wh in sorted(self.op_windows.items()):
+            series[op] = {
+                name: [[i, v] for i, v in wh.percentile_series(q)]
+                for name, q in SUMMARY_PERCENTILES
+            }
+        return {"window_seconds": 0.5, "series": series}
 
     def _stall_cause(self, cause: str) -> Counter:
         counter = self._stall_cause_counters.get(cause)
@@ -921,6 +978,20 @@ class LSMStoreBase(KeyValueStore):
             return (
                 self._vlog.state_line() if self._vlog is not None else "disabled"
             )
+        if name == "repro.ledger":
+            return IoLedger.from_storage(self.storage, self.prefix).to_json()
+        if name == "repro.windows":
+            import json as _json
+
+            return _json.dumps(
+                self.windows_payload(), sort_keys=True, separators=(",", ":")
+            )
+        if name == "repro.flight-recorder":
+            import json as _json
+
+            return _json.dumps(
+                self.recorder.summary(), sort_keys=True, separators=(",", ":")
+            )
         if name.startswith("repro.num-files-at-level"):
             try:
                 level = int(name[len("repro.num-files-at-level"):])
@@ -948,6 +1019,9 @@ class LSMStoreBase(KeyValueStore):
             "repro.metrics",
             "repro.compaction-scheduler",
             "repro.vlog",
+            "repro.ledger",
+            "repro.windows",
+            "repro.flight-recorder",
             "repro.num-files-at-level<N>",
         ]
         names.extend(self._extra_property_names())
@@ -993,11 +1067,15 @@ class LSMStoreBase(KeyValueStore):
         if not ops:
             return
         trc = self.tracer
-        if trc is None:
-            self._write_impl(ops, sync)
-            return
-        with trc.span("write", ops=len(ops)) as span:
-            self._write_impl(ops, sync, span)
+        t0 = self.clock.now
+        try:
+            if trc is None:
+                self._write_impl(ops, sync)
+                return
+            with trc.span("write", ops=len(ops)) as span:
+                self._write_impl(ops, sync, span)
+        finally:
+            self.op_windows["write"].record(t0, self.clock.now - t0)
 
     def _write_impl(
         self, ops: List[Tuple[int, bytes, bytes]], sync: bool, span=None
@@ -1349,6 +1427,24 @@ class LSMStoreBase(KeyValueStore):
                 self.tracer.point(
                     "fault.degraded", kind=kind, error=type(exc).__name__
                 )
+            self._flight_point(
+                "fault.degraded", kind=kind, error=type(exc).__name__
+            )
+            reason = (
+                "corruption" if isinstance(exc, CorruptionError) else "degraded"
+            )
+            self.recorder.dump(f"{reason}:{kind}")
+
+    def _flight_point(self, name: str, **attrs: object) -> None:
+        """Record an error-path event into the flight-recorder ring.
+
+        Skipped when the recorder's own tracer is installed as the hot
+        path tracer (``1/N`` mode), which already recorded the event via
+        the normal ``tracer.point`` path above.
+        """
+        rec = self.recorder
+        if rec.tracer is not None and rec.tracer is not self.tracer:
+            rec.point(name, **attrs)
 
     def _run_protected(self, kind: str, compute: Callable):
         """Run a background compute step with retries and state rollback.
@@ -1378,6 +1474,7 @@ class LSMStoreBase(KeyValueStore):
                     self.tracer.point(
                         "fault.retry", kind=kind, attempt=attempt + 1
                     )
+                self._flight_point("fault.retry", kind=kind, attempt=attempt + 1)
                 self.clock.advance(
                     min(
                         opts.fault_retry_base_delay * (2 ** attempt),
@@ -1590,10 +1687,17 @@ class LSMStoreBase(KeyValueStore):
         Fresh per *attempt* — a retried attempt must not inherit the
         failed one's relocation bookkeeping (``abandon`` turned those
         copies into stray dead bytes already).
+
+        GC relocation IO is charged to a dedicated ``vlog.gc`` account
+        (not the compaction job's ``account``) so the attribution ledger
+        separates tree rewrites from value-log GC; job durations add
+        :attr:`VlogCompactionContext.seconds` back in, keeping the
+        simulated timeline identical to the single-account scheme.
         """
         if self._vlog is None:
             return None
-        return VlogCompactionContext(self._vlog, account)
+        gc_account = self.storage.background_account(self.prefix + "vlog.gc")
+        return VlogCompactionContext(self._vlog, gc_account)
 
     def _vlog_commit(
         self, gcctx: Optional[VlogCompactionContext], edit: VersionEdit

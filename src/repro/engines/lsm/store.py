@@ -498,7 +498,9 @@ class LeveledLSMStore(LSMStoreBase):
             self._submit_trivial_move(level, inputs)
             return
 
-        acct = self.storage.background_account(self.prefix + "compaction")
+        acct = self.storage.background_account(
+            self.prefix + f"compaction.level.L{level}"
+        )
         input_entries = sum(f.num_entries for f in all_inputs)
         iters = [
             self._get_reader(f.number, acct).iter_all(acct, cache_insert=False)
@@ -576,11 +578,14 @@ class LeveledLSMStore(LSMStoreBase):
                 span.end(at=job.completion)
             self._schedule_compactions()
 
-        self._compaction_seconds.record(acct.seconds)
+        # GC relocation IO lives on its own ledger account; the job's
+        # duration covers both so the timeline matches the pre-split one.
+        job_seconds = acct.seconds + (gcctx.seconds if gcctx is not None else 0.0)
+        self._compaction_seconds.record(job_seconds)
         bytes_in = sum(f.file_size for f in all_inputs)
         start_at = self._compaction_start_time(bytes_in + bytes_written)
         job_ref.append(
-            self.executor.submit("compaction", acct.seconds, apply, at=start_at)
+            self.executor.submit("compaction", job_seconds, apply, at=start_at)
         )
 
     @staticmethod

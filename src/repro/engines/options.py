@@ -150,6 +150,18 @@ class StoreOptions:
     #: Seeks allowed against a file before it is scheduled for compaction.
     seek_compaction_enabled: bool = True
 
+    # --- observability -----------------------------------------------------
+    #: Flight-recorder sampling mode: ``"off"`` disables the recorder,
+    #: ``"errors"`` (default) records only degraded/faulted-path events
+    #: at zero hot-path cost, ``"1/N"`` (e.g. ``"1/64"``) additionally
+    #: traces every Nth root operation in full into the bounded ring.
+    trace_sample: str = "errors"
+    #: Flight-recorder ring capacity (recent span/event records kept).
+    trace_ring_capacity: int = 512
+    #: Directory for automatic flight-recorder dumps on degradation /
+    #: corruption / shedding; ``None`` keeps dumps in memory only.
+    trace_dump_dir: "str | None" = None
+
     # --- fault handling ---------------------------------------------------
     #: Retries a background flush/compaction attempts after a transient
     #: I/O fault before declaring a sticky background error.
@@ -216,6 +228,11 @@ class StoreOptions:
             raise ValueError("max_parallel_compactions must be >= 1 (or None)")
         if self.backpressure not in ("cliff", "graduated"):
             raise ValueError(f"unknown backpressure mode: {self.backpressure!r}")
+        from repro.obs.recorder import parse_sample_mode
+
+        parse_sample_mode(self.trace_sample)  # raises ValueError on bad specs
+        if self.trace_ring_capacity < 1:
+            raise ValueError("trace_ring_capacity must be >= 1")
         if self.slowdown_delay < 0 or self.slowdown_delay_max < 0:
             raise ValueError("slowdown delays must be >= 0")
         if self.backpressure == "graduated" and self.slowdown_delay_max < self.slowdown_delay:
@@ -231,6 +248,11 @@ class StoreOptions:
             raise ValueError("vlog_segment_bytes must be positive")
         if not 0.0 < self.vlog_gc_dead_ratio <= 1.0:
             raise ValueError("vlog_gc_dead_ratio must be in (0, 1]")
+        from repro.obs.recorder import parse_sample_mode
+
+        parse_sample_mode(self.trace_sample)  # raises ValueError when invalid
+        if self.trace_ring_capacity < 1:
+            raise ValueError("trace_ring_capacity must be >= 1")
 
     def level_target_bytes(self, level: int) -> int:
         """Size target for ``level`` (level 0 is file-count-triggered)."""

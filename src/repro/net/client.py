@@ -574,6 +574,21 @@ class ClusterClient:
         )
         return response.value.decode("utf-8") if response.found else None
 
+    async def admin(self, section: str = "metrics") -> Optional[str]:
+        """One cluster-wide admin section (``Op.ADMIN``), aggregated
+        across every shard server-side; ``None`` for an unknown section.
+
+        Sections: ``metrics`` (merged Prometheus text), ``health`` (JSON
+        per-shard states + summed op counters), ``ledger`` (merged I/O
+        attribution ledger as JSON), ``windows`` (windowed latency
+        percentile series as JSON).  The op is not shard-routed — any
+        connection answers for the whole cluster.
+        """
+        response = await self._call(
+            Request(op=Op.ADMIN, request_id=self._alloc_id(), name=section)
+        )
+        return response.value.decode("utf-8") if response.found else None
+
     async def all_metrics(self) -> List[Optional[str]]:
         """The metrics dump from every shard (index = shard)."""
         return list(
@@ -712,6 +727,9 @@ class BlockingClusterClient:
 
     def all_metrics(self) -> List[Optional[str]]:
         return self._run(self.client.all_metrics())
+
+    def admin(self, section: str = "metrics") -> Optional[str]:
+        return self._run(self.client.admin(section))
 
     def enable_tracing(self, sink):
         """One trace per cluster op: client → server → engine spans.

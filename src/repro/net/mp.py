@@ -89,9 +89,11 @@ from repro.net.protocol import (
     encode_ship_commit,
     encode_ship_snapshot,
 )
-from repro.net.server import KVServer, ServerConfig
+from repro.net.server import KVServer, ServerConfig, aggregate_admin
 from repro.net.transport import LoopbackEndpoint, StreamEndpoint, loopback_pair
+from repro.obs.ledger import IoLedger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
 from repro.sim.storage import IoAccount
 from repro.wal.log import LogReader, LogWriter
 
@@ -215,6 +217,11 @@ async def _shard_worker(conn, ship_conn, config: ServerConfig, shard_id: int) ->
                 conn.send(("totals", server.total_ops(), server.protocol_errors))
             elif cmd == "metrics":
                 conn.send(("metrics", server.metrics_text()))
+            elif cmd == "admin":
+                # Raw per-shard admin parts (everything in them pickles);
+                # the parent aggregates with the same function loopback
+                # mode uses, so both modes expose identical sections.
+                conn.send(("admin", server._admin_parts()))
             elif cmd == "wait_idle":
                 await server.wait_idle()
                 conn.send(("idle",))
@@ -359,6 +366,18 @@ class ProcessKVServer:
         self.restart_events: List[Tuple[int, float]] = []
         #: The parent's own Environment: home of the durable ship logs.
         self.env = repro.Environment(cache_bytes=1 << 20)
+        #: Parent-side flight recorder: supervisor events (heartbeat
+        #: misses, restarts, breaker trips) land in its ring, and a
+        #: supervised restart or breaker trip dumps it — a SIGKILLed
+        #: worker cannot dump its own recorder, so the parent's is the
+        #: one that survives to explain what happened.
+        self.recorder = FlightRecorder(
+            component="supervisor",
+            seed=config.seed,
+            clock=self.env.clock,
+            mode="errors",
+            dump_dir=config.trace_dump_dir,
+        )
         self._log_lock = threading.Lock()
         self._log_account = IoAccount("shiplog", self.env.clock)
         self._log_writers: Dict[int, LogWriter] = {}
@@ -584,8 +603,17 @@ class ProcessKVServer:
                     self.registry.counter(
                         "supervisor.heartbeat_misses", shard=shard_id
                     ).inc()
+                    self.recorder.point(
+                        "supervisor.heartbeat_miss", shard=shard_id
+                    )
                     handle.process.kill()
                     handle.process.join(config.heartbeat_timeout)
+                else:
+                    self.recorder.point(
+                        "supervisor.worker_death",
+                        shard=shard_id,
+                        exitcode=handle.process.exitcode,
+                    )
                 try:
                     self._supervised_restart(shard_id)
                 except ReproError:
@@ -601,6 +629,10 @@ class ProcessKVServer:
             self.registry.counter(
                 "supervisor.breaker_trips", shard=shard_id
             ).inc()
+            self.recorder.point(
+                "supervisor.breaker_trip", shard=shard_id, failures=failures
+            )
+            self.recorder.dump(f"breaker-trip:shard{shard_id}")
             return
         delay = min(
             self.config.restart_backoff_base * (2 ** failures),
@@ -612,6 +644,10 @@ class ProcessKVServer:
         self._consecutive_failures[shard_id] = failures + 1
         self._last_restart[shard_id] = time.monotonic()
         self.restart_shard(shard_id)
+        self.recorder.point(
+            "supervisor.restart", shard=shard_id, attempt=failures + 1
+        )
+        self.recorder.dump(f"worker-restart:shard{shard_id}")
 
     def restart_shard(self, shard_id: int, *, replay: bool = True) -> None:
         """Replace a (dead or live) worker and restore the shard's state.
@@ -776,6 +812,53 @@ class ProcessKVServer:
         texts.append(self.registry.to_text())
         return "\n".join(texts)
 
+    def _admin_parts(self) -> List[Dict[str, object]]:
+        """Per-shard admin parts, gathered over the control pipes.
+
+        The worker ships the exact structure ``KVServer._admin_parts``
+        builds; the parent overlays its own view of the shard state and
+        substitutes an empty stub for dead/unreachable workers so the
+        health section still reports the shard (as restarting/degraded)
+        instead of silently dropping it.
+        """
+        parts: List[Dict[str, object]] = []
+        for shard_id, worker in enumerate(self._workers):
+            try:
+                worker_parts = worker.call("admin", timeout=30.0)[1]
+            except TransientNetError:
+                parts.append(
+                    {
+                        "shard": shard_id,
+                        "state": self._shard_states[shard_id],
+                        "registry": None,
+                        "health": "",
+                        "ops": {},
+                        "ledger": IoLedger().to_dict(),
+                        "windows": {},
+                    }
+                )
+                continue
+            for part in worker_parts:
+                part["state"] = self._shard_states[shard_id]
+                parts.append(part)
+        return parts
+
+    def admin_text(self, section: str) -> Optional[str]:
+        """One aggregated admin section (``Op.ADMIN``); None if unknown.
+
+        Same aggregation as the loopback :class:`KVServer`, plus the
+        parent's supervisor registry and the ship-log ledger of the
+        parent's own Environment — with ``ship_log`` and ``supervise``
+        off those contribute nothing, so a same-seed cluster answers
+        identically in both serving modes.
+        """
+        return aggregate_admin(
+            section,
+            self._admin_parts(),
+            parent_registry=self.registry,
+            parent_ledger=IoLedger.from_storage(self.env.storage),
+        )
+
     async def wait_idle(self) -> None:
         loop = asyncio.get_running_loop()
         for worker in self._workers:
@@ -867,6 +950,23 @@ class _ConnectionRelay:
                     client_id=self._client_id,
                     shard_count=router.num_shards,
                     boundaries=list(router.boundaries),
+                )
+            )
+            return
+        if message.op == Op.ADMIN:
+            # Admin is cluster-wide, never shard-routed: the parent
+            # aggregates over every worker (control-pipe round-trips
+            # block, so run them off the event loop).
+            loop = asyncio.get_running_loop()
+            text = await loop.run_in_executor(
+                None, self._server.admin_text, message.name
+            )
+            self._send(
+                Response(
+                    request_id=message.request_id,
+                    status=Status.OK,
+                    found=text is not None,
+                    value=(text or "").encode("utf-8"),
                 )
             )
             return

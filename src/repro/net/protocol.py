@@ -81,6 +81,10 @@ class Op:
     RELEASE = 8
     PROPERTY = 9
     METRICS = 10
+    #: Read-only admin plane: ``name`` selects a section (``metrics``,
+    #: ``health``, ``ledger``, ``windows``) aggregated across every
+    #: shard of the server, not routed to one shard.
+    ADMIN = 11
     #: Marks a payload as a response to the request id it echoes.
     RESPONSE = 0x80
 
@@ -100,6 +104,7 @@ OP_NAMES = {
     Op.RELEASE: "release",
     Op.PROPERTY: "property",
     Op.METRICS: "metrics",
+    Op.ADMIN: "admin",
 }
 
 _OPS = (
@@ -113,6 +118,7 @@ _OPS = (
     Op.RELEASE,
     Op.PROPERTY,
     Op.METRICS,
+    Op.ADMIN,
 )
 
 
@@ -293,6 +299,8 @@ class Request:
             _put_bytes(buf, self.name.encode("utf-8"))
         elif op == Op.METRICS:
             pass
+        elif op == Op.ADMIN:
+            _put_bytes(buf, self.name.encode("utf-8"))
         else:
             raise FrameError(f"cannot encode unknown op {op}")
         if self.trace:
@@ -521,7 +529,7 @@ def _decode_request(op: int, data: bytes, request_id: int, offset: int) -> Reque
             req.snapshot, offset = decode_varint64(data, offset)
     elif op == Op.RELEASE:
         req.snapshot, offset = decode_varint64(data, offset)
-    elif op == Op.PROPERTY:
+    elif op in (Op.PROPERTY, Op.ADMIN):
         name, offset = _get_bytes(data, offset)
         req.name = name.decode("utf-8")
     if offset < len(data):

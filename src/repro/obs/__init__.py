@@ -11,18 +11,26 @@ compaction scheduler, and the serving layer all report into:
   Span and trace ids derive from (component, seed, ordinal) — never from
   ``random`` or wall time — so the same seed reproduces a byte-identical
   trace JSONL.
+* :mod:`repro.obs.ledger` — per-cause I/O attribution built from the
+  storage layer's per-account byte maps; sums exactly to device totals.
+* :mod:`repro.obs.recorder` — always-on bounded flight recorder with
+  ``off``/``errors``/``1/N`` sampling and automatic dumps on
+  degradation.
 
-Both are zero-cost when unused: stores carry ``tracer = None`` by
-default and every hot-path instrumentation site is guarded by one
-attribute check.
+All are zero- or near-zero cost when unused: stores carry
+``tracer = None`` by default and every hot-path instrumentation site is
+guarded by one attribute check; the default ``errors`` recorder mode
+leaves the hot path entirely uninstrumented.
 """
 
+from repro.obs.ledger import IoLedger, classify_account
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.recorder import FlightRecorder, parse_sample_mode
 from repro.obs.trace import Span, Tracer, TraceSink, read_trace, verify_nesting
 from repro.obs.windows import SUMMARY_PERCENTILES, WindowedHistogram
 
@@ -33,6 +41,10 @@ __all__ = [
     "MetricsRegistry",
     "WindowedHistogram",
     "SUMMARY_PERCENTILES",
+    "IoLedger",
+    "classify_account",
+    "FlightRecorder",
+    "parse_sample_mode",
     "Span",
     "Tracer",
     "TraceSink",

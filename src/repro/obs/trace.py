@@ -240,7 +240,11 @@ class Tracer:
     def point(self, name: str, at: Optional[float] = None, **attrs: object) -> None:
         """Record a zero-duration event span (fault retry, degrade...)."""
         when = self.now() if at is None else at
-        span = self.start_span(name, kind="event", start=when, **attrs)
+        span = self.start_span(name, kind="event", start=when)
+        if attrs:
+            # Attrs may legitimately be named "kind"/"start"/"parent";
+            # set them on the span rather than into start_span's kwargs.
+            span.attrs.update(attrs)
         span.end(at=when)
 
     # ------------------------------------------------------------------

@@ -150,9 +150,21 @@ class StoreShell:
             scheduler = self.db.get_property("repro.compaction-scheduler")
             if scheduler is not None:
                 self._print(f"compaction scheduler: {scheduler}")
+            extra = getattr(stats, "extra", {})
+            if extra.get("overload_rejects") or extra.get("retry_after_hints"):
+                self._print(
+                    f"overload: rejects={int(extra['overload_rejects'])} "
+                    f"retry-after-hints={int(extra['retry_after_hints'])}"
+                )
             vlog = self.db.get_property("repro.vlog")
             if vlog is not None and vlog != "disabled":
                 self._print(f"value log: {vlog}")
+                if "vlog_gc_relocated" in extra:
+                    self._print(
+                        f"value-log GC: relocated "
+                        f"{int(extra['vlog_gc_relocated'])} B, dead "
+                        f"{int(extra['vlog_dead_bytes'])} B awaiting GC"
+                    )
             if stats.block_cache_hits or stats.block_cache_misses:
                 self._print(
                     f"block cache: {stats.block_cache_hit_rate * 100:.1f}% hits "

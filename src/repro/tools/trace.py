@@ -8,6 +8,13 @@ reports::
     repro-trace run.jsonl --report timeline    # flush/compaction timeline
     repro-trace run.jsonl --report stalls      # write-stall attribution
     repro-trace run.jsonl --report reads       # read-path breakdown
+    repro-trace flight-*.jsonl --report dump   # flight-recorder dump
+
+Flight-recorder dumps (:mod:`repro.obs.recorder`) are valid trace files
+whose first record is a ``flight.dump`` event carrying the dump reason;
+``--report dump`` renders the reason plus the ring's recent events in
+order.  A dump ring may hold children whose parents were already
+evicted, so the nesting check is skipped for this report only.
 
 Exits non-zero when the file cannot be decoded (2), is empty (1), or
 violates the span-nesting invariant (1) — the CI trace-smoke job pipes a
@@ -47,7 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("trace", help="trace JSONL file (from --trace-out)")
     parser.add_argument(
         "--report",
-        choices=("summary", "timeline", "stalls", "reads"),
+        choices=("summary", "timeline", "stalls", "reads", "dump"),
         default="summary",
     )
     parser.add_argument(
@@ -241,6 +248,40 @@ def report_reads(spans: List[Dict[str, object]]) -> None:
             )
 
 
+def report_dump(spans: List[Dict[str, object]], limit: int) -> None:
+    """Render a flight-recorder dump: reason header + recent records."""
+    header = next((s for s in spans if s["name"] == "flight.dump"), None)
+    if header is not None:
+        print(
+            f"flight dump: reason={_attr(header, 'reason', '?')} "
+            f"component={_attr(header, 'component', '?')} "
+            f"at={float(header['start']):.6f}s "
+            f"({_attr(header, 'records', 0)} ring records)"
+        )
+    else:
+        print("flight dump: (no flight.dump header — plain trace file?)")
+    records = [s for s in spans if s is not header]
+    if not records:
+        print("ring was empty at dump time")
+        return
+    records.sort(key=lambda s: (float(s["start"]), float(s["end"])))
+    print(f"{'start-s':>12} {'dur-us':>9} {'kind':<11} {'name':<26} attrs")
+    print("-" * 84)
+    shown = records if limit <= 0 else records[-limit:]
+    if len(shown) < len(records):
+        print(f"... {len(records) - len(shown)} earlier (raise --limit)")
+    for span in shown:
+        duration_us = (float(span["end"]) - float(span["start"])) * 1e6
+        attrs = span.get("attrs") or {}
+        attr_text = " ".join(
+            f"{k}={v}" for k, v in sorted(attrs.items()) if k != "component"
+        )
+        print(
+            f"{float(span['start']):>12.6f} {duration_us:>9.1f} "
+            f"{str(span['kind']):<11} {str(span['name']):<26} {attr_text}"
+        )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -251,11 +292,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not spans:
         print(f"repro-trace: {args.trace} contains no spans", file=sys.stderr)
         return 1
-    try:
-        verify_nesting(spans)
-    except AssertionError as exc:
-        print(f"repro-trace: nesting violation: {exc}", file=sys.stderr)
-        return 1
+    if args.report != "dump":
+        # A dump ring may hold spans whose parents were evicted, so the
+        # nesting invariant only applies to full trace files.
+        try:
+            verify_nesting(spans)
+        except AssertionError as exc:
+            print(f"repro-trace: nesting violation: {exc}", file=sys.stderr)
+            return 1
     try:
         if args.report == "summary":
             report_summary(spans)
@@ -263,6 +307,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             report_timeline(spans, args.limit)
         elif args.report == "stalls":
             report_stalls(spans, args.window)
+        elif args.report == "dump":
+            report_dump(spans, args.limit)
         else:
             report_reads(spans)
     except BrokenPipeError:  # downstream `head` closed the pipe; not an error

@@ -429,6 +429,16 @@ class VlogCompactionContext:
         self.relocated_records = 0
         self._retirable: List[int] = []
 
+    @property
+    def seconds(self) -> float:
+        """Device seconds charged to this context's (GC) account.
+
+        Compaction jobs add this to their own account's seconds when
+        computing the job duration, so splitting GC IO into its own
+        ledger account does not change the simulated timeline.
+        """
+        return self._account.seconds
+
     def rewrite(self, stream: Iterator) -> Iterator:
         """Relocate surviving pointers that lead into cold segments.
 

@@ -1,0 +1,237 @@
+"""The I/O attribution ledger (:mod:`repro.obs.ledger`).
+
+The contract under test: every device byte carries a cause, and the
+per-cause table sums *exactly* to the device totals — no "misc" slush,
+no double counting.  That makes ``write_amplification`` decomposable
+(WAL + flush + per-level compaction + vlog + manifest = device writes)
+and the decomposition itself same-seed deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.obs.ledger import _KNOWN_CAUSES, IoLedger, classify_account
+from tests.conftest import ALL_ENGINES, make_store
+
+
+def _exercise(db, n=600):
+    for i in range(n):
+        db.put(b"key%06d" % i, b"v" * 120)
+    for i in range(0, n, 3):
+        db.get(b"key%06d" % i)
+    for i in range(0, n, 7):
+        db.delete(b"key%06d" % i)
+    db.wait_idle()
+
+
+class TestClassify:
+    def test_known_causes_pass_through(self):
+        for cause in sorted(_KNOWN_CAUSES):
+            assert classify_account(f"db/{cause}", "db/") == cause
+
+    def test_per_level_compaction_accounts(self):
+        assert classify_account("db/compaction.guard.L0", "db/") == (
+            "compaction.guard.L0"
+        )
+        assert classify_account("s/compaction.level.L3", "s/") == (
+            "compaction.level.L3"
+        )
+
+    def test_bare_vlog_is_the_append_path(self):
+        assert classify_account("db/vlog", "db/") == "vlog.append"
+        assert classify_account("db/vlog.gc", "db/") == "vlog.gc"
+
+    def test_unknown_accounts_are_flagged_not_dropped(self):
+        assert classify_account("db/mystery", "db/") == "other.mystery"
+
+
+class TestLedgerExactness:
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_every_engine_sums_to_device_totals(self, engine):
+        env = repro.Environment(cache_bytes=1 << 20)
+        db = make_store(engine, env)
+        _exercise(db)
+        ledger = IoLedger.from_storage(env.storage, "db/")
+        ledger.verify_against(env.storage)  # raises on any mismatch
+        stats = env.storage.stats
+        assert ledger.total_write_bytes == stats.bytes_written
+        assert ledger.total_read_bytes == stats.bytes_read
+        assert ledger.total_syncs == stats.sync_ops
+        assert ledger.total_write_bytes > 0
+        db.close()
+
+    def test_no_unattributed_cause_in_lsm_engines(self):
+        env = repro.Environment(cache_bytes=1 << 20)
+        db = make_store("pebblesdb", env)
+        _exercise(db)
+        ledger = IoLedger.from_storage(env.storage, "db/")
+        for cause in ledger.write_bytes:
+            assert not cause.startswith("other."), (
+                f"unclassified write account {cause!r}"
+            )
+        db.close()
+
+    def test_vlog_run_attributes_appends(self):
+        env = repro.Environment(cache_bytes=1 << 20)
+        db = make_store(
+            "pebblesdb",
+            env,
+            value_separation_bytes=64,
+            vlog_segment_bytes=4096,
+            vlog_gc_dead_ratio=0.3,
+        )
+        for round_ in range(5):
+            for i in range(80):
+                db.put(b"key%05d" % i, bytes([round_ + 65]) * 300)
+            db.flush_memtable()
+        db.compact_all()
+        db.wait_idle()
+        ledger = IoLedger.from_storage(env.storage, "db/")
+        ledger.verify_against(env.storage)
+        # Separated values must be attributed to the append path, not
+        # folded into flush/compaction.
+        assert ledger.write_bytes.get("vlog.append", 0) > 0
+        assert db._vlog.segments_retired > 0  # GC retired dead segments
+        db.close()
+
+    def test_gc_relocation_bytes_land_in_the_gc_account(self):
+        """Drive ``VlogCompactionContext.rewrite`` directly: relocation
+        reads/appends/syncs must be charged to the ``vlog.gc`` account,
+        separate from the foreground ``vlog`` append account, and the
+        ledger must stay exact."""
+        from repro.version.manifest import VersionEdit
+        from repro.util.keys import KIND_VPTR, InternalKey
+        from repro.vlog.log import ValueLog, VlogCompactionContext
+
+        env = repro.Environment(cache_bytes=1 << 20)
+        storage = env.storage
+        numbers = iter(range(1, 1000))
+        vlog = ValueLog(
+            storage,
+            "db/",
+            segment_bytes=2048,
+            gc_dead_ratio=0.5,
+            alloc_number=lambda: next(numbers),
+        )
+        append_acct = storage.background_account("db/vlog")
+        pointers = []
+        for i in range(12):
+            pointers.append(
+                vlog.append(b"key%02d" % i, b"v" * 200, i + 1, append_acct)
+            )
+        vlog.sync(append_acct)
+        first_segment = pointers[0].segment
+        gc_acct = storage.background_account("db/vlog.gc")
+        gcctx = VlogCompactionContext(vlog, gc_acct, cold_segments={first_segment})
+        stream = [
+            (InternalKey(b"key%02d" % i, i + 1, KIND_VPTR), p.encode())
+            for i, p in enumerate(pointers)
+        ]
+        out = list(gcctx.rewrite(iter(stream)))
+        assert gcctx.relocated_records == sum(
+            1 for p in pointers if p.segment == first_segment
+        )
+        assert len(out) == len(stream)
+        gcctx.commit(VersionEdit())
+        ledger = IoLedger.from_storage(storage, "db/")
+        ledger.verify_against(storage)
+        assert ledger.write_bytes.get("vlog.gc", 0) > 0
+        assert ledger.syncs.get("vlog.gc", 0) >= 1
+        # The foreground append account is untouched by GC traffic.
+        assert ledger.write_bytes["vlog.append"] == (
+            storage.stats.written_by_account["db/vlog"]
+        )
+
+    def test_same_seed_ledger_is_byte_identical(self):
+        def run():
+            env = repro.Environment(cache_bytes=1 << 20)
+            db = make_store("pebblesdb", env)
+            _exercise(db)
+            text = IoLedger.from_storage(env.storage, "db/").to_json()
+            db.close()
+            return text
+
+        assert run() == run()
+
+    def test_merge_sums_and_preserves_totals(self):
+        a = IoLedger()
+        a.write_bytes["wal"] = 10
+        a.syncs["wal"] = 1
+        b = IoLedger()
+        b.write_bytes["wal"] = 5
+        b.write_bytes["flush"] = 7
+        b.read_bytes["user"] = 3
+        merged = a.merge(b)
+        assert merged.write_bytes == {"wal": 15, "flush": 7}
+        assert merged.read_bytes == {"user": 3}
+        assert merged.total_write_bytes == 22
+        # merge() returns a new ledger; inputs stay untouched.
+        assert a.write_bytes == {"wal": 10}
+
+    def test_round_trips_through_dict_and_json(self):
+        env = repro.Environment(cache_bytes=1 << 20)
+        db = make_store("leveldb", env)
+        _exercise(db, 300)
+        ledger = IoLedger.from_storage(env.storage, "db/")
+        assert IoLedger.from_dict(ledger.to_dict()) == ledger
+        assert IoLedger.from_dict(json.loads(ledger.to_json())) == ledger
+        db.close()
+
+
+class TestLedgerProperty:
+    def test_repro_ledger_property_parses_and_matches_storage(self):
+        env = repro.Environment(cache_bytes=1 << 20)
+        db = make_store("pebblesdb", env)
+        _exercise(db, 400)
+        text = db.get_property("repro.ledger")
+        assert text is not None
+        ledger = IoLedger.from_dict(json.loads(text))
+        ledger.verify_against(env.storage)
+        assert "repro.ledger" in db.property_names()
+        db.close()
+
+    def test_to_text_has_total_row_that_adds_up(self):
+        env = repro.Environment(cache_bytes=1 << 20)
+        db = make_store("pebblesdb", env)
+        _exercise(db, 400)
+        ledger = IoLedger.from_storage(env.storage, "db/")
+        lines = ledger.to_text().splitlines()
+        assert lines[-1].startswith("total")
+        assert str(ledger.total_write_bytes) in lines[-1]
+        db.close()
+
+
+class TestClusterLedger:
+    def test_four_shard_cluster_ledger_sums_to_all_shard_devices(self):
+        import asyncio
+
+        from repro.net.client import ClusterClient
+        from repro.net.server import KVServer, ServerConfig
+
+        async def run():
+            server = KVServer(
+                ServerConfig(shards=4, uniform_keys=4000, seed=3)
+            )
+            client = await ClusterClient.open_loopback(server)
+            for i in range(600):
+                await client.put(f"user{i:016d}".encode(), b"v" * 100)
+            await server.wait_idle()
+            text = await client.admin("ledger")
+            merged = IoLedger.from_dict(json.loads(text))
+            expect_writes = sum(
+                shard.env.storage.stats.bytes_written
+                for shard in server.shards
+            )
+            expect_syncs = sum(
+                shard.env.storage.stats.sync_ops for shard in server.shards
+            )
+            assert merged.total_write_bytes == expect_writes
+            assert merged.total_syncs == expect_syncs
+            await client.aclose()
+            await server.aclose()
+
+        asyncio.run(run())

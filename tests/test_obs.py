@@ -123,6 +123,29 @@ class TestRegistry:
         with pytest.raises(TypeError):
             reg.gauge("x")
 
+    def test_exposition_order_is_insertion_independent(self):
+        """Scrape joins must be able to diff two registries textually, so
+        ``to_text`` sorts by metric name, not creation order."""
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        entries = [("op.puts", 3), ("flush.bytes", 9), ("wal.syncs", 2)]
+        for name, value in entries:
+            forward.counter(name).inc(value)
+        for name, value in reversed(entries):
+            backward.counter(name).inc(value)
+        backward.counter("read.probes", level=1).inc()
+        forward.counter("read.probes", level=1).inc()
+        assert forward.to_text() == backward.to_text()
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("files.open", path='db/"a"\\b\nc').inc()
+        text = reg.to_text()
+        assert '{path="db/\\"a\\"\\\\b\\nc"}' in text
+        assert "\nc\"" not in text  # no raw newline inside the label
+
+    def test_empty_registry_exposes_nothing(self):
+        assert MetricsRegistry().to_text() == ""
+
 
 def _exercise(db, n=400):
     for i in range(n):

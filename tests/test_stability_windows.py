@@ -149,6 +149,59 @@ class TestMerge:
         target.merge(source)
         assert target.to_text() == source.to_text()
 
+    def test_merge_of_two_empties_is_empty(self):
+        a, b = WindowedHistogram(0.002), WindowedHistogram(0.002)
+        a.merge(b)
+        assert a.total_count == 0
+        assert a.summary() == []
+
+    def test_merging_empty_changes_nothing(self):
+        full = WindowedHistogram(0.002)
+        for at, value in _stream(n=500):
+            full.record(at, value)
+        before = full.to_text()
+        full.merge(WindowedHistogram(0.002))
+        assert full.to_text() == before
+
+    def test_partial_final_window_survives_merge(self):
+        """A stream that ends mid-window still merges exactly: the
+        partial window's samples must not be dropped or rounded into a
+        full window."""
+        width = 0.002
+        single = WindowedHistogram(width)
+        left, right = WindowedHistogram(width), WindowedHistogram(width)
+        samples = _stream(n=501)  # odd count → final window is partial
+        for i, (at, value) in enumerate(samples):
+            single.record(at, value)
+            (left if i % 2 == 0 else right).record(at, value)
+        last = max(single.window_index(at) for at, _ in samples)
+        left.merge(right)
+        assert left.to_text() == single.to_text()
+        merged_last = max(i for i, _ in left.percentile_series(0.99))
+        assert merged_last == last  # the partial window is present
+
+    def test_merge_with_copy_of_self_doubles_counts_not_percentiles(self):
+        """Self-merge sanity: counts double while every percentile stays
+        within its bucket (the distribution is identical; only the
+        intra-bucket rank interpolation shifts)."""
+        from repro.obs.metrics import HIST_GROWTH
+
+        mine = WindowedHistogram(0.002)
+        twin = WindowedHistogram(0.002)
+        for at, value in _stream(n=400):
+            mine.record(at, value)
+            twin.record(at, value)
+        solo_summary = [dict(row) for row in mine.summary()]
+        mine.merge(twin)
+        assert mine.total_count == 2 * sum(r["count"] for r in solo_summary)
+        for merged, solo in zip(mine.summary(), solo_summary):
+            assert merged["count"] == 2 * solo["count"]
+            assert merged["max"] == solo["max"]
+            for name, _ in SUMMARY_PERCENTILES:
+                assert merged[name] == pytest.approx(
+                    solo[name], rel=HIST_GROWTH - 1.0
+                )
+
 
 # ----------------------------------------------------------------------
 # Summary format
